@@ -1,0 +1,43 @@
+"""Figure 1 — overall Set/Get latency of the three existing designs.
+
+(a) all data fits in memory; (b) data does not fit (backend miss
+penalty < 2 ms for the in-memory designs, SSD for the hybrid).
+"""
+
+from repro.harness import figures
+from repro.harness.report import ascii_table, fmt_us
+
+from benchmarks.conftest import BENCH_OPS, BENCH_SCALE
+
+
+def test_fig1_overall_latency(benchmark):
+    data = benchmark.pedantic(figures.fig1,
+                              kwargs=dict(scale=BENCH_SCALE, ops=BENCH_OPS),
+                              rounds=1, iterations=1)
+    printable = []
+    for regime in ("fit", "nofit"):
+        for row in data[regime]:
+            printable.append({
+                "regime": regime,
+                "design": row["design"],
+                "avg latency": fmt_us(row["latency"]),
+                "miss rate": f"{row['miss_rate']:.1%}",
+            })
+    print()
+    print(ascii_table(printable,
+                      title=f"Figure 1 — Set/Get latency (scale="
+                            f"{BENCH_SCALE})"))
+
+    fit = {r["design"]: r["latency"] for r in data["fit"]}
+    nofit = {r["design"]: r["latency"] for r in data["nofit"]}
+    degradation = nofit["H-RDMA-Def"] / fit["H-RDMA-Def"]
+    benchmark.extra_info["def_degradation_x"] = round(degradation, 2)
+    benchmark.extra_info["ipoib_over_rdma_fit"] = round(
+        fit["IPoIB-Mem"] / fit["RDMA-Mem"], 2)
+    print(f"H-RDMA-Def degradation (nofit/fit): {degradation:.1f}x "
+          f"(paper: 15-17x)")
+
+    # Shape: RDMA wins when fit; hybrid wins when not fit; Def degrades.
+    assert fit["RDMA-Mem"] < fit["IPoIB-Mem"]
+    assert nofit["H-RDMA-Def"] < nofit["RDMA-Mem"] < nofit["IPoIB-Mem"]
+    assert degradation > 5.0

@@ -1,0 +1,40 @@
+"""Figure 2 — six-stage time-wise breakdown of Set/Get latency."""
+
+from repro.core.metrics import STAGE_KEYS
+from repro.harness import figures
+from repro.harness.report import ascii_table, fmt_us
+
+from benchmarks.conftest import BENCH_OPS, BENCH_SCALE
+
+
+def test_fig2_stage_breakdown(benchmark):
+    data = benchmark.pedantic(figures.fig2,
+                              kwargs=dict(scale=BENCH_SCALE, ops=BENCH_OPS),
+                              rounds=1, iterations=1)
+    printable = []
+    for regime in ("fit", "nofit"):
+        for row in data[regime]:
+            entry = {"regime": regime, "design": row["design"]}
+            for stage in STAGE_KEYS:
+                entry[stage] = fmt_us(row["breakdown"][stage])
+            printable.append(entry)
+    print()
+    print(ascii_table(printable,
+                      title="Figure 2 — per-stage breakdown (avg per op)"))
+
+    fit = {r["design"]: r["breakdown"] for r in data["fit"]}
+    nofit = {r["design"]: r["breakdown"] for r in data["nofit"]}
+
+    # Paper Sec III-B: when data fits, network/client-wait dominates for
+    # the in-memory designs...
+    for design in ("IPoIB-Mem", "RDMA-Mem"):
+        net = fit[design]["client_wait"] + fit[design]["server_response"]
+        assert net > 2 * fit[design]["slab_alloc"]
+    # ...when it does not fit, the backend penalty dominates in-memory
+    # designs, and SSD I/O (slab alloc + check&load) dominates H-RDMA-Def.
+    assert nofit["RDMA-Mem"]["miss_penalty"] > nofit["RDMA-Mem"]["client_wait"]
+    ssd_stages = (nofit["H-RDMA-Def"]["slab_alloc"]
+                  + nofit["H-RDMA-Def"]["cache_check_load"])
+    assert ssd_stages > 3 * (fit["H-RDMA-Def"]["slab_alloc"]
+                             + fit["H-RDMA-Def"]["cache_check_load"])
+    benchmark.extra_info["def_ssd_stage_us"] = round(ssd_stages * 1e6, 1)

@@ -1,0 +1,34 @@
+"""Figure 4 — exploring different I/O schemes (direct / cached / mmap)."""
+
+from repro.harness import figures
+from repro.harness.report import ascii_table, fmt_us
+from repro.units import KB, MB
+
+
+def test_fig4_io_schemes(benchmark):
+    sizes = (4 * KB, 16 * KB, 64 * KB, 256 * KB, 1 * MB)
+    rows = benchmark.pedantic(figures.fig4, kwargs=dict(sizes=sizes),
+                              rounds=1, iterations=1)
+    printable = [{
+        "size": f"{r['size'] // KB} KB",
+        "direct": fmt_us(r["direct"]),
+        "cached": fmt_us(r["cached"]),
+        "mmap": fmt_us(r["mmap"]),
+        "best": min(("direct", "cached", "mmap"), key=lambda s: r[s]),
+    } for r in rows]
+    print()
+    print(ascii_table(printable,
+                      title="Figure 4 — synchronous eviction-write latency"
+                            " by I/O scheme (SATA)"))
+
+    # Paper Sec V-B2: mmap wins for small sizes, cached I/O for large,
+    # both beat direct I/O everywhere.
+    for r in rows:
+        assert r["cached"] < r["direct"]
+        assert r["mmap"] < r["direct"]
+    assert rows[0]["mmap"] < rows[0]["cached"]  # 4 KB
+    assert rows[-1]["cached"] < rows[-1]["mmap"]  # 1 MB
+    crossover = next(r["size"] for r in rows if r["cached"] < r["mmap"])
+    benchmark.extra_info["crossover_size_kb"] = crossover // KB
+    print(f"mmap->cached crossover at {crossover // KB} KB "
+          f"(adaptive allocator cutoff: 32 KB chunk classes)")

@@ -1,0 +1,58 @@
+"""Figure 6 — latency breakdown with blocking and non-blocking APIs.
+
+The headline result: the proposed non-blocking extensions bring the
+hybrid design's effective latency close to the in-memory RDMA design
+(fit case) and deliver order-of-magnitude improvement over H-RDMA-Def
+when data does not fit.
+"""
+
+from repro.harness import figures, paper
+from repro.harness.report import ascii_table, fmt_us
+
+from benchmarks.conftest import BENCH_OPS, BENCH_SCALE
+
+
+def test_fig6_all_designs(benchmark):
+    data = benchmark.pedantic(figures.fig6,
+                              kwargs=dict(scale=BENCH_SCALE, ops=BENCH_OPS),
+                              rounds=1, iterations=1)
+    printable = []
+    for regime in ("fit", "nofit"):
+        for row in data[regime]:
+            printable.append({
+                "regime": regime,
+                "design": row["design"],
+                "api": row["api"],
+                "avg latency": fmt_us(row["latency"]),
+                "overlap": f"{row['overlap_pct']:.0f}%",
+            })
+    print()
+    print(ascii_table(printable, title="Figure 6 — all six designs"))
+
+    fit = {r["design"]: r["latency"] for r in data["fit"]}
+    nofit = {r["design"]: r["latency"] for r in data["nofit"]}
+
+    ratios = {
+        "def_degradation": nofit["H-RDMA-Def"] / fit["H-RDMA-Def"],
+        "nonb_over_def": nofit["H-RDMA-Def"] / nofit["H-RDMA-Opt-NonB-i"],
+        "optblock_over_def": nofit["H-RDMA-Def"] / nofit["H-RDMA-Opt-Block"],
+        "nonb_over_optblock": (nofit["H-RDMA-Opt-Block"]
+                               / nofit["H-RDMA-Opt-NonB-i"]),
+        "nonb_over_ipoib_fit": fit["IPoIB-Mem"] / fit["H-RDMA-Opt-NonB-i"],
+    }
+    for k, v in ratios.items():
+        benchmark.extra_info[k] = round(v, 2)
+    print(f"NonB-i over H-RDMA-Def (nofit): {ratios['nonb_over_def']:.1f}x "
+          f"(paper: 10-16x)")
+    print(f"Opt-Block over H-RDMA-Def (nofit): "
+          f"{ratios['optblock_over_def']:.1f}x (paper: up to 2x)")
+    print(f"NonB-i over Opt-Block (nofit): "
+          f"{ratios['nonb_over_optblock']:.1f}x (paper: 3.3-8x)")
+
+    assert ratios["nonb_over_def"] > 4.0
+    assert paper.FIG6_OPT_BLOCK_OVER_DEF.contains(
+        ratios["optblock_over_def"], slack=0.4)
+    assert paper.FIG6_NONB_OVER_OPT_BLOCK.contains(
+        ratios["nonb_over_optblock"], slack=0.4)
+    # Fit case: NonB ~ in-memory RDMA design.
+    assert fit["H-RDMA-Opt-NonB-i"] <= 1.5 * fit["RDMA-Mem"]

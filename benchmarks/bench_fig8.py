@@ -1,0 +1,77 @@
+"""Figure 8 — NVMe vs SATA SSDs, and the bursty block-I/O pattern."""
+
+from repro.harness import figures
+from repro.harness.report import ascii_table, fmt_us
+from repro.units import MB
+
+from benchmarks.conftest import BENCH_OPS, BENCH_SCALE
+
+
+def test_fig8a_nvme_vs_sata(benchmark):
+    rows = benchmark.pedantic(
+        figures.fig8a,
+        kwargs=dict(scale=BENCH_SCALE, ops=max(600, BENCH_OPS // 2)),
+        rounds=1, iterations=1)
+    printable = [{
+        "device": r["device"],
+        "workload": r["workload"],
+        "design": r["design"],
+        "avg latency": fmt_us(r["latency"]),
+    } for r in rows]
+    print()
+    print(ascii_table(printable, title="Figure 8(a) — NVMe vs SATA"))
+
+    def lat(device, design, wl):
+        return next(r["latency"] for r in rows
+                    if r["device"] == device and r["design"] == design
+                    and r["workload"] == wl)
+
+    for device in ("SATA", "NVMe"):
+        for wl in ("read-only", "write-heavy"):
+            nonb_impr = 100 * (1 - lat(device, "H-RDMA-Opt-NonB-i", wl)
+                               / lat(device, "H-RDMA-Opt-Block", wl))
+            benchmark.extra_info[f"nonb_impr_{device}_{wl}"] = round(
+                nonb_impr, 1)
+            assert nonb_impr > 30, (device, wl, nonb_impr)
+    # NVMe makes the *hybrid baseline* much faster than SATA does.
+    assert (lat("NVMe", "H-RDMA-Def-Block", "read-only")
+            < lat("SATA", "H-RDMA-Def-Block", "read-only") / 2)
+    # Absolute benefit of the extensions is larger on SATA (more I/O
+    # latency to hide) — paper Sec VI-F.
+    sata_gain = (lat("SATA", "H-RDMA-Opt-Block", "read-only")
+                 - lat("SATA", "H-RDMA-Opt-NonB-i", "read-only"))
+    nvme_gain = (lat("NVMe", "H-RDMA-Opt-Block", "read-only")
+                 - lat("NVMe", "H-RDMA-Opt-NonB-i", "read-only"))
+    assert sata_gain > nvme_gain
+
+
+def test_fig8b_bursty_block_io(benchmark):
+    rows = benchmark.pedantic(
+        figures.fig8b,
+        kwargs=dict(scale=BENCH_SCALE, block_sizes=(2 * MB, 16 * MB)),
+        rounds=1, iterations=1)
+    printable = [{
+        "device": r["device"],
+        "block": f"{r['block_size'] // MB} MB",
+        "design": r["design"],
+        "avg block latency": fmt_us(r["block_latency"]),
+    } for r in rows]
+    print()
+    print(ascii_table(printable,
+                      title="Figure 8(b) — bursty block I/O "
+                            "(256 KB chunks, 4 servers)"))
+
+    for device in ("SATA", "NVMe"):
+        improvements = {}
+        for bs in (2 * MB, 16 * MB):
+            sub = {r["design"]: r["block_latency"] for r in rows
+                   if r["device"] == device and r["block_size"] == bs}
+            impr = 100 * (1 - sub["H-RDMA-Opt-NonB-i"]
+                          / sub["H-RDMA-Opt-Block"])
+            improvements[bs] = impr
+            benchmark.extra_info[f"impr_{device}_{bs // MB}MB"] = round(
+                impr, 1)
+            # Paper: 79-85% improvement; simulator compresses somewhat.
+            assert impr > 40, (device, bs, impr)
+        # Larger blocks expose more overlap (paper Sec VI-G).
+        assert improvements[16 * MB] >= improvements[2 * MB] - 5

@@ -1,0 +1,23 @@
+"""Table I — design comparison with existing work (feature matrix)."""
+
+from repro.harness import figures
+from repro.harness.report import ascii_table
+
+
+def test_table1(once):
+    rows = once(figures.table1)
+    printable = [
+        {"design": r["design"],
+         "RDMA": "Y" if r["rdma"] else "N",
+         "Hybrid SSD": "Y" if r["hybrid_ssd"] else "N",
+         "Adaptive I/O": "Y" if r["adaptive_io"] else "N",
+         "NVMe": "Y" if r["nvme"] else "N",
+         "Non-Blocking API": "Y" if r["nonblocking_api"] else "N"}
+        for r in rows
+    ]
+    print()
+    print(ascii_table(printable, title="Table I — design feature matrix"))
+    this_paper = rows[-1]
+    assert all(this_paper[k] for k in
+               ("rdma", "hybrid_ssd", "adaptive_io", "nvme",
+                "nonblocking_api"))

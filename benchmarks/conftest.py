@@ -1,0 +1,35 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper at
+``BENCH_SCALE`` (sizes = paper sizes / scale, ratios preserved — see
+DESIGN.md §4) and prints the reproduced rows next to the paper's
+reference claims. Because the simulator is deterministic, one round per
+benchmark is exact; pytest-benchmark's timing then reports the *cost of
+reproducing* each figure.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+#: Paper sizes divided by this. 16 => 64 MB server memory, seconds per
+#: figure. Override with REPRO_BENCH_SCALE=4 for a closer-to-paper run.
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "16"))
+
+#: Operations per latency experiment.
+BENCH_OPS = int(os.environ.get("REPRO_BENCH_OPS", "1200"))
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run a deterministic experiment exactly once under the timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""On what hardware do the non-blocking extensions matter?
+
+The paper measured one SATA drive, one NVMe drive, one FDR fabric. This
+example sweeps the simulated hardware around those points and shows how
+the headline gain — H-RDMA-Def latency over H-RDMA-Opt-NonB-i effective
+latency — responds:
+
+* slower SSDs leave more latency for the non-blocking APIs to hide;
+* hotter (more skewed) workloads touch the SSD less, shrinking the gap;
+* bandwidth matters once latency is hidden: no API can hide a full pipe.
+
+Run:  python examples/sensitivity_analysis.py
+"""
+
+from repro.harness import sensitivity
+from repro.harness.report import ascii_bars, ascii_table, fmt_us
+
+
+def show(rows, title, key, fmt=lambda v: v):
+    print(ascii_table(
+        [{key: fmt(r[key]),
+          "H-RDMA-Def": fmt_us(r["def_latency"]),
+          "NonB-i": fmt_us(r["nonb_latency"]),
+          "NonB gain": f"{r['nonb_gain']:.1f}x"} for r in rows],
+        title=title))
+    print()
+
+
+def main() -> None:
+    rows = sensitivity.sweep_ssd_latency(multipliers=(0.25, 0.5, 1.0,
+                                                      2.0, 4.0))
+    show(rows, "SSD access latency (x the calibrated SATA drive)",
+         "latency_multiplier", lambda v: f"{v:g}x")
+    print(ascii_bars({f"SSD latency {r['latency_multiplier']:g}x":
+                      r["nonb_gain"] for r in rows},
+                     title="Non-blocking gain vs SSD latency",
+                     fmt=lambda v: f"{v:.1f}x"))
+    print()
+
+    rows = sensitivity.sweep_zipf_theta(thetas=(0.4, 0.6, 0.8, 1.0, 1.2))
+    show(rows, "Workload skew (Zipf theta; lower = more uniform)", "theta")
+
+    rows = sensitivity.sweep_ssd_bandwidth(multipliers=(0.5, 1.0, 2.0,
+                                                        4.0))
+    show(rows, "SSD bandwidth (x the calibrated SATA drive)",
+         "bandwidth_multiplier", lambda v: f"{v:g}x")
+
+    print("Takeaway: the paper's conclusion is robust — the non-blocking\n"
+          "extensions win at every point — but the *size* of the win "
+          "tracks how\nmuch SSD latency sits in the blocking path.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Web-scale caching scenario (the paper's Online Data Processing case).
+
+A query-serving tier caches database records in Memcached. The dataset
+(1.5x the cache's memory) follows a Zipf popularity curve; every cache
+miss costs a 2 ms round trip to the backing database. We compare how
+the designs of the paper behave as the caching layer:
+
+* IPoIB-Mem / RDMA-Mem — classic in-memory caches: evictions turn into
+  database queries;
+* H-RDMA-Def — the existing hybrid design: no misses, but synchronous
+  direct I/O on the SSD path;
+* H-RDMA-Opt-NonB-i — the paper's proposal: hybrid retention with the
+  latency hidden behind the non-blocking API.
+
+Run:  python examples/webscale_cache.py
+"""
+
+from repro.core import metrics
+from repro.core.profiles import (
+    H_RDMA_DEF,
+    H_RDMA_OPT_NONB_I,
+    IPOIB_MEM,
+    RDMA_MEM,
+)
+from repro.harness.report import ascii_table, fmt_us
+from repro.harness.runner import run_workload, setup_cluster
+from repro.storage.params import PageCacheParams
+from repro.units import KB, MB
+from repro.workloads.generator import WorkloadSpec
+
+SERVER_MEM = 64 * MB
+VALUE = 8 * KB
+OPS = 2000
+
+
+def evaluate(profile):
+    spec = WorkloadSpec(
+        num_ops=OPS,
+        num_keys=int(1.5 * SERVER_MEM) // VALUE,  # dataset 1.5x memory
+        value_length=VALUE,
+        read_fraction=0.9,  # read-heavy, like query serving
+        distribution="zipf",
+        theta=0.9,
+        seed=42,
+    )
+    cluster = setup_cluster(
+        profile, spec,
+        num_servers=1,
+        server_mem=SERVER_MEM,
+        ssd_limit=4 * SERVER_MEM,
+        pagecache=PageCacheParams(size_bytes=32 * MB, dirty_ratio=0.4),
+    )
+    result = run_workload(cluster, spec)
+    recs = result.records
+    return {
+        "design": profile.label,
+        "avg latency": fmt_us(metrics.effective_latency(recs)),
+        "p99": fmt_us(metrics.percentile_latency(recs, 99)),
+        "cache miss rate": f"{metrics.miss_rate(recs):.1%}",
+        "db queries": cluster.backend.fetches,
+        "throughput": f"{metrics.throughput(recs):,.0f} ops/s",
+    }
+
+
+def main() -> None:
+    rows = [evaluate(p) for p in
+            (IPOIB_MEM, RDMA_MEM, H_RDMA_DEF, H_RDMA_OPT_NONB_I)]
+    print(ascii_table(
+        rows,
+        title=f"Web-scale caching tier — {OPS} Zipf requests, dataset = "
+              f"1.5x cache memory, 2 ms DB miss penalty"))
+    print(
+        "\nReading the table: the in-memory designs lose cold items and "
+        "pay the\ndatabase penalty; the hybrid designs retain everything "
+        "on SSD. The\nnon-blocking extensions then hide the SSD cost, "
+        "giving near-in-memory\nlatency with zero database load."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline clusters).
+
+Allows ``pip install -e . --no-build-isolation --no-use-pep517`` to work;
+all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

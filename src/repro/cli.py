@@ -1,0 +1,280 @@
+"""Command-line interface: run experiments without writing code.
+
+Usage::
+
+    python -m repro list-profiles
+    python -m repro run --profile h-rdma-opt-nonb-i --ops 2000 \
+        --value-kb 32 --servers 1 --read-fraction 0.5
+    python -m repro ycsb --workload A --profile h-rdma-def
+    python -m repro reproduce --figure fig6 --scale 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import metrics
+from repro.core.cluster import ClusterSpec
+from repro.core.profiles import ALL_PROFILES
+from repro.harness import figures
+from repro.harness.report import ascii_table, fmt_pct, fmt_us
+from repro.harness.runner import run_ops, run_workload, setup_cluster
+from repro.storage.params import NVME_SSD, SATA_SSD
+from repro.units import GB, KB, MB
+from repro.workloads.generator import WorkloadSpec
+from repro.workloads.ycsb import CORE_WORKLOADS, generate_ycsb_ops
+
+DEVICES = {"sata": SATA_SSD, "nvme": NVME_SSD}
+
+
+def _add_cluster_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--profile", default="h-rdma-opt-nonb-i",
+                   choices=sorted(ALL_PROFILES),
+                   help="design profile (default: the paper's proposal)")
+    p.add_argument("--servers", type=int, default=1)
+    p.add_argument("--clients", type=int, default=1)
+    p.add_argument("--server-mem-mb", type=int, default=64,
+                   help="memory limit per server (MB)")
+    p.add_argument("--ssd-limit-mb", type=int, default=256,
+                   help="SSD budget per server (MB)")
+    p.add_argument("--device", default="sata", choices=sorted(DEVICES))
+    p.add_argument("--async-flush", action="store_true",
+                   help="enable asynchronous SSD flushes (future work)")
+
+
+def _build(args, spec: WorkloadSpec):
+    profile = ALL_PROFILES[args.profile]
+    cluster_spec = ClusterSpec(
+        num_servers=args.servers,
+        num_clients=args.clients,
+        server_mem=args.server_mem_mb * MB,
+        ssd_limit=args.ssd_limit_mb * MB,
+        device=DEVICES[args.device],
+        async_flush=args.async_flush,
+    )
+    return setup_cluster(profile, spec, cluster_spec=cluster_spec)
+
+
+def _print_summary(title: str, result) -> None:
+    s = result.summary
+    print(ascii_table([{
+        "ops": int(s["ops"]),
+        "mean latency": fmt_us(s["mean_latency"]),
+        "effective latency": fmt_us(s["effective_latency"]),
+        "p99": fmt_us(s["p99_latency"]),
+        "throughput": f"{s['throughput']:,.0f} ops/s",
+        "overlap": fmt_pct(s["overlap_pct"]),
+        "miss rate": f"{s['miss_rate']:.1%}",
+    }], title=title))
+
+
+def cmd_list_profiles(_args) -> int:
+    rows = [{
+        "key": p.key,
+        "label": p.label,
+        "transport": p.transport,
+        "hybrid": "Y" if p.hybrid else "N",
+        "io": p.io_policy,
+        "non-blocking": "Y" if p.nonblocking else "N",
+        "description": p.description[:60],
+    } for p in ALL_PROFILES.values()]
+    print(ascii_table(rows, title="Design profiles"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    spec = WorkloadSpec(
+        num_ops=args.ops,
+        num_keys=args.keys or max(8, int(args.dataset_ratio
+                                         * args.server_mem_mb * MB
+                                         * args.servers)
+                                  // (args.value_kb * KB)),
+        value_length=args.value_kb * KB,
+        read_fraction=args.read_fraction,
+        distribution=args.distribution,
+        theta=args.theta,
+        seed=args.seed,
+    )
+    cluster = _build(args, spec)
+    result = run_workload(cluster, spec)
+    _print_summary(
+        f"{ALL_PROFILES[args.profile].label} — {args.ops} ops x "
+        f"{args.clients} client(s), {args.value_kb} KB values, "
+        f"{spec.num_keys} keys", result)
+    return 0
+
+
+def cmd_ycsb(args) -> int:
+    workload = CORE_WORKLOADS[args.workload.upper()]
+    num_keys = args.keys or max(8, int(args.dataset_ratio
+                                       * args.server_mem_mb * MB
+                                       * args.servers)
+                                // (args.value_kb * KB))
+    spec = WorkloadSpec(num_ops=args.ops, num_keys=num_keys,
+                        value_length=args.value_kb * KB, seed=args.seed)
+    cluster = _build(args, spec)
+    streams = [generate_ycsb_ops(workload, args.ops, num_keys,
+                                 args.value_kb * KB, seed=args.seed,
+                                 client_index=i)
+               for i in range(args.clients)]
+    result = run_ops(cluster, streams)
+    _print_summary(
+        f"YCSB-{workload.name} on {ALL_PROFILES[args.profile].label}",
+        result)
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    targets = {
+        "table1": lambda: _show_rows(figures.table1(), "Table I"),
+        "fig1": lambda: _show_fig16(figures.fig1(args.scale, args.ops),
+                                    "Figure 1"),
+        "fig2": lambda: _show_fig16(figures.fig2(args.scale, args.ops),
+                                    "Figure 2"),
+        "fig4": lambda: _show_rows(
+            [{**r, **{k: fmt_us(r[k]) for k in
+                      ("direct", "cached", "mmap")}}
+             for r in figures.fig4()], "Figure 4"),
+        "fig6": lambda: _show_fig16(figures.fig6(args.scale, args.ops),
+                                    "Figure 6"),
+        "fig7a": lambda: _show_rows(figures.fig7a(args.scale, args.ops),
+                                    "Figure 7(a)"),
+        "fig7b": lambda: _show_rows(figures.fig7b(args.scale), "Figure 7(b)"),
+        "fig7c": lambda: _show_rows(figures.fig7c(args.scale), "Figure 7(c)"),
+        "fig8a": lambda: _show_rows(figures.fig8a(args.scale), "Figure 8(a)"),
+        "fig8b": lambda: _show_rows(figures.fig8b(args.scale), "Figure 8(b)"),
+    }
+    names = list(targets) if args.figure == "all" else [args.figure]
+    for name in names:
+        targets[name]()
+    return 0
+
+
+def _show_rows(rows, title) -> None:
+    safe = []
+    for r in rows:
+        safe.append({k: (fmt_us(v) if isinstance(v, float) and v < 1 else v)
+                     for k, v in r.items() if not isinstance(v, dict)})
+    print(ascii_table(safe, title=title))
+
+
+def _show_fig16(data, title) -> None:
+    rows = []
+    for regime in ("fit", "nofit"):
+        for r in data[regime]:
+            rows.append({"regime": regime, "design": r["design"],
+                         "latency": fmt_us(r["latency"]),
+                         "overlap": f"{r['overlap_pct']:.0f}%",
+                         "miss": f"{r['miss_rate']:.1%}"})
+    print(ascii_table(rows, title=title))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid RDMA+SSD Memcached reproduction (IPDPS 2016)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-profiles",
+                   help="show the six design profiles").set_defaults(
+        func=cmd_list_profiles)
+
+    run_p = sub.add_parser("run", help="run one custom workload")
+    _add_cluster_args(run_p)
+    run_p.add_argument("--ops", type=int, default=2000,
+                       help="operations per client")
+    run_p.add_argument("--value-kb", type=int, default=32)
+    run_p.add_argument("--keys", type=int, default=0,
+                       help="keyspace size (default: from dataset ratio)")
+    run_p.add_argument("--dataset-ratio", type=float, default=1.5,
+                       help="dataset bytes / aggregate server memory")
+    run_p.add_argument("--read-fraction", type=float, default=0.5)
+    run_p.add_argument("--distribution", default="zipf",
+                       choices=("zipf", "uniform"))
+    run_p.add_argument("--theta", type=float, default=0.8)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.set_defaults(func=cmd_run)
+
+    ycsb_p = sub.add_parser("ycsb", help="run a YCSB core workload")
+    _add_cluster_args(ycsb_p)
+    ycsb_p.add_argument("--workload", default="A",
+                        choices=sorted(CORE_WORKLOADS) +
+                        [w.lower() for w in CORE_WORKLOADS])
+    ycsb_p.add_argument("--ops", type=int, default=2000)
+    ycsb_p.add_argument("--value-kb", type=int, default=8)
+    ycsb_p.add_argument("--keys", type=int, default=0)
+    ycsb_p.add_argument("--dataset-ratio", type=float, default=1.5)
+    ycsb_p.add_argument("--seed", type=int, default=1)
+    ycsb_p.set_defaults(func=cmd_ycsb)
+
+    rep_p = sub.add_parser("reproduce",
+                           help="regenerate a paper table/figure")
+    rep_p.add_argument("--figure", default="all",
+                       choices=["all", "table1", "fig1", "fig2", "fig4",
+                                "fig6", "fig7a", "fig7b", "fig7c",
+                                "fig8a", "fig8b"])
+    rep_p.add_argument("--scale", type=int, default=16)
+    rep_p.add_argument("--ops", type=int, default=1200)
+    rep_p.set_defaults(func=cmd_reproduce)
+
+    chk_p = sub.add_parser("check",
+                           help="grade the paper's claims against this "
+                                "build (artifact evaluation)")
+    chk_p.add_argument("--scale", type=int, default=16)
+    chk_p.add_argument("--ops", type=int, default=1200)
+    chk_p.set_defaults(func=cmd_check)
+
+    exp_p = sub.add_parser("export",
+                           help="write figure data as JSON for plotting")
+    exp_p.add_argument("--figure", default="all")
+    exp_p.add_argument("--out", default="figure_data",
+                       help="output directory (or file for one figure)")
+    exp_p.add_argument("--scale", type=int, default=16)
+    exp_p.add_argument("--ops", type=int, default=1200)
+    exp_p.set_defaults(func=cmd_export)
+
+    return parser
+
+
+def cmd_check(args) -> int:
+    from repro.harness.check import run_checks, summarize_verdicts
+
+    verdicts = run_checks(scale=args.scale, ops=args.ops)
+    print(ascii_table([v.row for v in verdicts],
+                      title="Paper-claim check "
+                            f"(scale={args.scale})"))
+    summary = summarize_verdicts(verdicts)
+    print(f"\n{summary['PASS']} PASS, {summary['SHAPE']} SHAPE "
+          f"(direction holds, magnitude off), {summary['FAIL']} FAIL")
+    return 1 if summary["FAIL"] else 0
+
+
+def cmd_export(args) -> int:
+    from repro.harness.export import FIGURES, export_all, export_figure
+
+    if args.figure == "all":
+        paths = export_all(args.out, scale=args.scale, ops=args.ops)
+        for p in paths:
+            print(f"wrote {p}")
+    else:
+        if args.figure not in FIGURES:
+            print(f"unknown figure {args.figure!r}", file=sys.stderr)
+            return 2
+        out = args.out
+        if not out.endswith(".json"):
+            from pathlib import Path
+            Path(out).mkdir(parents=True, exist_ok=True)
+            out = f"{out}/{args.figure}.json"
+        print(f"wrote {export_figure(args.figure, out, scale=args.scale, ops=args.ops)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

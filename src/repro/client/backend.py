@@ -1,0 +1,34 @@
+"""Backend database model (the layer behind the Memcached cache).
+
+Every miss in the caching layer costs a round trip here. The paper
+assumes a penalty of (less than) 2 ms per miss for its in-memory
+baselines (Sections III and VI-C); the default matches that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim import Simulator
+from repro.units import MS
+
+
+class BackendDatabase:
+    """A constant-latency data store of record sizes."""
+
+    def __init__(self, sim: Simulator, penalty: float = 2 * MS,
+                 value_length_for: Optional[Callable[[bytes], int]] = None,
+                 default_value_length: int = 0):
+        self.sim = sim
+        self.penalty = penalty
+        self._value_length_for = value_length_for
+        self.default_value_length = default_value_length
+        self.fetches = 0
+
+    def fetch(self, key: bytes):
+        """Generator: blocks for the miss penalty; returns value length."""
+        self.fetches += 1
+        yield self.sim.timeout(self.penalty)
+        if self._value_length_for is not None:
+            return self._value_length_for(key)
+        return self.default_value_length

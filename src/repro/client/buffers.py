@@ -1,0 +1,98 @@
+"""RDMA memory-registration model: the cost ``bset``/``bget`` avoid.
+
+Section IV: "memory registration is a costly affair with RDMA-enabled
+interconnects, provisioning buffer re-use is extremely helpful." This
+module makes that cost measurable. Each operation draws a registered
+buffer of its (power-of-two) size class from a per-client pool; if none
+is free, a new region must be registered with the HCA — a base cost
+plus a per-page cost (``ibv_reg_mr`` pins and maps every page). Buffers
+return to the pool at the operation's *buffer-reuse point*:
+
+* ``bset``/``bget`` — early (that is their guarantee), so a pipelined
+  client needs only a few registered buffers;
+* ``iset``/``iget`` — only at completion (no reuse until wait/test),
+  so deep windows pin many buffers and a cold client pays more
+  registrations.
+
+Disabled by default (``ClientConfig.model_registration``): the paper's
+evaluation uses warmed-up registration caches, which is equivalent to
+cost zero; enable it to study cold-start and pool-sizing effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.units import KB, US
+
+#: One-time cost to register a region: syscall + HCA update.
+REGISTRATION_BASE = 20 * US
+#: Per-4KiB-page pin/map cost.
+REGISTRATION_PER_PAGE = 0.25 * US
+PAGE = 4 * KB
+
+
+def size_class(nbytes: int) -> int:
+    """Power-of-two bucket (minimum one page)."""
+    size = PAGE
+    while size < nbytes:
+        size *= 2
+    return size
+
+
+def registration_cost(nbytes: int) -> float:
+    """Time to register a fresh buffer of this size class."""
+    cls = size_class(nbytes)
+    return REGISTRATION_BASE + (cls // PAGE) * REGISTRATION_PER_PAGE
+
+
+@dataclass
+class BufferPoolStats:
+    registrations: int = 0
+    registration_time: float = 0.0
+    reuses: int = 0
+    #: peak simultaneously-pinned bytes (pool high-water mark)
+    peak_bytes: int = 0
+
+
+class BufferPool:
+    """Registered-buffer cache, one per client."""
+
+    def __init__(self) -> None:
+        #: size class -> number of free (registered, unused) buffers.
+        self._free: Dict[int, int] = {}
+        self._allocated_bytes = 0
+        self._in_use_bytes = 0
+        self.stats = BufferPoolStats()
+
+    def acquire(self, nbytes: int) -> float:
+        """Take a buffer; returns the registration cost (0 on reuse)."""
+        cls = size_class(nbytes)
+        self._in_use_bytes += cls
+        if self._free.get(cls, 0) > 0:
+            self._free[cls] -= 1
+            self.stats.reuses += 1
+            cost = 0.0
+        else:
+            self._allocated_bytes += cls
+            cost = registration_cost(nbytes)
+            self.stats.registrations += 1
+            self.stats.registration_time += cost
+        self.stats.peak_bytes = max(self.stats.peak_bytes,
+                                    self._in_use_bytes)
+        return cost
+
+    def release(self, nbytes: int) -> None:
+        """Return a buffer to the pool (stays registered)."""
+        cls = size_class(nbytes)
+        self._free[cls] = self._free.get(cls, 0) + 1
+        self._in_use_bytes -= cls
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated_bytes
+
+    @property
+    def in_use_bytes(self) -> int:
+        return self._in_use_bytes

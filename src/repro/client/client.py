@@ -1,0 +1,590 @@
+"""The Memcached client: blocking APIs plus the non-blocking extensions.
+
+Architecture (paper Figure 3):
+
+* API methods hand operations to the client's **communication engine**
+  (one background process per client, mirroring libmemcached's RDMA
+  runtime). The engine serializes operations onto the NIC, obeys the
+  server's receive-buffer credits for SET values, and arms the
+  buffer-reuse events.
+* A **response pump** per connection matches server responses (and
+  RDMA-written GET values) back to outstanding ``memcached_req``
+  handles and triggers their completion flags.
+* ``iset``/``iget`` return as soon as the request is queued on the
+  engine; ``bset`` returns when the value has left the user buffer;
+  ``bget`` returns when the request header is on the wire; ``wait``/
+  ``test`` complete operations, exactly as specified in Section IV.
+
+Every API method is a generator: drive it with ``yield from`` inside a
+simulation process. Time the client spends blocked inside these
+generators is accounted per operation; it is the basis of the overlap
+measurements (Figure 7a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.client.backend import BackendDatabase
+from repro.client.buffers import BufferPool
+from repro.client.hashing import KetamaRouter, ModuloRouter
+from repro.client.request import MemcachedReq, OpRecord
+from repro.net.transport import Endpoint
+from repro.server.protocol import (
+    HIT,
+    MISS,
+    STORED,
+    BufferAck,
+    DeleteRequest,
+    GetRequest,
+    MultiGetRequest,
+    Response,
+    SetRequest,
+    StatsRequest,
+    TouchRequest,
+    ValueArrival,
+)
+from repro.server.server import MemcachedServer
+from repro.sim import Simulator, Store
+from repro.units import US
+
+
+class UnsupportedOperation(RuntimeError):
+    """Raised when a design without non-blocking support is asked for it."""
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Client-side behaviour knobs."""
+
+    #: CPU cost of entering/leaving one client API call.
+    api_overhead: float = 0.3 * US
+    #: CPU the communication engine spends per operation (request
+    #: preparation, registration-cache lookup, server selection).
+    engine_cpu: float = 1.0 * US
+    #: False for the existing designs (IPoIB-Mem, RDMA-Mem, H-RDMA-Def):
+    #: iset/iget/bset/bget raise UnsupportedOperation.
+    nonblocking_allowed: bool = True
+    #: Keep per-operation records for metrics (experiments need this).
+    record_ops: bool = True
+    #: "modulo" (libmemcached default) or "ketama".
+    router: str = "modulo"
+    #: Model RDMA memory-registration costs with a registered-buffer
+    #: pool (Section IV's motivation for the b-variants). Off by
+    #: default: the paper's runs use warmed registration caches.
+    model_registration: bool = False
+
+
+@dataclass
+class ServerConn:
+    """One connection from this client to one server."""
+
+    index: int
+    endpoint: Endpoint
+    server: Optional[MemcachedServer]  # None => remote credits unavailable
+
+
+@dataclass
+class _EngineJob:
+    req: MemcachedReq
+    conn: ServerConn
+
+
+@dataclass
+class _MgetJob:
+    """A batched multi-get for one server connection."""
+
+    reqs: List[MemcachedReq]
+    conn: ServerConn
+
+
+class MemcachedClient:
+    """A libmemcached-style client bound to one fabric node."""
+
+    def __init__(self, sim: Simulator, name: str = "client0",
+                 config: Optional[ClientConfig] = None,
+                 backend: Optional[BackendDatabase] = None):
+        self.sim = sim
+        self.name = name
+        self.config = config or ClientConfig()
+        self.backend = backend
+        self._conns: List[ServerConn] = []
+        self._router = None
+        self._engine_queue: Store = Store(sim)
+        self._outstanding: Dict[int, MemcachedReq] = {}
+        self._job_meta: Dict[int, tuple] = {}
+        self._recorded_ids: set[int] = set()
+        #: Registered-buffer pool (active when model_registration).
+        self.buffer_pool = BufferPool()
+        self._next_req_id = 0
+        self._started = False
+        # metrics
+        self.records: List[OpRecord] = []
+        self.total_blocked = 0.0
+        self.t_first_issue: Optional[float] = None
+        self.t_last_complete: float = 0.0
+
+    # -- wiring ------------------------------------------------------------
+
+    def add_server(self, endpoint: Endpoint,
+                   server: Optional[MemcachedServer] = None) -> None:
+        self._conns.append(ServerConn(len(self._conns), endpoint, server))
+        self._router = None  # rebuilt on next use
+
+    def _route(self, key: bytes) -> ServerConn:
+        if not self._conns:
+            raise RuntimeError(f"{self.name}: no servers configured")
+        if self._router is None:
+            n = len(self._conns)
+            self._router = (KetamaRouter(n) if self.config.router == "ketama"
+                            else ModuloRouter(n))
+        return self._conns[self._router.server_for(key)]
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.sim.spawn(self._engine(), name=f"{self.name}-engine")
+        for conn in self._conns:
+            self.sim.spawn(self._pump(conn), name=f"{self.name}-pump{conn.index}")
+
+    # -- public blocking API -------------------------------------------------
+
+    def set(self, key: bytes, value_length: int, flags: int = 0,
+            expiration: float = 0.0, _record: bool = True):
+        """Blocking ``memcached_set``. Generator; returns the request."""
+        req = yield from self._issue("set", "set", key, value_length,
+                                     flags, expiration)
+        yield from self._block_until_complete(req)
+        self._finalize(req, record=_record)
+        return req
+
+    def add(self, key: bytes, value_length: int, flags: int = 0,
+            expiration: float = 0.0):
+        """``memcached_add``: store only if the key is absent."""
+        req = yield from self._issue("set", "add", key, value_length,
+                                     flags, expiration, mode="add")
+        yield from self._block_until_complete(req)
+        self._finalize(req)
+        return req
+
+    def replace(self, key: bytes, value_length: int, flags: int = 0,
+                expiration: float = 0.0):
+        """``memcached_replace``: store only if the key exists."""
+        req = yield from self._issue("set", "replace", key, value_length,
+                                     flags, expiration, mode="replace")
+        yield from self._block_until_complete(req)
+        self._finalize(req)
+        return req
+
+    def cas(self, key: bytes, value_length: int, cas_token: int,
+            flags: int = 0, expiration: float = 0.0):
+        """``memcached_cas``: store only if the item's CAS token matches
+        the one observed by this client's last get of the key."""
+        req = yield from self._issue("set", "cas", key, value_length,
+                                     flags, expiration, mode="cas",
+                                     cas_token=cas_token)
+        yield from self._block_until_complete(req)
+        self._finalize(req)
+        return req
+
+    def get(self, key: bytes):
+        """Blocking ``memcached_get``. Generator; returns the request.
+
+        On a miss (in-memory designs under eviction) the client fetches
+        from the backend database — paying the miss penalty — and
+        repopulates the cache, as web-scale deployments do.
+        """
+        req = yield from self._issue("get", "get", key, 0, 0, 0.0)
+        yield from self._block_until_complete(req)
+        yield from self._handle_miss(req)
+        self._finalize(req)
+        return req
+
+    def mget(self, keys: Sequence[bytes]):
+        """``memcached_mget``: batched multi-key Get (blocking overall).
+
+        Keys are grouped per server; each server receives ONE batched
+        request and streams one response per key, so the round trips of
+        a key sequence collapse into one per server. Generator; returns
+        the per-key requests in input order.
+        """
+        self._ensure_started()
+        t0 = self.sim.now
+        yield self.sim.timeout(self.config.api_overhead)
+        reqs: List[MemcachedReq] = []
+        batches: Dict[int, _MgetJob] = {}
+        for key in keys:
+            conn = self._route(key)
+            req = MemcachedReq(self.sim, self._next_req_id, "get", key,
+                               0, "mget")
+            self._next_req_id += 1
+            req.t_issue = t0
+            req.server_index = conn.index
+            if self.t_first_issue is None:
+                self.t_first_issue = t0
+            self._outstanding[req.req_id] = req
+            reqs.append(req)
+            batch = batches.setdefault(conn.index, _MgetJob([], conn))
+            batch.reqs.append(req)
+        for batch in batches.values():
+            self._engine_queue.put(batch)
+        self._account_many(reqs, self.sim.now - t0)
+        for req in reqs:
+            req.t_api_return = self.sim.now
+        # Blocking fetch loop (like memcached_fetch after mget).
+        for req in reqs:
+            if not req.complete.processed:
+                t1 = self.sim.now
+                yield req.complete
+                self._account_many([req], self.sim.now - t1)
+            yield from self._handle_miss(req)
+            self._finalize(req)
+        return reqs
+
+    def _account_many(self, reqs: Sequence[MemcachedReq], dt: float) -> None:
+        for req in reqs:
+            req.blocked_time += dt
+        self.total_blocked += dt
+
+    def stats(self, server_index: int = 0):
+        """memcached ``stats``: fetch one server's counter snapshot.
+
+        Generator; returns a dict of counters.
+        """
+        self._ensure_started()
+        conn = self._conns[server_index]
+        req = MemcachedReq(self.sim, self._next_req_id, "stats", b"",
+                           0, "stats")
+        self._next_req_id += 1
+        req.t_issue = self.sim.now
+        req.server_index = conn.index
+        self._outstanding[req.req_id] = req
+        t0 = self.sim.now
+        yield self.sim.timeout(self.config.api_overhead)
+        self._engine_queue.put(_EngineJob(req, conn))
+        yield req.complete
+        self._account_block(req, self.sim.now - t0)
+        self._recorded_ids.add(req.req_id)  # not a data op; never record
+        return dict(req.response.stats_payload or {})
+
+    def delete(self, key: bytes):
+        """Blocking delete (completeness; not profiled by the paper)."""
+        req = yield from self._issue("delete", "delete", key, 0, 0, 0.0)
+        yield from self._block_until_complete(req)
+        self._finalize(req)
+        return req
+
+    def touch(self, key: bytes, expiration: float):
+        """``memcached_touch``: refresh an item's TTL without a refetch."""
+        req = yield from self._issue("touch", "touch", key, 0, 0, expiration)
+        yield from self._block_until_complete(req)
+        self._finalize(req)
+        return req
+
+    # -- public non-blocking API (Section IV) ----------------------------------
+
+    def iset(self, key: bytes, value_length: int, flags: int = 0,
+             expiration: float = 0.0):
+        """``memcached_iset``: purely non-blocking Set.
+
+        Returns right after the request is queued on the communication
+        engine. The key/value buffers must NOT be reused until a
+        successful ``wait``/``test``.
+        """
+        self._require_nonblocking("iset")
+        req = yield from self._issue("set", "iset", key, value_length,
+                                     flags, expiration)
+        return req
+
+    def iget(self, key: bytes):
+        """``memcached_iget``: purely non-blocking Get."""
+        self._require_nonblocking("iget")
+        req = yield from self._issue("get", "iget", key, 0, 0, 0.0)
+        return req
+
+    def bset(self, key: bytes, value_length: int, flags: int = 0,
+             expiration: float = 0.0):
+        """``memcached_bset``: non-blocking Set with buffer-reuse guarantee.
+
+        Returns once the value has left the client's buffer (which may
+        require waiting for a server receive-buffer credit — the cost
+        the paper observes for write-heavy workloads in Figure 7a).
+        """
+        self._require_nonblocking("bset")
+        req = yield from self._issue("set", "bset", key, value_length,
+                                     flags, expiration)
+        t0 = self.sim.now
+        yield req.buffer_safe
+        self._account_block(req, self.sim.now - t0)
+        return req
+
+    def bget(self, key: bytes):
+        """``memcached_bget``: non-blocking Get with key-buffer reuse."""
+        self._require_nonblocking("bget")
+        req = yield from self._issue("get", "bget", key, 0, 0, 0.0)
+        t0 = self.sim.now
+        yield req.buffer_safe
+        self._account_block(req, self.sim.now - t0)
+        return req
+
+    def wait(self, req: MemcachedReq, timeout: Optional[float] = None):
+        """``memcached_wait``: block until the operation completes.
+
+        With ``timeout`` (seconds), gives up waiting after that long and
+        returns the request still pending (``req.done`` False) — the
+        operation itself continues in the background and a later wait
+        can pick it up, like libmemcached's poll timeout.
+        """
+        if timeout is not None and not req.complete.triggered:
+            t0 = self.sim.now
+            yield self.sim.any_of([req.complete,
+                                   self.sim.timeout(timeout)])
+            self._account_block(req, self.sim.now - t0)
+            if not req.complete.triggered:
+                return req  # timed out; op still in flight
+        yield from self._block_until_complete(req)
+        yield from self._handle_miss(req)
+        self._finalize(req)
+        return req
+
+    def test(self, req: MemcachedReq) -> bool:
+        """``memcached_test``: non-blocking completion poll.
+
+        Plain function (no simulated time): mirrors the real API, which
+        only inspects the request's completion flag.
+        """
+        if req.done and req.status is not None and req.status != MISS:
+            self._finalize(req)
+        return req.done
+
+    def wait_all(self, reqs: Sequence[MemcachedReq]):
+        """Wait on many requests (the bursty-I/O pattern of Listing 2)."""
+        for req in reqs:
+            yield from self.wait(req)
+        return list(reqs)
+
+    def quiesce(self):
+        """Wait until every outstanding request of this client completed."""
+        while self._outstanding:
+            pending = list(self._outstanding.values())
+            yield from self.wait(pending[0])
+
+    # -- issue path --------------------------------------------------------------
+
+    def _require_nonblocking(self, api: str) -> None:
+        if not self.config.nonblocking_allowed:
+            raise UnsupportedOperation(
+                f"{api}: this design provides blocking Set/Get APIs only")
+
+    def _issue(self, op: str, api: str, key: bytes, value_length: int,
+               flags: int, expiration: float, mode: str = "set",
+               cas_token: int = 0):
+        self._ensure_started()
+        req = MemcachedReq(self.sim, self._next_req_id, op, key,
+                           value_length, api)
+        self._next_req_id += 1
+        req.t_issue = self.sim.now
+        if self.t_first_issue is None:
+            self.t_first_issue = self.sim.now
+        conn = self._route(key)
+        req.server_index = conn.index
+        self._outstanding[req.req_id] = req
+        t0 = self.sim.now
+        yield self.sim.timeout(self.config.api_overhead)
+        self._engine_queue.put(_EngineJob(req, conn))
+        self._account_block(req, self.sim.now - t0)
+        req.t_api_return = self.sim.now
+        self._job_meta[req.req_id] = (flags, expiration, mode, cas_token)
+        return req
+
+    def _block_until_complete(self, req: MemcachedReq):
+        if not req.complete.processed:
+            t0 = self.sim.now
+            yield req.complete
+            self._account_block(req, self.sim.now - t0)
+
+    def _handle_miss(self, req: MemcachedReq):
+        """Backend fetch + cache repopulation after a GET miss."""
+        if req.op != "get" or req.status != MISS or self.backend is None:
+            return
+        if req.stages.get("miss_penalty"):
+            return  # already handled
+        t0 = self.sim.now
+        value_length = yield from self.backend.fetch(req.key)
+        req.stages["miss_penalty"] = self.sim.now - t0
+        self._account_block(req, self.sim.now - t0)
+        if value_length > 0:
+            # Repopulate so future lookups hit (not recorded as a user op).
+            t1 = self.sim.now
+            yield from self.set(req.key, value_length, _record=False)
+            self._account_block(req, self.sim.now - t1)
+        req.value_length = value_length
+        req.t_complete = self.sim.now
+
+    def _account_block(self, req: MemcachedReq, dt: float) -> None:
+        req.blocked_time += dt
+        self.total_blocked += dt
+
+    def _finalize(self, req: MemcachedReq, record: bool = True) -> None:
+        """Record a completed user-visible operation (idempotent)."""
+        if req.req_id in self._recorded_ids:
+            return
+        self._recorded_ids.add(req.req_id)
+        if record and self.config.record_ops and req.status is not None:
+            self.records.append(OpRecord.from_req(req))
+        self.t_last_complete = max(self.t_last_complete, req.t_complete)
+
+    # -- engine -------------------------------------------------------------------
+
+    def _engine(self):
+        while True:
+            job = yield self._engine_queue.get()
+            if self.config.engine_cpu:
+                yield self.sim.timeout(self.config.engine_cpu)
+            if isinstance(job, _MgetJob):
+                self._engine_mget(job.reqs, job.conn)
+                continue
+            req, conn = job.req, job.conn
+            flags, expiration, mode, cas_token = self._job_meta.pop(
+                req.req_id, (0, 0.0, "set", 0))
+            if self.config.model_registration and req.op in ("set", "get"):
+                cost = self._acquire_buffer(req)
+                if cost > 0:
+                    yield self.sim.timeout(cost)
+            if req.op == "set":
+                yield from self._engine_set(req, conn, flags, expiration,
+                                            mode, cas_token)
+            elif req.op == "get":
+                self._engine_get(req, conn)
+            elif req.op == "delete":
+                self._engine_delete(req, conn)
+            elif req.op == "touch":
+                header = TouchRequest(req_id=req.req_id, op="touch",
+                                      key=req.key, expiration=expiration)
+                msg = conn.endpoint.send(header, header.header_bytes)
+                self._arm(req.buffer_safe, msg.on_wire)
+            elif req.op == "stats":
+                header = StatsRequest(req_id=req.req_id, op="stats", key=b"")
+                msg = conn.endpoint.send(header, header.header_bytes)
+                self._arm(req.buffer_safe, msg.on_wire)
+
+    def _engine_set(self, req: MemcachedReq, conn: ServerConn,
+                    flags: int, expiration: float, mode: str = "set",
+                    cas_token: int = 0):
+        ep = conn.endpoint
+        if ep.supports_one_sided and conn.server is not None:
+            header = SetRequest(req_id=req.req_id, op="set", key=req.key,
+                                value_length=req.value_length, flags=flags,
+                                expiration=expiration, mode=mode,
+                                cas_token=cas_token, inline_value=False)
+            ep.send(header, header.header_bytes)
+            # Flow control: a server receive buffer must be free before
+            # the engine may RDMA-write the value.
+            credit = conn.server.credits.request()
+            yield credit
+            arrival = ValueArrival(req_id=req.req_id,
+                                   nbytes=req.value_length, credit=credit)
+            msg_v = ep.send(arrival, req.value_length, one_sided=True)
+            if not conn.server.config.early_ack:
+                # Existing runtime: no buffered-ack arrives; the buffer
+                # is reusable once the value has left the client NIC.
+                self._arm(req.buffer_safe, msg_v.on_wire)
+            # Optimized runtime: the server's BufferAck (Section V-B1)
+            # triggers buffer_safe via the response pump.
+        else:
+            # Stream transport: header and value in one message.
+            header = SetRequest(req_id=req.req_id, op="set", key=req.key,
+                                value_length=req.value_length, flags=flags,
+                                expiration=expiration, mode=mode,
+                                cas_token=cas_token, inline_value=True)
+            msg = ep.send(header, header.header_bytes + req.value_length)
+            self._arm(req.buffer_safe, msg.on_wire)
+
+    def _engine_get(self, req: MemcachedReq, conn: ServerConn) -> None:
+        header = GetRequest(req_id=req.req_id, op="get", key=req.key)
+        msg = conn.endpoint.send(header, header.header_bytes)
+        self._arm(req.buffer_safe, msg.on_wire)
+
+    def _engine_mget(self, reqs: List[MemcachedReq],
+                     conn: ServerConn) -> None:
+        header = MultiGetRequest(
+            req_id=reqs[0].req_id, op="mget", key=reqs[0].key,
+            entries=tuple((r.req_id, r.key) for r in reqs))
+        msg = conn.endpoint.send(header, header.header_bytes)
+        for r in reqs:
+            self._arm(r.buffer_safe, msg.on_wire)
+
+    def _engine_delete(self, req: MemcachedReq, conn: ServerConn) -> None:
+        header = DeleteRequest(req_id=req.req_id, op="delete", key=req.key)
+        msg = conn.endpoint.send(header, header.header_bytes)
+        self._arm(req.buffer_safe, msg.on_wire)
+
+    def _acquire_buffer(self, req: MemcachedReq) -> float:
+        """Draw a registered buffer; schedule its return at the
+        operation's buffer-reuse point (Section IV semantics)."""
+        nbytes = max(req.value_length + len(req.key), 1)
+        cost = self.buffer_pool.acquire(nbytes)
+        # b-variants guarantee early reuse; everything else pins the
+        # buffer until the operation completes (wait/test).
+        release_on = (req.buffer_safe if req.api in ("bset", "bget")
+                      else req.complete)
+
+        def _release(_ev):
+            self.buffer_pool.release(nbytes)
+
+        if release_on.processed:
+            _release(None)
+        else:
+            release_on.callbacks.append(_release)
+        return cost
+
+    @staticmethod
+    def _arm(target, source) -> None:
+        """Trigger ``target`` when ``source`` (an event) is processed."""
+        if source.processed:
+            target.succeed()
+            return
+        source.callbacks.append(lambda _ev: target.succeed())
+
+    # -- response pump ---------------------------------------------------------------
+
+    def _pump(self, conn: ServerConn):
+        while True:
+            delivery = yield conn.endpoint.recv()
+            if delivery.recv_cpu:
+                yield self.sim.timeout(delivery.recv_cpu)
+            if isinstance(delivery.payload, BufferAck):
+                pending = self._outstanding.get(delivery.payload.req_id)
+                if pending is not None and not pending.buffer_safe.triggered:
+                    pending.buffer_safe.succeed()
+                continue
+            response: Response = delivery.payload
+            req = self._outstanding.pop(response.req_id, None)
+            if req is None:  # pragma: no cover - defensive
+                continue
+            req.response = response
+            req.status = response.status
+            req.stages.update(response.stages)
+            # Network + delivery share of the server's response stage.
+            req.stages["server_response"] = (
+                response.stages.get("server_response", 0.0)
+                + (self.sim.now - response.sent_at))
+            if response.op == "get" and response.status == HIT:
+                req.value_length = response.value_length
+            req.cas_token = response.cas_token
+            req.t_complete = self.sim.now
+            req.complete.succeed(response)
+
+    # -- metrics --------------------------------------------------------------
+
+    def reset_metrics(self) -> None:
+        self.records.clear()
+        self.total_blocked = 0.0
+        self.t_first_issue = None
+        self.t_last_complete = 0.0
+
+    @property
+    def outstanding_count(self) -> int:
+        return len(self._outstanding)

@@ -1,0 +1,61 @@
+"""Key-to-server routing (libmemcached's distribution strategies)."""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Sequence
+
+
+def one_at_a_time(key: bytes) -> int:
+    """Jenkins one-at-a-time hash — libmemcached's default key hash."""
+    h = 0
+    for b in key:
+        h = (h + b) & 0xFFFFFFFF
+        h = (h + (h << 10)) & 0xFFFFFFFF
+        h ^= h >> 6
+    h = (h + (h << 3)) & 0xFFFFFFFF
+    h ^= h >> 11
+    h = (h + (h << 15)) & 0xFFFFFFFF
+    return h
+
+
+class ModuloRouter:
+    """``hash(key) % n`` — libmemcached's default distribution."""
+
+    def __init__(self, num_servers: int):
+        if num_servers < 1:
+            raise ValueError("need at least one server")
+        self.num_servers = num_servers
+
+    def server_for(self, key: bytes) -> int:
+        return one_at_a_time(key) % self.num_servers
+
+
+class KetamaRouter:
+    """Consistent hashing on a 160-point-per-server ring (ketama)."""
+
+    POINTS_PER_SERVER = 160
+
+    def __init__(self, num_servers: int):
+        if num_servers < 1:
+            raise ValueError("need at least one server")
+        self.num_servers = num_servers
+        ring: List[tuple[int, int]] = []
+        for idx in range(num_servers):
+            for p in range(self.POINTS_PER_SERVER // 4):
+                digest = hashlib.md5(f"server{idx}-{p}".encode()).digest()
+                for align in range(4):
+                    point = int.from_bytes(digest[align * 4:(align + 1) * 4],
+                                           "little")
+                    ring.append((point, idx))
+        ring.sort()
+        self._points = [p for p, _ in ring]
+        self._owners = [o for _, o in ring]
+
+    def server_for(self, key: bytes) -> int:
+        point = int.from_bytes(hashlib.md5(key).digest()[:4], "little")
+        i = bisect.bisect(self._points, point)
+        if i == len(self._points):
+            i = 0
+        return self._owners[i]

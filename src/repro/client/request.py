@@ -1,0 +1,111 @@
+"""The ``memcached_req`` structure and per-operation records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.server.protocol import Response
+from repro.sim import Event, Simulator
+
+
+class MemcachedReq:
+    """Handle for one outstanding (possibly non-blocking) operation.
+
+    Mirrors the paper's ``memcached_req``: a completion flag the user can
+    test or wait on, plus bookkeeping the runtime uses for buffer-reuse
+    guarantees and latency attribution.
+    """
+
+    __slots__ = (
+        "req_id", "op", "key", "value_length", "api",
+        "complete", "buffer_safe",
+        "status", "response", "cas_token",
+        "t_issue", "t_api_return", "t_complete",
+        "blocked_time", "stages", "server_index",
+    )
+
+    def __init__(self, sim: Simulator, req_id: int, op: str, key: bytes,
+                 value_length: int, api: str):
+        self.req_id = req_id
+        self.op = op
+        self.key = key
+        self.value_length = value_length
+        #: which API issued it: "set"/"get"/"iset"/"iget"/"bset"/"bget"
+        self.api = api
+        #: Triggers when the operation's completion reaches the client.
+        self.complete: Event = sim.event()
+        #: Triggers when the user's key/value buffers may be reused.
+        self.buffer_safe: Event = sim.event()
+        self.status: Optional[str] = None
+        self.response: Optional[Response] = None
+        #: CAS token observed on the last get / assigned by the store.
+        self.cas_token: int = 0
+        self.t_issue: float = 0.0
+        self.t_api_return: float = 0.0
+        self.t_complete: float = 0.0
+        #: Total time the client spent blocked inside API calls for this op.
+        self.blocked_time: float = 0.0
+        #: Six-stage breakdown (server stages + client-side additions).
+        self.stages: Dict[str, float] = {}
+        self.server_index: int = -1
+
+    @property
+    def done(self) -> bool:
+        return self.complete.triggered
+
+    @property
+    def latency(self) -> float:
+        """Issue-to-completion time (valid once done)."""
+        return self.t_complete - self.t_issue
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Share of the op's lifetime the client was free to compute.
+
+        1.0 means fully overlappable (client never blocked); 0.0 means
+        the client was blocked for the whole operation (blocking APIs).
+        """
+        life = self.t_complete - self.t_issue
+        if life <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.blocked_time / life)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self.status or ("pending" if not self.done else "done")
+        return f"<MemcachedReq #{self.req_id} {self.api} {self.key!r} {state}>"
+
+
+@dataclass
+class OpRecord:
+    """Immutable per-operation record kept for metrics."""
+
+    op: str
+    api: str
+    key_length: int
+    value_length: int
+    status: str
+    t_issue: float
+    t_complete: float
+    blocked_time: float
+    stages: Dict[str, float] = field(default_factory=dict)
+    server_index: int = -1
+
+    @property
+    def latency(self) -> float:
+        return self.t_complete - self.t_issue
+
+    @property
+    def overlap_fraction(self) -> float:
+        life = self.latency
+        if life <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.blocked_time / life)
+
+    @classmethod
+    def from_req(cls, req: MemcachedReq) -> "OpRecord":
+        return cls(op=req.op, api=req.api, key_length=len(req.key),
+                   value_length=req.value_length, status=req.status or "?",
+                   t_issue=req.t_issue, t_complete=req.t_complete,
+                   blocked_time=req.blocked_time, stages=dict(req.stages),
+                   server_index=req.server_index)

@@ -1,0 +1,17 @@
+"""Design profiles, cluster construction, and metric collection."""
+
+from repro.core import metrics, profiles
+from repro.core.cluster import Cluster, ClusterSpec, build_cluster
+from repro.core.profiles import ALL_PROFILES, ALL_SIX, BASELINES, DesignProfile
+
+__all__ = [
+    "profiles",
+    "metrics",
+    "DesignProfile",
+    "ALL_PROFILES",
+    "ALL_SIX",
+    "BASELINES",
+    "Cluster",
+    "ClusterSpec",
+    "build_cluster",
+]

@@ -1,0 +1,179 @@
+"""Cluster construction: wire clients, servers, fabric, and backend.
+
+``build_cluster`` turns a :class:`~repro.core.profiles.DesignProfile`
+plus sizing knobs into a ready-to-run deployment: one fabric, N servers
+on their own nodes, M clients spread over a configurable number of
+client nodes (sharing NICs like the paper's 100-clients-on-32-nodes
+setup), full client-server connectivity, and a shared backend database
+for miss penalties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.client.backend import BackendDatabase
+from repro.client.client import ClientConfig, MemcachedClient
+from repro.client.hashing import ModuloRouter
+from repro.core.profiles import DesignProfile
+from repro.net.fabric import Fabric
+from repro.net.params import FDR_IPOIB, FDR_RDMA, LinkParams
+from repro.net.transport import connect_ipoib, connect_rdma
+from repro.server.server import MemcachedServer, ServerConfig, ServerCosts
+from repro.sim import Simulator
+from repro.storage.params import (
+    DeviceParams,
+    PageCacheParams,
+    SATA_SSD,
+)
+from repro.units import GB, MB, MS
+
+
+@dataclass
+class ClusterSpec:
+    """Sizing and substrate knobs for :func:`build_cluster`."""
+
+    num_servers: int = 1
+    num_clients: int = 1
+    #: Physical client nodes; clients share NICs when fewer than clients.
+    client_nodes: Optional[int] = None
+    #: Memory limit **per server**.
+    server_mem: int = 1 * GB
+    #: SSD budget **per server** (hybrid designs).
+    ssd_limit: int = 4 * GB
+    device: DeviceParams = SATA_SSD
+    page_size: int = 1 * MB
+    backend_penalty: float = 2 * MS
+    recv_credits: int = 16
+    worker_threads: int = 8
+    pagecache: PageCacheParams = field(default_factory=PageCacheParams)
+    costs: ServerCosts = field(default_factory=ServerCosts)
+    rdma_params: LinkParams = FDR_RDMA
+    ipoib_params: LinkParams = FDR_IPOIB
+    promote_policy: str = "always"
+    victim_policy: str = "coldest"
+    adaptive_cutoff: int = 32 * 1024
+    #: Asynchronous SSD flushes (the paper's future-work extension).
+    async_flush: bool = False
+    flush_buffers: int = 4
+    #: Slab automover (memcached's rebalancer) for shifting workloads.
+    automove: bool = False
+    #: Schedule GETs ahead of SETs in the server worker queue.
+    get_priority: bool = False
+    record_ops: bool = True
+
+
+class Cluster:
+    """A deployed simulation: fabric + servers + clients + backend."""
+
+    def __init__(self, sim: Simulator, profile: DesignProfile,
+                 spec: ClusterSpec, servers: List[MemcachedServer],
+                 clients: List[MemcachedClient], backend: BackendDatabase,
+                 fabric: Fabric):
+        self.sim = sim
+        self.profile = profile
+        self.spec = spec
+        self.servers = servers
+        self.clients = clients
+        self.backend = backend
+        self.fabric = fabric
+
+    def run(self, until=None):
+        return self.sim.run(until=until)
+
+    # -- experiment setup ----------------------------------------------------
+
+    def preload(self, pairs: Sequence[Tuple[bytes, int]]) -> int:
+        """Load key-value pairs into the servers, routed exactly as the
+        clients will route their requests (zero simulated time)."""
+        router = ModuloRouter(len(self.servers))
+        n = 0
+        for key, value_length in pairs:
+            self.servers[router.server_for(key)].manager.preload(
+                key, value_length)
+            n += 1
+        return n
+
+    def reset_metrics(self) -> None:
+        for c in self.clients:
+            c.reset_metrics()
+
+    # -- metric access ---------------------------------------------------------
+
+    def all_records(self):
+        out = []
+        for c in self.clients:
+            out.extend(c.records)
+        return out
+
+    @property
+    def total_items(self) -> int:
+        return sum(len(s.manager.table) for s in self.servers)
+
+
+def build_cluster(profile: DesignProfile,
+                  spec: Optional[ClusterSpec] = None,
+                  sim: Optional[Simulator] = None,
+                  value_length_for: Optional[Callable[[bytes], int]] = None,
+                  **spec_overrides) -> Cluster:
+    """Assemble a cluster for one design profile.
+
+    ``spec_overrides`` are convenience keyword overrides applied to a
+    default :class:`ClusterSpec` (e.g. ``num_servers=4``).
+    """
+    if spec is None:
+        spec = ClusterSpec(**spec_overrides)
+    elif spec_overrides:
+        raise TypeError("pass either spec or keyword overrides, not both")
+    sim = sim or Simulator()
+    fabric = Fabric(sim)
+    backend = BackendDatabase(sim, penalty=spec.backend_penalty,
+                              value_length_for=value_length_for)
+
+    server_cfg = ServerConfig(
+        mem_limit=spec.server_mem,
+        page_size=spec.page_size,
+        ssd=spec.device if profile.hybrid else None,
+        ssd_limit=spec.ssd_limit,
+        io_policy=profile.io_policy,
+        adaptive_cutoff=spec.adaptive_cutoff,
+        promote_policy=spec.promote_policy,
+        victim_policy=spec.victim_policy,
+        worker_threads=spec.worker_threads,
+        recv_credits=spec.recv_credits,
+        early_ack=profile.early_ack,
+        async_flush=spec.async_flush,
+        flush_buffers=spec.flush_buffers,
+        automove=spec.automove,
+        get_priority=spec.get_priority,
+        pagecache=spec.pagecache,
+        costs=spec.costs,
+    )
+    servers = []
+    for i in range(spec.num_servers):
+        server = MemcachedServer(sim, server_cfg, name=f"server{i}")
+        server.start()
+        servers.append(server)
+
+    client_cfg = ClientConfig(nonblocking_allowed=profile.nonblocking,
+                              record_ops=spec.record_ops)
+    n_nodes = spec.client_nodes or spec.num_clients
+    clients = []
+    for i in range(spec.num_clients):
+        client = MemcachedClient(sim, name=f"client{i}", config=client_cfg,
+                                 backend=backend)
+        client_node = fabric.node(f"cnode{i % n_nodes}")
+        for j, server in enumerate(servers):
+            server_node = fabric.node(f"snode{j}")
+            if profile.rdma:
+                cli_ep, srv_ep = connect_rdma(sim, client_node, server_node,
+                                              spec.rdma_params)
+            else:
+                cli_ep, srv_ep = connect_ipoib(sim, client_node, server_node,
+                                               spec.ipoib_params)
+            server.attach(srv_ep)
+            client.add_server(cli_ep, server)
+        clients.append(client)
+
+    return Cluster(sim, profile, spec, servers, clients, backend, fabric)

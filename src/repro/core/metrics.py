@@ -1,0 +1,196 @@
+"""Metric aggregation over per-operation records.
+
+Implements the measurement definitions of DESIGN.md §6:
+
+* **mean/percentile latency** over blocking operations;
+* **effective latency** for non-blocking runs: issue-to-drain span
+  divided by the number of operations (how the paper's modified
+  micro-benchmark reports non-blocking Set/Get latency);
+* **six-stage breakdown** (Section III-A): server-measured stages plus
+  the derived *client wait* residual and the *miss penalty*;
+* **overlap%** (Figure 7a): average share of an operation's lifetime
+  during which the client was not blocked in a client API call;
+* **throughput** in operations/second across many clients (Figure 7c).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.client.request import OpRecord
+
+#: Stage keys in presentation order (Figure 2 legend).
+STAGE_KEYS = (
+    "slab_alloc",
+    "cache_check_load",
+    "cache_update",
+    "server_response",
+    "client_wait",
+    "miss_penalty",
+)
+
+
+def filter_records(records: Iterable[OpRecord], op: Optional[str] = None,
+                   status: Optional[str] = None) -> List[OpRecord]:
+    out = []
+    for r in records:
+        if op is not None and r.op != op:
+            continue
+        if status is not None and r.status != status:
+            continue
+        out.append(r)
+    return out
+
+
+def mean_latency(records: Sequence[OpRecord]) -> float:
+    if not records:
+        return 0.0
+    return sum(r.latency for r in records) / len(records)
+
+
+def percentile_latency(records: Sequence[OpRecord], q: float) -> float:
+    """q in [0, 100]; nearest-rank percentile."""
+    if not records:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    lat = sorted(r.latency for r in records)
+    rank = max(1, math.ceil(q / 100 * len(lat)))
+    return lat[rank - 1]
+
+
+def effective_latency(records: Sequence[OpRecord]) -> float:
+    """Pipelined per-op latency: total span / op count.
+
+    For blocking single-client runs this equals the mean latency (ops
+    are back-to-back); for windowed non-blocking runs it is the latency
+    the application actually experiences per operation.
+    """
+    if not records:
+        return 0.0
+    start = min(r.t_issue for r in records)
+    end = max(r.t_complete for r in records)
+    return (end - start) / len(records)
+
+
+def mean_blocked(records: Sequence[OpRecord]) -> float:
+    if not records:
+        return 0.0
+    return sum(r.blocked_time for r in records) / len(records)
+
+
+def overlap_percent(records: Sequence[OpRecord]) -> float:
+    """Average of per-op overlap fractions, as a percentage."""
+    if not records:
+        return 0.0
+    return 100.0 * sum(r.overlap_fraction for r in records) / len(records)
+
+
+def throughput(records: Sequence[OpRecord]) -> float:
+    """Completed operations per second over the records' active span."""
+    if not records:
+        return 0.0
+    start = min(r.t_issue for r in records)
+    end = max(r.t_complete for r in records)
+    span = end - start
+    if span <= 0:
+        return 0.0
+    return len(records) / span
+
+
+def stage_breakdown(records: Sequence[OpRecord]) -> Dict[str, float]:
+    """Average per-op time in each of the paper's six stages (seconds).
+
+    Server-measured stages come straight from the responses. *Client
+    wait* is the residual blocking time not attributable to a server
+    stage or the miss penalty — for blocking APIs it is dominated by
+    request transmission and server queueing; for non-blocking APIs it
+    is near zero (the client was barely blocked at all).
+    """
+    out = {k: 0.0 for k in STAGE_KEYS}
+    if not records:
+        return out
+    n = len(records)
+    for r in records:
+        attributed = 0.0
+        for k in ("slab_alloc", "cache_check_load", "cache_update",
+                  "server_response", "miss_penalty"):
+            v = r.stages.get(k, 0.0)
+            out[k] += v
+            attributed += v
+        out["client_wait"] += max(0.0, r.blocked_time - attributed)
+    return {k: v / n for k, v in out.items()}
+
+
+def server_distribution(records: Sequence[OpRecord]) -> Dict[int, int]:
+    """Operations per server index (key-routing balance check)."""
+    out: Dict[int, int] = {}
+    for r in records:
+        out[r.server_index] = out.get(r.server_index, 0) + 1
+    return out
+
+
+def load_imbalance(records: Sequence[OpRecord]) -> float:
+    """max/mean per-server op count (1.0 = perfectly balanced)."""
+    dist = server_distribution(records)
+    if not dist:
+        return 0.0
+    mean = sum(dist.values()) / len(dist)
+    return max(dist.values()) / mean if mean else 0.0
+
+
+def miss_rate(records: Sequence[OpRecord]) -> float:
+    gets = filter_records(records, op="get")
+    if not gets:
+        return 0.0
+    misses = sum(1 for r in gets if r.stages.get("miss_penalty", 0.0) > 0
+                 or r.status == "MISS")
+    return misses / len(gets)
+
+
+def latency_histogram(records: Sequence[OpRecord],
+                      buckets: int = 16) -> List[tuple]:
+    """Log-spaced latency histogram: [(upper_bound_seconds, count)].
+
+    Log spacing suits latency's heavy tail (a miss is 100x a hit).
+    """
+    if buckets < 1:
+        raise ValueError("need at least one bucket")
+    lats = [r.latency for r in records if r.latency > 0]
+    if not lats:
+        return []
+    lo, hi = min(lats), max(lats)
+    if lo == hi:
+        return [(hi, len(lats))]
+    ratio = (hi / lo) ** (1.0 / buckets)
+    bounds = [lo * ratio ** (i + 1) for i in range(buckets)]
+    bounds[-1] = hi  # close the range exactly
+    counts = [0] * buckets
+    for lat in lats:
+        for i, b in enumerate(bounds):
+            if lat <= b * (1 + 1e-12):
+                counts[i] += 1
+                break
+    return list(zip(bounds, counts))
+
+
+def latency_cdf(records: Sequence[OpRecord],
+                points: Sequence[float] = (50, 90, 95, 99, 99.9),
+                ) -> Dict[float, float]:
+    """Latency at the given percentiles, as {percentile: seconds}."""
+    return {q: percentile_latency(records, min(q, 100.0)) for q in points}
+
+
+def summarize(records: Sequence[OpRecord]) -> Dict[str, float]:
+    """One-look summary used by the harness report tables."""
+    return {
+        "ops": float(len(records)),
+        "mean_latency": mean_latency(records),
+        "effective_latency": effective_latency(records),
+        "p99_latency": percentile_latency(records, 99),
+        "throughput": throughput(records),
+        "overlap_pct": overlap_percent(records),
+        "miss_rate": miss_rate(records),
+        "mean_blocked": mean_blocked(records),
+    }

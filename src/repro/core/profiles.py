@@ -1,0 +1,132 @@
+"""The six Memcached designs the paper evaluates, as profiles.
+
+A :class:`DesignProfile` bundles everything that distinguishes one
+design: transport, hybrid-memory support, server I/O policy, the
+optimized runtime (early acks), and which client API the design's
+experiments use. Profile names follow the paper:
+
+========================  ==================================================
+profile                   paper meaning
+========================  ==================================================
+``IPOIB_MEM``             default memcached + libmemcached over IP-over-IB
+``RDMA_MEM``              in-memory RDMA-Memcached [10]
+``H_RDMA_DEF``            existing SSD-assisted hybrid RDMA design [17]
+                          (direct I/O, blocking API) — a.k.a.
+                          H-RDMA-Def-Block in Figs 7-8
+``H_RDMA_OPT_BLOCK``      + adaptive I/O and optimized server, blocking API
+``H_RDMA_OPT_NONB_B``     + non-blocking ``bset``/``bget``
+``H_RDMA_OPT_NONB_I``     + purely non-blocking ``iset``/``iget``
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Client API styles used by a design's experiments.
+BLOCKING = "blocking"
+NONB_B = "nonb-b"  # bset/bget
+NONB_I = "nonb-i"  # iset/iget
+
+
+@dataclass(frozen=True)
+class DesignProfile:
+    """One row of the design space (and of Table I)."""
+
+    key: str
+    label: str
+    transport: str  # "rdma" | "ipoib"
+    hybrid: bool
+    io_policy: str  # "direct" | "adaptive"
+    early_ack: bool
+    nonblocking: bool  # client may use iset/iget/bset/bget
+    api: str  # default API style for experiments
+    description: str = ""
+
+    def __post_init__(self):
+        if self.transport not in ("rdma", "ipoib"):
+            raise ValueError(f"bad transport {self.transport!r}")
+        if self.io_policy not in ("direct", "adaptive"):
+            raise ValueError(f"bad io_policy {self.io_policy!r}")
+        if self.api not in (BLOCKING, NONB_B, NONB_I):
+            raise ValueError(f"bad api {self.api!r}")
+        if self.api != BLOCKING and not self.nonblocking:
+            raise ValueError("non-blocking api on a blocking-only design")
+
+    @property
+    def rdma(self) -> bool:
+        return self.transport == "rdma"
+
+
+IPOIB_MEM = DesignProfile(
+    key="ipoib-mem", label="IPoIB-Mem", transport="ipoib", hybrid=False,
+    io_policy="direct", early_ack=False, nonblocking=False, api=BLOCKING,
+    description="Default Memcached/libmemcached over IP-over-IB [3,1]")
+
+RDMA_MEM = DesignProfile(
+    key="rdma-mem", label="RDMA-Mem", transport="rdma", hybrid=False,
+    io_policy="direct", early_ack=False, nonblocking=False, api=BLOCKING,
+    description="In-memory RDMA-based Memcached [10]")
+
+FATCACHE = DesignProfile(
+    key="fatcache", label="FatCache", transport="ipoib", hybrid=True,
+    io_policy="direct", early_ack=False, nonblocking=False, api=BLOCKING,
+    description="FatCache-style baseline [7]: SSD-backed hybrid cache "
+                "over TCP (no RDMA) — Table I's fourth comparator, "
+                "approximated on this substrate")
+
+H_RDMA_DEF = DesignProfile(
+    key="h-rdma-def", label="H-RDMA-Def", transport="rdma", hybrid=True,
+    io_policy="direct", early_ack=False, nonblocking=False, api=BLOCKING,
+    description="Existing SSD-assisted hybrid RDMA-Memcached [17]: "
+                "synchronous direct-I/O slab flushes, blocking APIs")
+
+H_RDMA_OPT_BLOCK = DesignProfile(
+    key="h-rdma-opt-block", label="H-RDMA-Opt-Block", transport="rdma",
+    hybrid=True, io_policy="adaptive", early_ack=True, nonblocking=False,
+    api=BLOCKING,
+    description="Proposed server-side optimizations (adaptive slab I/O, "
+                "optimized runtime) with the blocking APIs")
+
+H_RDMA_OPT_NONB_B = DesignProfile(
+    key="h-rdma-opt-nonb-b", label="H-RDMA-Opt-NonB-b", transport="rdma",
+    hybrid=True, io_policy="adaptive", early_ack=True, nonblocking=True,
+    api=NONB_B,
+    description="Proposed design with buffer-reuse-guaranteeing "
+                "non-blocking bset/bget")
+
+H_RDMA_OPT_NONB_I = DesignProfile(
+    key="h-rdma-opt-nonb-i", label="H-RDMA-Opt-NonB-i", transport="rdma",
+    hybrid=True, io_policy="adaptive", early_ack=True, nonblocking=True,
+    api=NONB_I,
+    description="Proposed design with purely non-blocking iset/iget")
+
+ALL_PROFILES = {
+    p.key: p for p in (
+        IPOIB_MEM, RDMA_MEM, FATCACHE, H_RDMA_DEF,
+        H_RDMA_OPT_BLOCK, H_RDMA_OPT_NONB_B, H_RDMA_OPT_NONB_I,
+    )
+}
+
+#: The designs of the motivating experiments (Figures 1 and 2).
+BASELINES = (IPOIB_MEM, RDMA_MEM, H_RDMA_DEF)
+
+#: The full comparison of Figure 6.
+ALL_SIX = (IPOIB_MEM, RDMA_MEM, H_RDMA_DEF,
+           H_RDMA_OPT_BLOCK, H_RDMA_OPT_NONB_B, H_RDMA_OPT_NONB_I)
+
+
+def feature_matrix() -> list[dict]:
+    """Rows of the paper's Table I (including non-runnable FatCache)."""
+    return [
+        {"design": "IPoIB-Mem [3]", "rdma": False, "hybrid_ssd": False,
+         "adaptive_io": False, "nvme": False, "nonblocking_api": False},
+        {"design": "RDMA-Mem [10]", "rdma": True, "hybrid_ssd": False,
+         "adaptive_io": False, "nvme": False, "nonblocking_api": False},
+        {"design": "FatCache [7]", "rdma": False, "hybrid_ssd": True,
+         "adaptive_io": False, "nvme": False, "nonblocking_api": False},
+        {"design": "H-RDMA-Def [17]", "rdma": True, "hybrid_ssd": True,
+         "adaptive_io": False, "nvme": False, "nonblocking_api": False},
+        {"design": "This Paper", "rdma": True, "hybrid_ssd": True,
+         "adaptive_io": True, "nvme": True, "nonblocking_api": True},
+    ]

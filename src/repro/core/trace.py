@@ -1,0 +1,79 @@
+"""Per-operation trace export/import (CSV and JSON-lines).
+
+Experiments produce lists of :class:`~repro.client.request.OpRecord`;
+these helpers persist them for offline analysis/plotting and load them
+back. The CSV flattens the six-stage breakdown into ``stage_*`` columns.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from repro.client.request import OpRecord
+from repro.core.metrics import STAGE_KEYS
+
+_BASE_FIELDS = ("op", "api", "key_length", "value_length", "status",
+                "t_issue", "t_complete", "blocked_time", "server_index")
+
+
+def to_dicts(records: Iterable[OpRecord]) -> List[dict]:
+    """Flatten records (stages become ``stage_<name>`` keys)."""
+    out = []
+    for r in records:
+        d = {f: getattr(r, f) for f in _BASE_FIELDS}
+        for stage in STAGE_KEYS:
+            d[f"stage_{stage}"] = r.stages.get(stage, 0.0)
+        out.append(d)
+    return out
+
+
+def _from_dict(d: dict) -> OpRecord:
+    stages = {stage: float(d.get(f"stage_{stage}", 0.0) or 0.0)
+              for stage in STAGE_KEYS}
+    stages = {k: v for k, v in stages.items() if v}
+    return OpRecord(
+        op=d["op"], api=d["api"], key_length=int(d["key_length"]),
+        value_length=int(d["value_length"]), status=d["status"],
+        t_issue=float(d["t_issue"]), t_complete=float(d["t_complete"]),
+        blocked_time=float(d["blocked_time"]), stages=stages,
+        server_index=int(d["server_index"]))
+
+
+def write_csv(records: Sequence[OpRecord],
+              path: Union[str, Path]) -> Path:
+    """Dump records as CSV; returns the path written."""
+    path = Path(path)
+    fields = list(_BASE_FIELDS) + [f"stage_{s}" for s in STAGE_KEYS]
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        writer.writerows(to_dicts(records))
+    return path
+
+
+def read_csv(path: Union[str, Path]) -> List[OpRecord]:
+    with Path(path).open() as fh:
+        return [_from_dict(row) for row in csv.DictReader(fh)]
+
+
+def write_jsonl(records: Sequence[OpRecord],
+                path: Union[str, Path]) -> Path:
+    """Dump records as JSON-lines; returns the path written."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for d in to_dicts(records):
+            fh.write(json.dumps(d) + "\n")
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> List[OpRecord]:
+    out = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(_from_dict(json.loads(line)))
+    return out

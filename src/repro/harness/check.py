@@ -1,0 +1,118 @@
+"""Artifact-evaluation check: do the paper's claims still reproduce?
+
+``run_checks`` executes the headline experiments and grades each
+encoded claim (``repro.harness.paper``) against the measurement,
+returning structured verdicts. ``python -m repro check`` prints them.
+Three grades:
+
+* ``PASS`` — measured value inside the paper's reported range (with
+  the per-claim slack the shape tests use);
+* ``SHAPE`` — outside the range but the *direction* holds (the right
+  design wins, by a compressed/stretched factor), which is the
+  expected outcome for a calibrated simulator;
+* ``FAIL`` — the direction itself is wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.harness import figures, paper
+
+
+@dataclass
+class Verdict:
+    claim: paper.Claim
+    measured: float
+    grade: str  # PASS | SHAPE | FAIL
+
+    @property
+    def row(self) -> dict:
+        return {
+            "figure": self.claim.figure,
+            "claim": self.claim.description,
+            "paper": f"{self.claim.low:g}-{self.claim.high:g}",
+            "measured": f"{self.measured:.2f}",
+            "grade": self.grade,
+        }
+
+
+def _grade(claim: paper.Claim, measured: float, slack: float = 0.25,
+           direction_floor: float = 1.0) -> Verdict:
+    if claim.contains(measured, slack=slack):
+        grade = "PASS"
+    elif measured > direction_floor:
+        grade = "SHAPE"
+    else:
+        grade = "FAIL"
+    return Verdict(claim, measured, grade)
+
+
+def run_checks(scale: int = 16, ops: int = 1200) -> List[Verdict]:
+    """Run the headline experiments and grade every claim they cover."""
+    verdicts: List[Verdict] = []
+
+    fig6 = figures.fig6(scale=scale, ops=ops)
+
+    def lat(regime, label):
+        return next(r["latency"] for r in fig6[regime]
+                    if r["design"] == label)
+
+    verdicts.append(_grade(
+        paper.FIG1_DEF_DEGRADATION,
+        lat("nofit", "H-RDMA-Def") / lat("fit", "H-RDMA-Def")))
+    verdicts.append(_grade(
+        paper.FIG1_RDMA_VS_IPOIB_FIT,
+        lat("fit", "IPoIB-Mem") / lat("fit", "RDMA-Mem")))
+    verdicts.append(_grade(
+        paper.FIG6_NONB_OVER_DEF,
+        lat("nofit", "H-RDMA-Def") / lat("nofit", "H-RDMA-Opt-NonB-i")))
+    verdicts.append(_grade(
+        paper.FIG6_OPT_BLOCK_OVER_DEF,
+        lat("nofit", "H-RDMA-Def") / lat("nofit", "H-RDMA-Opt-Block")))
+    verdicts.append(_grade(
+        paper.FIG6_NONB_OVER_OPT_BLOCK,
+        lat("nofit", "H-RDMA-Opt-Block")
+        / lat("nofit", "H-RDMA-Opt-NonB-i")))
+    verdicts.append(_grade(
+        paper.FIG6_NONB_OVER_IPOIB,
+        lat("fit", "IPoIB-Mem") / lat("fit", "H-RDMA-Opt-NonB-i")))
+
+    fig7a = figures.fig7a(scale=scale, ops=ops)
+
+    def overlap(api, workload):
+        return next(r["overlap_pct"] for r in fig7a
+                    if r["api"] == api and r["workload"] == workload)
+
+    # Overlap claims are absolute percentages: no direction grading —
+    # outside the range with the right ordering still counts as SHAPE.
+    for claim, value in (
+            (paper.FIG7A_BLOCK_OVERLAP, overlap("RDMA-Block", "read-only")),
+            (paper.FIG7A_NONB_I_OVERLAP,
+             overlap("RDMA-NonB-i", "write-heavy")),
+            (paper.FIG7A_NONB_B_READ_OVERLAP,
+             overlap("RDMA-NonB-b", "read-only")),
+            (paper.FIG7A_NONB_B_WRITE_OVERLAP,
+             overlap("RDMA-NonB-b", "write-heavy"))):
+        grade = "PASS" if claim.contains(value, slack=0.15) else "SHAPE"
+        verdicts.append(Verdict(claim, value, grade))
+
+    fig7c = figures.fig7c(scale=scale)
+    by = {r["design"]: r["throughput"] for r in fig7c}
+    verdicts.append(_grade(
+        paper.FIG7C_NONB_THROUGHPUT_GAIN,
+        by["H-RDMA-Opt-NonB-i"] / by["H-RDMA-Def-Block"]))
+    verdicts.append(_grade(
+        paper.FIG7C_ADAPTIVE_IO_GAIN,
+        by["H-RDMA-Opt-Block"] / by["H-RDMA-Def-Block"]))
+
+    return verdicts
+
+
+def summarize_verdicts(verdicts: List[Verdict]) -> dict:
+    return {
+        "PASS": sum(1 for v in verdicts if v.grade == "PASS"),
+        "SHAPE": sum(1 for v in verdicts if v.grade == "SHAPE"),
+        "FAIL": sum(1 for v in verdicts if v.grade == "FAIL"),
+    }

@@ -1,0 +1,93 @@
+"""Reference numbers the paper reports, for shape checks.
+
+These are the claims from the paper's abstract and Section VI, encoded
+as (min, max) ranges where the paper gives ranges. The reproduction is
+a simulator, so EXPERIMENTS.md compares *shapes/ratios*, and the shape
+tests assert with generous tolerance (direction and rough magnitude,
+not exact values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One quantitative claim: a ratio between two designs."""
+
+    figure: str
+    description: str
+    low: float
+    high: float
+
+    def contains(self, value: float, slack: float = 0.0) -> bool:
+        return (self.low * (1 - slack)) <= value <= (self.high * (1 + slack))
+
+
+# -- Figure 1 / Section III ------------------------------------------------
+
+#: H-RDMA-Def latency degradation when data stops fitting in memory.
+FIG1_DEF_DEGRADATION = Claim(
+    "fig1", "H-RDMA-Def no-fit vs fit latency", 15.0, 17.0)
+
+#: RDMA designs beat IPoIB when data fits.
+FIG1_RDMA_VS_IPOIB_FIT = Claim(
+    "fig1a", "IPoIB-Mem / RDMA-Mem latency, data fits", 1.5, 6.0)
+
+# -- Figure 6 / Section VI-C -------------------------------------------------
+
+FIG6_NONB_OVER_DEF = Claim(
+    "fig6b", "H-RDMA-Def / H-RDMA-Opt-NonB latency, no fit", 10.0, 16.0)
+
+FIG6_NONB_OVER_OPT_BLOCK = Claim(
+    "fig6b", "H-RDMA-Opt-Block / NonB latency, no fit", 3.3, 8.0)
+
+FIG6_OPT_BLOCK_OVER_DEF = Claim(
+    "fig6b", "H-RDMA-Def / H-RDMA-Opt-Block latency, no fit", 1.5, 3.0)
+
+FIG6_NONB_OVER_IPOIB = Claim(
+    "fig6", "IPoIB-Mem / NonB latency", 2.0, 5.0)  # paper: up to 3.6x
+
+# -- Figure 7(a) / Section VI-D ------------------------------------------------
+
+FIG7A_NONB_I_OVERLAP = Claim("fig7a", "NonB-i overlap %", 80.0, 100.0)
+FIG7A_NONB_B_READ_OVERLAP = Claim("fig7a", "NonB-b read-only overlap %",
+                                  70.0, 100.0)
+FIG7A_NONB_B_WRITE_OVERLAP = Claim("fig7a", "NonB-b write-heavy overlap %",
+                                   0.0, 25.0)
+FIG7A_BLOCK_OVERLAP = Claim("fig7a", "Blocking overlap %", 0.0, 8.0)
+
+# -- Figure 7(b) -----------------------------------------------------------------
+
+FIG7B_NONB_IMPROVEMENT_PCT = Claim(
+    "fig7b", "NonB latency reduction vs Block (%), across KV sizes",
+    50.0, 95.0)  # paper: 65-89%
+
+# -- Figure 7(c) / Section VI-E ----------------------------------------------------
+
+FIG7C_NONB_THROUGHPUT_GAIN = Claim(
+    "fig7c", "NonB / Block aggregate throughput", 1.6, 3.5)  # paper: 2-2.5x
+
+FIG7C_ADAPTIVE_IO_GAIN = Claim(
+    "fig7c", "Opt-Block / Def-Block throughput", 1.1, 2.5)  # paper: ~1.3x
+
+# -- Figure 8(a) / Section VI-F ------------------------------------------------------
+
+FIG8A_OPT_BLOCK_IMPROVEMENT_PCT = Claim(
+    "fig8a", "Opt-Block latency reduction vs Def-Block (%)", 40.0, 95.0)
+FIG8A_NONB_IMPROVEMENT_PCT = Claim(
+    "fig8a", "NonB latency reduction vs Opt-Block (%)", 30.0, 95.0)
+
+#: Benefits larger on SATA than NVMe (higher SSD latency to hide).
+FIG8A_SATA_BENEFIT_GT_NVME = Claim(
+    "fig8a", "SATA improvement minus NVMe improvement (pp)", 0.0, 100.0)
+
+# -- Figure 8(b) / Section VI-G ---------------------------------------------------------
+
+FIG8B_NONB_BLOCK_LATENCY_IMPROVEMENT_PCT = Claim(
+    "fig8b", "NonB-i block-latency reduction vs Opt-Block (%)", 60.0, 95.0)
+# paper: 79-85%; larger blocks benefit more.
+
+
+ALL_CLAIMS = [v for v in list(globals().values()) if isinstance(v, Claim)]

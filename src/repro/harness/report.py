@@ -1,0 +1,81 @@
+"""ASCII report tables for bench output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.units import MS, US
+
+
+def fmt_us(seconds: float) -> str:
+    """Human latency: µs below 1 ms, ms above."""
+    if seconds >= 1 * MS:
+        return f"{seconds / MS:.2f} ms"
+    return f"{seconds / US:.1f} us"
+
+
+def fmt_ratio(x: float) -> str:
+    return f"{x:.2f}x"
+
+
+def fmt_pct(x: float) -> str:
+    return f"{x:.1f}%"
+
+
+def ascii_table(rows: Sequence[Dict[str, object]],
+                columns: Optional[Sequence[str]] = None,
+                title: Optional[str] = None) -> str:
+    """Render dict rows as a fixed-width table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[str(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells))
+              for i, c in enumerate(cols)]
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append("| " + " | ".join(c.ljust(w) for c, w in zip(cols, widths)) + " |")
+    out.append(sep)
+    for row in cells:
+        out.append("| " + " | ".join(v.ljust(w) for v, w in zip(row, widths)) + " |")
+    out.append(sep)
+    return "\n".join(out)
+
+
+def ascii_bars(values: Dict[str, float], width: int = 48,
+               title: Optional[str] = None,
+               fmt=fmt_us) -> str:
+    """Horizontal ASCII bar chart (for latency/stage comparisons).
+
+    Bars are scaled to the largest value; each line shows label, bar,
+    and the formatted value.
+    """
+    if not values:
+        return f"{title or 'chart'}: (no data)"
+    label_w = max(len(str(k)) for k in values)
+    peak = max(values.values()) or 1.0
+    out: List[str] = []
+    if title:
+        out.append(title)
+    for label, value in values.items():
+        bar = "#" * max(1 if value > 0 else 0,
+                        round(width * value / peak))
+        out.append(f"{str(label).ljust(label_w)} | "
+                   f"{bar.ljust(width)} {fmt(value)}")
+    return "\n".join(out)
+
+
+def markdown_table(rows: Sequence[Dict[str, object]],
+                   columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    out = ["| " + " | ".join(cols) + " |",
+           "|" + "|".join("---" for _ in cols) + "|"]
+    for r in rows:
+        out.append("| " + " | ".join(str(r.get(c, "")) for c in cols) + " |")
+    return "\n".join(out)

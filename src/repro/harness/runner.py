@@ -1,0 +1,163 @@
+"""Drive generated workloads against a cluster and collect metrics."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import metrics
+from repro.core.cluster import Cluster, ClusterSpec, build_cluster
+from repro.core.profiles import BLOCKING, NONB_B, NONB_I, DesignProfile
+from repro.client.request import OpRecord
+from repro.workloads.generator import Op, WorkloadSpec, generate_ops, make_dataset
+
+#: Outstanding-request cap for non-blocking drivers. Bounds client-side
+#: queue growth the way a real application naturally would (it has a
+#: finite number of buffers); large enough to keep the pipeline full.
+DEFAULT_WINDOW = 64
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs from one run."""
+
+    profile_key: str
+    api: str
+    records: List[OpRecord]
+    span: float  # first issue -> last completion (seconds)
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ops(self) -> int:
+        return len(self.records)
+
+
+def setup_cluster(profile: DesignProfile, spec: WorkloadSpec,
+                  preload: bool = True,
+                  cluster_spec: Optional[ClusterSpec] = None,
+                  **spec_overrides) -> Cluster:
+    """Build a cluster, wire backend value sizes, optionally preload.
+
+    The backend returns the workload's value size for any key, so miss
+    repopulation keeps the dataset shape intact.
+    """
+    cluster = build_cluster(profile, spec=cluster_spec,
+                            value_length_for=spec.value_length_for,
+                            **spec_overrides)
+    if preload:
+        cluster.preload(make_dataset(spec))
+    return cluster
+
+
+def _drive_blocking(client, ops: Sequence[Op], mget_batch: int = 0):
+    """Blocking driver; with ``mget_batch`` > 1, consecutive reads are
+    coalesced into memcached_mget batches (how production web tiers
+    fetch the many keys of one page render)."""
+    pending_reads: list = []
+
+    def flush_reads():
+        if len(pending_reads) == 1:
+            yield from client.get(pending_reads[0])
+        elif pending_reads:
+            yield from client.mget(list(pending_reads))
+        pending_reads.clear()
+
+    for op in ops:
+        if op.kind == "get" and mget_batch > 1:
+            pending_reads.append(op.key)
+            if len(pending_reads) >= mget_batch:
+                yield from flush_reads()
+            continue
+        yield from flush_reads()
+        if op.kind == "get":
+            yield from client.get(op.key)
+        elif op.kind == "rmw":
+            # Read-modify-write (YCSB F): read, then write back.
+            yield from client.get(op.key)
+            yield from client.set(op.key, op.value_length)
+        else:
+            yield from client.set(op.key, op.value_length)
+    yield from flush_reads()
+
+
+def _drive_nonblocking(client, ops: Sequence[Op], api: str, window: int):
+    issue_set = client.iset if api == NONB_I else client.bset
+    issue_get = client.iget if api == NONB_I else client.bget
+    inflight = deque()
+    for op in ops:
+        if len(inflight) >= window:
+            yield from client.wait(inflight.popleft())
+        if op.kind == "get":
+            req = yield from issue_get(op.key)
+        elif op.kind == "rmw":
+            # The read must complete before the dependent write issues.
+            read = yield from issue_get(op.key)
+            yield from client.wait(read)
+            req = yield from issue_set(op.key, op.value_length)
+        else:
+            req = yield from issue_set(op.key, op.value_length)
+        inflight.append(req)
+    while inflight:
+        yield from client.wait(inflight.popleft())
+
+
+def run_ops(cluster: Cluster, per_client_ops: Sequence[Sequence[Op]],
+            api: Optional[str] = None,
+            window: int = DEFAULT_WINDOW,
+            mget_batch: int = 0) -> RunResult:
+    """Run explicit op streams (one per client) to completion."""
+    api = api or cluster.profile.api
+    if api not in (BLOCKING, NONB_B, NONB_I):
+        raise ValueError(f"unknown api {api!r}")
+    cluster.reset_metrics()
+    sim = cluster.sim
+    drivers = []
+    for client, ops in zip(cluster.clients, per_client_ops):
+        if api == BLOCKING:
+            gen = _drive_blocking(client, ops, mget_batch=mget_batch)
+        else:
+            gen = _drive_nonblocking(client, ops, api, window)
+        drivers.append(sim.spawn(gen, name=f"driver-{client.name}"))
+    done = sim.all_of(drivers)
+    sim.run(until=done)
+    records = cluster.all_records()
+    span = 0.0
+    if records:
+        span = (max(r.t_complete for r in records)
+                - min(r.t_issue for r in records))
+    result = RunResult(profile_key=cluster.profile.key, api=api,
+                       records=records, span=span)
+    result.summary = metrics.summarize(records)
+    return result
+
+
+def run_workload(cluster: Cluster, spec: WorkloadSpec,
+                 api: Optional[str] = None,
+                 window: int = DEFAULT_WINDOW,
+                 mget_batch: int = 0,
+                 warmup_ops: int = 0) -> RunResult:
+    """Generate per-client op streams from ``spec`` and run them.
+
+    ``spec.num_ops`` is the per-client operation count; each client gets
+    a decorrelated stream (seeded by its index). With ``warmup_ops``,
+    each client first runs that many extra (differently-seeded)
+    operations whose records are discarded, so the measured stream sees
+    steady-state LRU/page-cache/slab state rather than the preload
+    layout.
+    """
+    if warmup_ops > 0:
+        import dataclasses
+
+        # Same spec seed => same hot-key scramble; the stream offset
+        # decorrelates the warmup draws from the measured draws.
+        warm_spec = dataclasses.replace(spec, num_ops=warmup_ops)
+        warm_streams = [generate_ops(warm_spec, client_index=i,
+                                     stream_offset=0xABCD)
+                        for i in range(len(cluster.clients))]
+        run_ops(cluster, warm_streams, api=api, window=window,
+                mget_batch=mget_batch)
+    streams = [generate_ops(spec, client_index=i)
+               for i in range(len(cluster.clients))]
+    return run_ops(cluster, streams, api=api, window=window,
+                   mget_batch=mget_batch)

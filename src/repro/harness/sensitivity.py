@@ -1,0 +1,186 @@
+"""Sensitivity analysis: how the headline result responds to hardware.
+
+The paper's conclusions were measured on one SATA drive, one NVMe
+drive, and one FDR fabric. These sweeps vary a single physical
+parameter while holding the experiment fixed and report how the
+headline ratio — H-RDMA-Def latency over H-RDMA-Opt-NonB-i effective
+latency (the paper's "up to 16x") — responds. They answer: *on what
+hardware do the non-blocking extensions matter, and where do they
+stop mattering?*
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.core import metrics
+from repro.core.cluster import ClusterSpec
+from repro.core.profiles import H_RDMA_DEF, H_RDMA_OPT_NONB_I
+from repro.harness.figures import (
+    BASE_SERVER_MEM,
+    BASE_SSD_LIMIT,
+    ZIPF_THETA,
+    _scaled_pagecache,
+)
+from repro.harness.runner import run_workload, setup_cluster
+from repro.storage.params import SATA_SSD, DeviceParams, PageCacheParams
+from repro.units import KB, MB, US
+from repro.workloads.generator import WorkloadSpec
+
+
+def _measure_pair(device: DeviceParams, scale: int, ops: int,
+                  theta: float = ZIPF_THETA,
+                  pagecache: PageCacheParams = None) -> Dict[str, float]:
+    """Def vs NonB-i effective latency for one hardware point."""
+    server_mem = BASE_SERVER_MEM // scale
+    spec = WorkloadSpec(num_ops=ops,
+                        num_keys=int(1.5 * server_mem) // (32 * KB),
+                        value_length=32 * KB, read_fraction=0.5,
+                        distribution="zipf", theta=theta, seed=1)
+    out = {}
+    for label, profile in (("def", H_RDMA_DEF), ("nonb", H_RDMA_OPT_NONB_I)):
+        cluster = setup_cluster(profile, spec, cluster_spec=ClusterSpec(
+            server_mem=server_mem,
+            ssd_limit=BASE_SSD_LIMIT // scale,
+            device=device,
+            pagecache=pagecache or _scaled_pagecache(scale)))
+        result = run_workload(cluster, spec)
+        out[label] = metrics.effective_latency(result.records)
+    out["gain"] = out["def"] / out["nonb"]
+    return out
+
+
+def sweep_ssd_latency(multipliers: Sequence[float] = (0.25, 1.0, 4.0),
+                      scale: int = 16, ops: int = 800) -> List[Dict]:
+    """Scale the SSD's access latencies: slower drives = more to hide."""
+    rows = []
+    for m in multipliers:
+        device = dataclasses.replace(
+            SATA_SSD,
+            name=f"sata-x{m:g}",
+            read_latency=SATA_SSD.read_latency * m,
+            write_latency=SATA_SSD.write_latency * m)
+        out = _measure_pair(device, scale, ops)
+        rows.append({"latency_multiplier": m,
+                     "read_latency_us": device.read_latency / US,
+                     "def_latency": out["def"],
+                     "nonb_latency": out["nonb"],
+                     "nonb_gain": out["gain"]})
+    return rows
+
+
+def sweep_ssd_bandwidth(multipliers: Sequence[float] = (0.5, 1.0, 4.0),
+                        scale: int = 16, ops: int = 800) -> List[Dict]:
+    """Scale the SSD's bandwidth: pipelining cannot hide a full pipe."""
+    rows = []
+    for m in multipliers:
+        device = dataclasses.replace(
+            SATA_SSD,
+            name=f"sata-bw-x{m:g}",
+            read_bandwidth=SATA_SSD.read_bandwidth * m,
+            write_bandwidth=SATA_SSD.write_bandwidth * m)
+        out = _measure_pair(device, scale, ops)
+        rows.append({"bandwidth_multiplier": m,
+                     "def_latency": out["def"],
+                     "nonb_latency": out["nonb"],
+                     "nonb_gain": out["gain"]})
+    return rows
+
+
+def sweep_zipf_theta(thetas: Sequence[float] = (0.5, 0.8, 1.1),
+                     scale: int = 16, ops: int = 800) -> List[Dict]:
+    """Vary workload skew: hotter workloads touch the SSD less."""
+    rows = []
+    for theta in thetas:
+        out = _measure_pair(SATA_SSD, scale, ops, theta=theta)
+        rows.append({"theta": theta,
+                     "def_latency": out["def"],
+                     "nonb_latency": out["nonb"],
+                     "nonb_gain": out["gain"]})
+    return rows
+
+
+def sweep_network(scale: int = 16, ops: int = 800) -> List[Dict]:
+    """FDR vs EDR fabrics: does a faster network change the picture?
+
+    In the no-fit regime the bottleneck is the SSD path, so upgrading
+    the fabric barely moves either design — the paper's conclusion is
+    about I/O, not the interconnect it already optimized.
+    """
+    from repro.net.params import EDR_RDMA, FDR_RDMA
+
+    server_mem = BASE_SERVER_MEM // scale
+    spec = WorkloadSpec(num_ops=ops,
+                        num_keys=int(1.5 * server_mem) // (32 * KB),
+                        value_length=32 * KB, read_fraction=0.5,
+                        distribution="zipf", theta=ZIPF_THETA, seed=1)
+    rows = []
+    for name, params in (("FDR 56G", FDR_RDMA), ("EDR 100G", EDR_RDMA)):
+        out = {}
+        for label, profile in (("def", H_RDMA_DEF),
+                               ("nonb", H_RDMA_OPT_NONB_I)):
+            cluster = setup_cluster(profile, spec, cluster_spec=ClusterSpec(
+                server_mem=server_mem,
+                ssd_limit=BASE_SSD_LIMIT // scale,
+                rdma_params=params,
+                pagecache=_scaled_pagecache(scale)))
+            result = run_workload(cluster, spec)
+            out[label] = metrics.effective_latency(result.records)
+        rows.append({"fabric": name,
+                     "def_latency": out["def"],
+                     "nonb_latency": out["nonb"],
+                     "nonb_gain": out["def"] / out["nonb"]})
+    return rows
+
+
+def sweep_backend_penalty(penalties_ms: Sequence[float] = (0.1, 0.5, 2.0,
+                                                           10.0),
+                          scale: int = 16, ops: int = 800) -> List[Dict]:
+    """Vary the miss penalty: when does hybrid retention beat in-memory?
+
+    The paper *assumes* a <2 ms penalty (Sec III); this sweep locates
+    the crossover where the in-memory RDMA design (paying the penalty
+    on misses) overtakes or loses to the hybrid design (paying SSD I/O
+    instead). With a fast-enough backend the hybrid's SSD accesses are
+    not worth it — exactly the trade-off the paper's Figure 1 frames.
+    """
+    from repro.core.profiles import RDMA_MEM
+
+    server_mem = BASE_SERVER_MEM // scale
+    rows = []
+    for ms in penalties_ms:
+        spec = WorkloadSpec(num_ops=ops,
+                            num_keys=int(1.5 * server_mem) // (32 * KB),
+                            value_length=32 * KB, read_fraction=0.5,
+                            distribution="zipf", theta=ZIPF_THETA, seed=1)
+        out = {}
+        for label, profile in (("inmem", RDMA_MEM), ("hybrid", H_RDMA_DEF)):
+            cluster = setup_cluster(
+                profile, spec,
+                cluster_spec=ClusterSpec(
+                    server_mem=server_mem,
+                    ssd_limit=BASE_SSD_LIMIT // scale,
+                    backend_penalty=ms * 1e-3,
+                    pagecache=_scaled_pagecache(scale)))
+            result = run_workload(cluster, spec)
+            out[label] = metrics.effective_latency(result.records)
+        rows.append({"penalty_ms": ms,
+                     "inmem_latency": out["inmem"],
+                     "hybrid_latency": out["hybrid"],
+                     "hybrid_wins": out["hybrid"] < out["inmem"]})
+    return rows
+
+
+def sweep_pagecache(sizes_mb: Sequence[int] = (8, 32, 128),
+                    scale: int = 16, ops: int = 800) -> List[Dict]:
+    """Vary OS page-cache size: it shields the adaptive designs only."""
+    rows = []
+    for mb in sizes_mb:
+        pc = PageCacheParams(size_bytes=mb * MB, dirty_ratio=0.4)
+        out = _measure_pair(SATA_SSD, scale, ops, pagecache=pc)
+        rows.append({"pagecache_mb": mb,
+                     "def_latency": out["def"],
+                     "nonb_latency": out["nonb"],
+                     "nonb_gain": out["gain"]})
+    return rows

@@ -1,0 +1,33 @@
+"""Network substrate: simulated InfiniBand fabric with RDMA and IPoIB.
+
+The model is a star fabric (single full-bisection switch, matching the
+paper's rack-level topology on SDSC Comet). Each node owns a NIC whose
+transmit side serializes messages at link bandwidth; propagation adds a
+fixed one-way latency. Two transports run on top:
+
+* :mod:`repro.net.rdma` — queue pairs with two-sided send/recv and
+  one-sided ``rdma_write``/``rdma_read`` verbs plus completion queues;
+  per-message CPU cost is sub-microsecond and one-sided ops cost the
+  remote CPU nothing.
+* :mod:`repro.net.ipoib` — TCP/IP-over-InfiniBand streams with kernel
+  stack overheads and reduced effective bandwidth.
+"""
+
+from repro.net.fabric import Fabric, Message, NIC, Node
+from repro.net.ipoib import IPoIBConnection
+from repro.net.params import FDR_IPOIB, FDR_RDMA, LinkParams
+from repro.net.rdma import CompletionQueue, QueuePair, WorkCompletion
+
+__all__ = [
+    "Fabric",
+    "Node",
+    "NIC",
+    "Message",
+    "LinkParams",
+    "FDR_RDMA",
+    "FDR_IPOIB",
+    "QueuePair",
+    "CompletionQueue",
+    "WorkCompletion",
+    "IPoIBConnection",
+]

@@ -1,0 +1,126 @@
+"""Fabric, nodes, NICs, and the raw message-transfer machinery.
+
+A :class:`Message` moves through three observable points:
+
+1. ``on_wire`` — the sender's NIC finished serializing it; the sender's
+   buffers are free for reuse (this is what ``bset``/``bget`` wait for).
+2. ``delivered`` — the last byte arrived at the destination NIC.
+3. consumption — a higher layer (QP recv queue, IPoIB inbox) hands it to
+   the application.
+
+The transmit side of each NIC is a capacity-1 resource, so concurrent
+messages from one node serialize — this is what creates client-side NIC
+contention in the 100-client throughput experiment (Fig 7c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.net.params import LinkParams
+from repro.sim import Event, Resource, Simulator
+
+
+@dataclass
+class Message:
+    """One transfer over the fabric.
+
+    ``payload`` is an arbitrary Python object (protocol header, value
+    descriptor, ...). ``nbytes`` is the size that occupies the wire.
+    """
+
+    src: "NIC"
+    dst: "NIC"
+    nbytes: int
+    payload: Any = None
+    #: True for one-sided RDMA ops: the destination CPU is not involved.
+    one_sided: bool = False
+    #: CPU time the receiver's event loop must spend before handing the
+    #: message to the application (zero for one-sided ops).
+    recv_cpu: float = 0.0
+    on_wire: Event = field(default=None)  # type: ignore[assignment]
+    delivered: Event = field(default=None)  # type: ignore[assignment]
+
+
+class NIC:
+    """One host channel adapter attached to the fabric."""
+
+    def __init__(self, sim: Simulator, node: "Node", params: LinkParams):
+        self.sim = sim
+        self.node = node
+        self.params = params
+        #: Serializes outbound messages (the DMA/wire is one pipe).
+        self.tx = Resource(sim, capacity=1)
+        #: Called with each delivered Message; installed by the transport.
+        self.deliver: Optional[Callable[[Message], None]] = None
+        # traffic accounting
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    def transmit(self, dst: "NIC", nbytes: int, payload: Any = None,
+                 one_sided: bool = False, recv_cpu: float = 0.0) -> Message:
+        """Start an asynchronous transfer; returns the in-flight Message."""
+        msg = Message(src=self, dst=dst, nbytes=nbytes, payload=payload,
+                      one_sided=one_sided, recv_cpu=recv_cpu)
+        msg.on_wire = self.sim.event()
+        msg.delivered = self.sim.event()
+        self.sim.spawn(self._transfer(msg), name=f"xfer-{self.node.name}")
+        return msg
+
+    def _transfer(self, msg: Message):
+        req = self.tx.request()
+        yield req
+        try:
+            busy = self.params.cpu_send + self.params.serialize_time(msg.nbytes)
+            if busy > 0:
+                yield self.sim.timeout(busy)
+        finally:
+            self.tx.release(req)
+        self.bytes_sent += msg.nbytes
+        self.messages_sent += 1
+        msg.on_wire.succeed(msg)
+        yield self.sim.timeout(self.params.latency)
+        msg.delivered.succeed(msg)
+        if msg.dst.deliver is not None:
+            msg.dst.deliver(msg)
+        elif msg.payload is not None and hasattr(msg.payload, "deliver"):
+            # Self-routing frames (RDMA / IPoIB) dispatch themselves.
+            msg.payload.deliver(msg)
+
+
+class Node:
+    """A compute node: a name plus one NIC per transport in use."""
+
+    def __init__(self, sim: Simulator, name: str, fabric: "Fabric"):
+        self.sim = sim
+        self.name = name
+        self.fabric = fabric
+        self._nics: Dict[str, NIC] = {}
+
+    def nic(self, params: LinkParams) -> NIC:
+        """The node's NIC for a given transport (created on first use).
+
+        All endpoints on the node using the same transport share the NIC
+        (and therefore contend for its transmit side).
+        """
+        if params.name not in self._nics:
+            self._nics[params.name] = NIC(self.sim, self, params)
+        return self._nics[params.name]
+
+
+class Fabric:
+    """Star-topology interconnect; owns the nodes."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._nodes: Dict[str, Node] = {}
+
+    def node(self, name: str) -> Node:
+        if name not in self._nodes:
+            self._nodes[name] = Node(self.sim, name, self)
+        return self._nodes[name]
+
+    @property
+    def nodes(self) -> Dict[str, Node]:
+        return dict(self._nodes)

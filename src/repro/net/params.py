@@ -1,0 +1,84 @@
+"""Link/transport parameter presets.
+
+Calibrated for the paper's clusters (56 Gbps FDR InfiniBand). Absolute
+values follow published microbenchmarks of FDR verbs vs IPoIB:
+
+* native RDMA on FDR: ~1.8 µs one-way small-message latency, ~6 GB/s
+  large-message bandwidth, sub-µs per-message CPU;
+* IPoIB (connected mode) on the same HCA: tens of µs latency and roughly
+  a third of the native bandwidth, dominated by the kernel TCP/IP stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Transport characteristics of one NIC/protocol combination.
+
+    Attributes:
+        name: human-readable label used in reports.
+        latency: one-way propagation + switching delay (seconds).
+        bandwidth: effective payload bandwidth (bytes/second).
+        cpu_send: CPU time charged at the sender per message (seconds).
+        cpu_recv: CPU time charged at the receiver per message (seconds);
+            zero for one-sided RDMA operations.
+        mtu: maximum transfer unit; larger messages are segmented and the
+            per-segment overhead is charged per MTU.
+        per_segment_overhead: extra serialization time per MTU segment
+            (header/framing cost).
+    """
+
+    name: str
+    latency: float
+    bandwidth: float
+    cpu_send: float
+    cpu_recv: float
+    mtu: int = 1 << 20
+    per_segment_overhead: float = 0.0
+
+    def serialize_time(self, nbytes: int) -> float:
+        """Time the transmit side of the link is busy with this message."""
+        if nbytes <= 0:
+            return 0.0
+        segments = -(-nbytes // self.mtu)
+        return nbytes / self.bandwidth + segments * self.per_segment_overhead
+
+
+#: Native RDMA verbs over 56 Gbps FDR InfiniBand.
+FDR_RDMA = LinkParams(
+    name="rdma-fdr",
+    latency=1.8 * US,
+    bandwidth=6.0e9,
+    cpu_send=0.3 * US,
+    cpu_recv=0.3 * US,
+    mtu=1 << 22,
+    per_segment_overhead=0.1 * US,
+)
+
+#: TCP/IP over the same FDR HCA (IPoIB, connected mode).
+FDR_IPOIB = LinkParams(
+    name="ipoib-fdr",
+    latency=18.0 * US,
+    bandwidth=2.2e9,
+    cpu_send=4.0 * US,
+    cpu_recv=4.0 * US,
+    mtu=64 * 1024,
+    per_segment_overhead=0.4 * US,
+)
+
+#: Native RDMA over 100 Gbps EDR InfiniBand (a generation past the
+#: paper's FDR — for what-if studies of faster fabrics).
+EDR_RDMA = LinkParams(
+    name="rdma-edr",
+    latency=1.0 * US,
+    bandwidth=11.0e9,
+    cpu_send=0.25 * US,
+    cpu_recv=0.25 * US,
+    mtu=1 << 22,
+    per_segment_overhead=0.1 * US,
+)

@@ -1,0 +1,33 @@
+"""The Memcached server: slab allocation, LRU, hybrid RAM+SSD storage.
+
+Package layout:
+
+* :mod:`repro.server.item` — cache items and their location (RAM chunk
+  or SSD slot).
+* :mod:`repro.server.lru` — intrusive per-slab-class LRU lists.
+* :mod:`repro.server.slab` — slab classes, 1 MiB slab pages, chunk
+  allocation (memcached's memory manager).
+* :mod:`repro.server.hybrid` — the hybrid slab manager: victim-slab
+  flush to SSD, read-back, promotion, adaptive I/O scheme selection
+  (the paper's Section V-B).
+* :mod:`repro.server.protocol` — wire-level request/response records.
+* :mod:`repro.server.server` — the server runtime: worker threads,
+  receive-buffer credits, early acks (the paper's Section V-B1).
+"""
+
+from repro.server.hybrid import HybridSlabManager
+from repro.server.item import ITEM_OVERHEAD, Item
+from repro.server.server import MemcachedServer, ServerConfig, ServerCosts
+from repro.server.slab import SlabAllocator, SlabClass, SlabPage
+
+__all__ = [
+    "Item",
+    "ITEM_OVERHEAD",
+    "SlabAllocator",
+    "SlabClass",
+    "SlabPage",
+    "HybridSlabManager",
+    "MemcachedServer",
+    "ServerConfig",
+    "ServerCosts",
+]

@@ -1,0 +1,653 @@
+"""Hybrid RAM+SSD slab manager with adaptive I/O (paper Section V-B).
+
+Responsibilities:
+
+* the full SET/GET state machine over the slab allocator and hash table;
+* on memory pressure, pick a *victim slab page* and synchronously flush
+  the **entire page** to an SSD slot (this whole-slab eviction is the
+  existing H-RDMA-Def behaviour the paper analyzes);
+* choose the I/O scheme per slab class: the default design always uses
+  direct I/O; the optimized design adaptively uses mmap for small chunk
+  classes and cached I/O for large ones (Figure 5);
+* read items back from SSD on GET, optionally promoting them to RAM;
+* bound SSD usage: when all slots are used, the oldest slot is dropped
+  and its items become cache misses (Memcached is a cache).
+
+In non-hybrid mode (``device=None``) the same manager implements the
+in-memory designs: memory pressure evicts LRU items instead of flushing,
+so evicted keys miss and the client pays the backend penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.server.item import DEAD, Item, RAM, SSD
+from repro.server.slab import SlabAllocator, SlabClass, SlabPage
+from repro.sim import Resource, Simulator
+from repro.storage.device import BlockDevice
+from repro.storage.pagecache import PageCache
+from repro.storage.params import PageCacheParams
+from repro.storage.schemes import IOScheme, make_scheme
+from repro.units import KB, MB
+
+
+class DiskSlot:
+    """One slab-page-sized region on the SSD."""
+
+    __slots__ = ("slot_id", "offset", "items", "scheme_name", "seq",
+                 "durable")
+
+    def __init__(self, slot_id: int, offset: int, scheme_name: str, seq: int):
+        self.slot_id = slot_id
+        self.offset = offset
+        self.items: Set[Item] = set()
+        self.scheme_name = scheme_name
+        self.seq = seq
+        #: False while an asynchronous flush of this slot is in flight;
+        #: reads meanwhile are served from the flush buffer.
+        self.durable = False
+
+
+@dataclass
+class ManagerStats:
+    """State-change accounting (timing is measured by the server)."""
+
+    stores: int = 0
+    lookups: int = 0
+    hits: int = 0
+    flushes: int = 0
+    flushed_bytes: int = 0
+    ssd_reads: int = 0
+    ssd_read_bytes: int = 0
+    promotions: int = 0
+    ram_evictions: int = 0
+    disk_drops: int = 0
+    dropped_items: int = 0
+    async_flushes: int = 0
+    buffer_served_reads: int = 0
+    automoves: int = 0
+
+
+@dataclass
+class StoreInfo:
+    """What happened during one SET (for stage attribution)."""
+
+    flushed: bool = False
+    flush_bytes: int = 0
+    evicted: int = 0
+    replaced: bool = False
+    #: Outcome of the storage command: STORED, NOT_STORED (failed
+    #: add/replace precondition), EXISTS (cas mismatch), NOT_FOUND
+    #: (cas on absent key).
+    status: str = "STORED"
+
+
+class HybridSlabManager:
+    """Slab + LRU + hash table + SSD spill, as one state machine.
+
+    Methods that may perform I/O (``store``, ``load_value``) are
+    generators; the server drives them and measures stage time around
+    them. ``preload`` applies the same state transitions in zero
+    simulated time for fast experiment setup.
+    """
+
+    def __init__(self, sim: Simulator, mem_limit: int,
+                 device: Optional[BlockDevice] = None,
+                 ssd_limit: int = 0,
+                 page_size: int = 1 * MB,
+                 io_policy: str = "direct",
+                 adaptive_cutoff: int = 32 * KB,
+                 promote_policy: str = "always",
+                 victim_policy: str = "coldest",
+                 pagecache_params: Optional[PageCacheParams] = None,
+                 min_chunk: int = 96,
+                 growth_factor: float = 1.25,
+                 direct_read_chunks: int = 4,
+                 async_flush: bool = False,
+                 flush_buffers: int = 4,
+                 flush_memcpy_bandwidth: float = 8e9,
+                 automove: bool = False,
+                 automove_interval: float = 0.05):
+        if io_policy not in ("direct", "adaptive"):
+            raise ValueError(f"unknown io_policy {io_policy!r}")
+        if promote_policy not in ("always", "cheap", "never"):
+            raise ValueError(f"unknown promote_policy {promote_policy!r}")
+        if victim_policy not in ("coldest", "round_robin"):
+            raise ValueError(f"unknown victim_policy {victim_policy!r}")
+        self.sim = sim
+        self.allocator = SlabAllocator(mem_limit, page_size=page_size,
+                                       min_chunk=min_chunk,
+                                       growth_factor=growth_factor)
+        self.table: Dict[bytes, Item] = {}
+        self.device = device
+        self.hybrid = device is not None
+        self.io_policy = io_policy
+        self.adaptive_cutoff = adaptive_cutoff
+        self.promote_policy = promote_policy
+        self.victim_policy = victim_policy
+        #: The existing design's O_DIRECT read path operates on coarse
+        #: slab-block-aligned windows (this many chunks per read): its
+        #: on-SSD layout is slab-, not chunk-oriented. The optimized
+        #: design reads exactly one chunk through mmap/cached I/O — one
+        #: of the things Section V-B2 redesigns.
+        self.direct_read_chunks = direct_read_chunks
+        self.stats = ManagerStats()
+        self._cas_counter = 0
+        self._rr_next_cls = 0
+        #: Serializes victim selection + flush (memcached's cache lock):
+        #: two workers must never flush the same page concurrently.
+        self._flush_lock = Resource(sim, capacity=1)
+        #: Asynchronous SSD I/O (the paper's Sec-VII future work): evicted
+        #: slabs are staged in bounded flush buffers and written back by a
+        #: background process instead of synchronously.
+        self.async_flush = async_flush
+        self._flush_buffers = Resource(sim, capacity=max(1, flush_buffers))
+        self._flush_memcpy_bandwidth = flush_memcpy_bandwidth
+        #: Slab automover (memcached's rebalancer): when one class keeps
+        #: needing space while another sits on under-used pages, move a
+        #: page proactively. Event-triggered so an idle sim drains.
+        self.automove = automove
+        self.automove_interval = automove_interval
+        self._pressure: Dict[int, int] = {}
+        self._automove_wakeup = sim.event()
+        if automove:
+            sim.spawn(self._automover(), name="slab-automover")
+        if self.hybrid:
+            if ssd_limit < page_size:
+                raise ValueError("ssd_limit must hold at least one slab page")
+            self.pagecache = PageCache(sim, device,
+                                       pagecache_params or PageCacheParams())
+            self.schemes: Dict[str, IOScheme] = {
+                "direct": make_scheme("direct", sim, device),
+                "cached": make_scheme("cached", sim, device, self.pagecache),
+                "mmap": make_scheme("mmap", sim, device, self.pagecache),
+            }
+            self.total_slots = ssd_limit // page_size
+            self._free_slots: List[int] = list(range(self.total_slots - 1, -1, -1))
+            self._live_slots: Dict[int, DiskSlot] = {}
+            self._slot_seq = 0
+        else:
+            self.pagecache = None
+            self.schemes = {}
+            self.total_slots = 0
+            self._free_slots = []
+            self._live_slots = {}
+            self._slot_seq = 0
+
+    # -- scheme selection (Figure 5) ---------------------------------------
+
+    def scheme_name_for(self, cls: SlabClass) -> str:
+        """I/O scheme used when flushing/reading slabs of this class."""
+        if self.io_policy == "direct":
+            return "direct"
+        return "mmap" if cls.chunk_size <= self.adaptive_cutoff else "cached"
+
+    # -- lookups ---------------------------------------------------------------
+
+    def lookup(self, key: bytes) -> Optional[Item]:
+        self.stats.lookups += 1
+        item = self.table.get(key)
+        if item is None:
+            return None
+        if item.expiration and self.sim.now > item.expiration:
+            self._remove_item(item)
+            return None
+        self.stats.hits += 1
+        return item
+
+    def touch(self, item: Item) -> None:
+        """Cache Update stage: promote to MRU.
+
+        Tolerates stale references: an item replaced or flushed by a
+        concurrent worker since the lookup is silently skipped.
+        """
+        item.last_access = self.sim.now
+        if item.in_ram and item.page is not None:
+            self.allocator.classes[item.clsid].lru.touch(item)
+
+    # -- SET path ------------------------------------------------------------
+
+    def store(self, key: bytes, value_length: int, flags: int = 0,
+              expiration: float = 0.0, mode: str = "set",
+              cas_token: int = 0):
+        """Generator: allocate a chunk (flushing/evicting as needed) and
+        insert the item. Returns ``(Item | None, StoreInfo)``.
+
+        ``mode`` implements memcached's conditional storage commands:
+        "set" stores unconditionally, "add" only when the key is absent,
+        "replace" only when present, "cas" only when ``cas_token``
+        matches the live item's token. Failed preconditions return
+        ``(None, info)`` with ``info.status`` set, before any memory is
+        allocated.
+        """
+        info = StoreInfo()
+        existing = self._live(key)
+        if mode == "add" and existing is not None:
+            info.status = "NOT_STORED"
+            return None, info
+        if mode == "replace" and existing is None:
+            info.status = "NOT_STORED"
+            return None, info
+        if mode == "cas":
+            if existing is None:
+                info.status = "NOT_FOUND"
+                return None, info
+            if existing.cas != cas_token:
+                info.status = "EXISTS"
+                return None, info
+        item = Item(key, value_length, flags, expiration)
+        cls = self.allocator.class_for(item.total_size)
+        if cls is None:
+            raise ValueError(
+                f"object of {item.total_size} bytes exceeds the slab page size")
+        page = self.allocator.alloc_chunk(cls, item)
+        while page is None:
+            yield from self._make_space(cls, info)
+            page = self.allocator.alloc_chunk(cls, item)
+        old = self.table.get(key)
+        if old is not None:
+            self._remove_item(old, keep_table=True)
+            info.replaced = True
+        self._cas_counter += 1
+        item.cas = self._cas_counter
+        self.table[key] = item
+        item.last_access = self.sim.now
+        cls.lru.insert_head(item)
+        self.stats.stores += 1
+        return item, info
+
+    def _live(self, key: bytes) -> Optional[Item]:
+        """Current unexpired item (expired entries count as absent)."""
+        item = self.table.get(key)
+        if item is None:
+            return None
+        if item.expiration and self.sim.now > item.expiration:
+            self._remove_item(item)
+            return None
+        return item
+
+    def delete(self, key: bytes) -> bool:
+        item = self.table.get(key)
+        if item is None:
+            return False
+        self._remove_item(item)
+        return True
+
+    def _remove_item(self, item: Item, keep_table: bool = False) -> None:
+        if not keep_table:
+            self.table.pop(item.key, None)
+        if item.in_ram:
+            self.allocator.classes[item.clsid].lru.remove(item)
+            self.allocator.free_chunk(item)
+        elif item.on_ssd:
+            self._remove_from_slot(item)
+        # Mark dead: concurrent readers holding this item must not touch
+        # the LRU or promote it.
+        item.location = DEAD
+
+    def _remove_from_slot(self, item: Item) -> None:
+        slot: DiskSlot = item.disk_slot
+        slot.items.discard(item)
+        item.disk_slot = None
+        if not slot.items:
+            self._free_slot(slot)
+
+    def _free_slot(self, slot: DiskSlot) -> None:
+        self._live_slots.pop(slot.slot_id, None)
+        self._free_slots.append(slot.slot_id)
+        scheme = self.schemes[slot.scheme_name]
+        scheme.discard(slot.offset, self.allocator.page_size)
+
+    # -- memory pressure ---------------------------------------------------
+
+    def _make_space(self, cls: SlabClass, info: StoreInfo):
+        """Generator: free at least one chunk of ``cls``."""
+        self._note_pressure(cls)
+        if not self.hybrid:
+            if not self._steal_empty_page(cls):
+                self._evict_for(cls, info)
+            yield self.sim.timeout(0)
+            return
+        req = self._flush_lock.request()
+        yield req
+        try:
+            if self._class_has_room(cls):
+                return  # a concurrent flush already freed space
+            if self._steal_empty_page(cls):
+                return  # an emptied page was re-purposed, no I/O needed
+            victim = self._victim_page(cls)
+            yield from self._flush_page(victim, cls, info)
+        finally:
+            self._flush_lock.release(req)
+
+    def _note_pressure(self, cls: SlabClass) -> None:
+        if not self.automove:
+            return
+        self._pressure[cls.clsid] = self._pressure.get(cls.clsid, 0) + 1
+        if not self._automove_wakeup.triggered:
+            self._automove_wakeup.succeed()
+
+    def _automover(self):
+        """Background rebalancer: donate an under-used page to the class
+        under sustained allocation pressure (memcached's slab automove,
+        adapted: in hybrid mode the donated page's items are flushed to
+        SSD, so nothing is lost)."""
+        while True:
+            yield self._automove_wakeup
+            yield self.sim.timeout(self.automove_interval)  # batch window
+            self._automove_wakeup = self.sim.event()
+            pressure, self._pressure = self._pressure, {}
+            if not pressure:
+                continue
+            poor_id = max(pressure, key=pressure.get)
+            poor = self.allocator.classes[poor_id]
+            donor_page = self._least_used_page(exclude=poor_id)
+            if donor_page is None:
+                continue
+            req = self._flush_lock.request()
+            yield req
+            try:
+                # Re-validate under the lock (state may have moved on).
+                if donor_page.clsid == poor.clsid or donor_page not in \
+                        self.allocator.classes[donor_page.clsid].pages:
+                    continue
+                if donor_page.used == 0:
+                    self.allocator.recycle_page(donor_page, poor)
+                elif self.hybrid:
+                    info = StoreInfo()
+                    yield from self._flush_page(donor_page, poor, info)
+                else:
+                    info = StoreInfo()
+                    donor_cls = self.allocator.classes[donor_page.clsid]
+                    for idx, item in list(donor_page.items.items()):
+                        donor_cls.lru.remove(item)
+                        self.table.pop(item.key, None)
+                        donor_page.free(idx)
+                        item.page = None
+                        self.stats.ram_evictions += 1
+                    self.allocator.recycle_page(donor_page, poor)
+                self.stats.automoves += 1
+            finally:
+                self._flush_lock.release(req)
+
+    def _least_used_page(self, exclude: int,
+                         max_fraction: float = 0.5) -> Optional[SlabPage]:
+        """The page with the lowest occupancy below ``max_fraction``
+        outside the excluded class (None if every page is busy)."""
+        best = None
+        best_frac = max_fraction
+        for cls in self.allocator.classes:
+            if cls.clsid == exclude:
+                continue
+            for page in cls.pages:
+                frac = page.used / page.capacity
+                if frac <= best_frac:
+                    best = page
+                    best_frac = frac
+        return best
+
+    def _steal_empty_page(self, to_cls: SlabClass) -> bool:
+        """Re-purpose a fully-empty page from another class (no I/O)."""
+        for other in self.allocator.classes:
+            if other.clsid == to_cls.clsid:
+                continue
+            for page in other.pages:
+                if page.used == 0:
+                    self.allocator.recycle_page(page, to_cls)
+                    return True
+        return False
+
+    def _class_has_room(self, cls: SlabClass) -> bool:
+        if self.allocator.unassigned_pages > 0:
+            return True
+        return any(p.free_chunks for p in cls.partial)
+
+    def _victim_page(self, cls: SlabClass) -> SlabPage:
+        """Pick the slab page to flush (policy: see DESIGN.md §5)."""
+        if self.victim_policy == "round_robin":
+            n = len(self.allocator.classes)
+            for step in range(n):
+                cand = self.allocator.classes[(self._rr_next_cls + step) % n]
+                if cand.pages:
+                    self._rr_next_cls = (cand.clsid + 1) % n
+                    tail = cand.lru.coldest()
+                    return tail.page if tail is not None else cand.pages[0]
+            raise RuntimeError("no slab pages exist to flush")
+        # "coldest": the page holding the least recently used item of the
+        # class whose LRU tail is globally coldest (preferring `cls` when
+        # it has pages of its own).
+        tail = cls.lru.coldest()
+        if tail is not None:
+            return tail.page
+        best: Optional[Item] = None
+        for other in self.allocator.classes:
+            t = other.lru.coldest()
+            if t is not None and (best is None or t.last_access < best.last_access):
+                best = t
+        if best is None:
+            raise RuntimeError("memory full of un-evictable items")
+        return best.page
+
+    def _flush_page(self, page: SlabPage, to_cls: SlabClass, info: StoreInfo):
+        """Generator: write a whole victim page to an SSD slot.
+
+        Synchronous mode (the paper's designs): the caller waits for the
+        scheme write. Asynchronous mode (the paper's *future work*,
+        Sec VII): the slab is copied into a bounded flush buffer, the
+        page is recycled immediately, and a background process performs
+        the device write; reads of not-yet-durable items are served from
+        the buffer at memcpy speed.
+        """
+        from_cls = self.allocator.classes[page.clsid]
+        scheme_name = self.scheme_name_for(from_cls)
+        slot = yield from self._acquire_slot(scheme_name)
+        victims = list(page.items.items())
+        for idx, item in victims:
+            from_cls.lru.remove(item)
+            item.location = SSD
+            item.disk_slot = slot
+            item.disk_offset = slot.offset + idx * page.chunk_size
+            item.page = None
+            item.chunk_index = -1
+            slot.items.add(item)
+            page.free(idx)
+        scheme = self.schemes[scheme_name]
+        if self.async_flush:
+            buf = self._flush_buffers.request()
+            yield buf  # backpressure: bounded in-flight flush buffers
+            yield self.sim.timeout(
+                self.allocator.page_size / self._flush_memcpy_bandwidth)
+            self.sim.spawn(self._background_flush(scheme, slot, buf),
+                           name="async-flush")
+        else:
+            # The paper's design flushes the entire 1 MiB slab synchronously.
+            yield from scheme.write(slot.offset, self.allocator.page_size)
+            slot.durable = True
+        self.stats.flushes += 1
+        self.stats.flushed_bytes += self.allocator.page_size
+        info.flushed = True
+        info.flush_bytes += self.allocator.page_size
+        self.allocator.recycle_page(page, to_cls)
+
+    def _background_flush(self, scheme: IOScheme, slot: DiskSlot, buf):
+        try:
+            yield from scheme.write(slot.offset, self.allocator.page_size)
+            slot.durable = True
+            self.stats.async_flushes += 1
+        finally:
+            self._flush_buffers.release(buf)
+
+    def _acquire_slot(self, scheme_name: str):
+        """Generator: get a free disk slot, dropping the oldest if full."""
+        if not self._free_slots:
+            oldest = min(self._live_slots.values(), key=lambda s: s.seq)
+            for item in list(oldest.items):
+                self.table.pop(item.key, None)
+                self.stats.dropped_items += 1
+            oldest.items.clear()
+            self._free_slot(oldest)
+            self.stats.disk_drops += 1
+        slot_id = self._free_slots.pop()
+        slot = DiskSlot(slot_id, slot_id * self.allocator.page_size,
+                        scheme_name, self._slot_seq)
+        self._slot_seq += 1
+        self._live_slots[slot_id] = slot
+        yield self.sim.timeout(0)
+        return slot
+
+    def _evict_for(self, cls: SlabClass, info: StoreInfo) -> None:
+        """In-memory designs: LRU-evict items to free a chunk of ``cls``."""
+        tail = cls.lru.coldest()
+        if tail is not None:
+            self._remove_item(tail)
+            self.stats.ram_evictions += 1
+            info.evicted += 1
+            return
+        # Class has no items: steal the coldest page of another class.
+        best: Optional[Item] = None
+        for other in self.allocator.classes:
+            t = other.lru.coldest()
+            if t is not None and (best is None or t.last_access < best.last_access):
+                best = t
+        if best is None:
+            raise RuntimeError("memory full of un-evictable items")
+        page = best.page
+        donor = self.allocator.classes[page.clsid]
+        for idx, item in list(page.items.items()):
+            donor.lru.remove(item)
+            self.table.pop(item.key, None)
+            page.free(idx)
+            item.page = None
+            self.stats.ram_evictions += 1
+            info.evicted += 1
+        self.allocator.recycle_page(page, cls)
+
+    # -- GET path ---------------------------------------------------------
+
+    def load_value(self, item: Item):
+        """Generator (Cache Check & Load stage): make the value readable.
+
+        Returns the number of bytes read from SSD (0 on a RAM hit).
+        Promotion of the accessed item back to RAM follows the Cache
+        Update semantics of Section III-A ("promotes the most recently
+        added or accessed data"):
+
+        * ``always`` — promote even when making room flushes another
+          victim page to the SSD (the churn this creates is part of the
+          hybrid design's cost when the working set exceeds memory);
+        * ``cheap`` — promote only into an already-free chunk;
+        * ``never`` — serve from SSD, leave placement unchanged.
+        """
+        if not item.on_ssd:
+            return 0
+        slot: DiskSlot = item.disk_slot
+        cls = self.allocator.classes[item.clsid]
+        nbytes = item.total_size
+        scheme = self.schemes[slot.scheme_name]
+        if slot.scheme_name == "direct":
+            window = max(1, self.direct_read_chunks)
+            nbytes = min(window * cls.chunk_size, self.allocator.page_size)
+        if not slot.durable:
+            # Asynchronous flush still in flight: the data is in the
+            # staging buffer — serve it at memcpy speed.
+            yield self.sim.timeout(
+                item.total_size / self._flush_memcpy_bandwidth)
+            self.stats.buffer_served_reads += 1
+        else:
+            yield from scheme.read(item.disk_offset, nbytes)
+            self.stats.ssd_reads += 1
+            self.stats.ssd_read_bytes += nbytes
+        if self.promote_policy in ("cheap", "always") and self._promotable(item):
+            page = self.allocator.alloc_chunk(cls, item)
+            if page is None and self.promote_policy == "always":
+                info = StoreInfo()
+                while page is None and self._promotable(item):
+                    yield from self._make_space(cls, info)
+                    page = (self.allocator.alloc_chunk(cls, item)
+                            if self._promotable(item) else None)
+            if page is not None:
+                self._remove_from_slot(item)
+                item.location = RAM
+                cls.lru.insert_head(item)
+                self.stats.promotions += 1
+        return nbytes
+
+    def _promotable(self, item: Item) -> bool:
+        """Still the live table entry, still on SSD (races resolve here)."""
+        return (item.on_ssd and item.disk_slot is not None
+                and self.table.get(item.key) is item)
+
+    # -- preload (zero simulated time) ------------------------------------------
+
+    def preload(self, key: bytes, value_length: int) -> None:
+        """Insert without simulated I/O time (experiment setup only).
+
+        Applies the identical state transitions as :meth:`store` —
+        including whole-page spills to SSD slots in hybrid mode — but no
+        simulated time passes and the page cache is left cold.
+        """
+        item = Item(key, value_length)
+        cls = self.allocator.class_for(item.total_size)
+        if cls is None:
+            raise ValueError("preload object exceeds slab page size")
+        info = StoreInfo()
+        page = self.allocator.alloc_chunk(cls, item)
+        while page is None:
+            if self._steal_empty_page(cls):
+                pass
+            elif self.hybrid:
+                victim = self._victim_page(cls)
+                self._flush_page_stateonly(victim, cls)
+            else:
+                self._evict_for(cls, info)
+            page = self.allocator.alloc_chunk(cls, item)
+        old = self.table.get(key)
+        if old is not None:
+            self._remove_item(old, keep_table=True)
+        self.table[key] = item
+        item.last_access = self.sim.now
+        cls.lru.insert_head(item)
+
+    def _flush_page_stateonly(self, page: SlabPage, to_cls: SlabClass) -> None:
+        from_cls = self.allocator.classes[page.clsid]
+        scheme_name = self.scheme_name_for(from_cls)
+        if not self._free_slots:
+            oldest = min(self._live_slots.values(), key=lambda s: s.seq)
+            for item in list(oldest.items):
+                self.table.pop(item.key, None)
+                self.stats.dropped_items += 1
+            oldest.items.clear()
+            self._free_slot(oldest)
+            self.stats.disk_drops += 1
+        slot_id = self._free_slots.pop()
+        slot = DiskSlot(slot_id, slot_id * self.allocator.page_size,
+                        scheme_name, self._slot_seq)
+        slot.durable = True  # preload: state transition only, no I/O
+        self._slot_seq += 1
+        self._live_slots[slot_id] = slot
+        for idx, item in list(page.items.items()):
+            from_cls.lru.remove(item)
+            item.location = SSD
+            item.disk_slot = slot
+            item.disk_offset = slot.offset + idx * page.chunk_size
+            item.page = None
+            item.chunk_index = -1
+            slot.items.add(item)
+            page.free(idx)
+        self.allocator.recycle_page(page, to_cls)
+
+    # -- occupancy diagnostics --------------------------------------------------
+
+    @property
+    def items_in_ram(self) -> int:
+        return sum(len(c.lru) for c in self.allocator.classes)
+
+    @property
+    def items_on_ssd(self) -> int:
+        return sum(len(s.items) for s in self._live_slots.values())
+
+    @property
+    def live_slot_count(self) -> int:
+        return len(self._live_slots)

@@ -1,0 +1,68 @@
+"""Intrusive doubly-linked LRU list.
+
+memcached maintains one LRU list per slab class; the head is the most
+recently used item. The list is intrusive (links live on the items), so
+every operation is O(1) — important because *Cache Update* is one of the
+six stages the paper profiles and it must stay cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.server.item import Item
+
+
+class LRUList:
+    """MRU-at-head doubly-linked list of items."""
+
+    def __init__(self) -> None:
+        self.head: Optional[Item] = None
+        self.tail: Optional[Item] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Item]:
+        node = self.head
+        while node is not None:
+            yield node
+            node = node.lru_next
+
+    def insert_head(self, item: Item) -> None:
+        """Add a (detached) item as most recently used."""
+        assert item.lru_prev is None and item.lru_next is None
+        item.lru_next = self.head
+        if self.head is not None:
+            self.head.lru_prev = item
+        self.head = item
+        if self.tail is None:
+            self.tail = item
+        self._size += 1
+
+    def remove(self, item: Item) -> None:
+        """Detach an item currently in the list."""
+        if item.lru_prev is not None:
+            item.lru_prev.lru_next = item.lru_next
+        else:
+            assert self.head is item, "item not in this list"
+            self.head = item.lru_next
+        if item.lru_next is not None:
+            item.lru_next.lru_prev = item.lru_prev
+        else:
+            assert self.tail is item, "item not in this list"
+            self.tail = item.lru_prev
+        item.lru_prev = item.lru_next = None
+        self._size -= 1
+
+    def touch(self, item: Item) -> None:
+        """Promote an item to most recently used."""
+        if self.head is item:
+            return
+        self.remove(item)
+        self.insert_head(item)
+
+    def coldest(self) -> Optional[Item]:
+        """The least recently used item (None when empty)."""
+        return self.tail

@@ -1,0 +1,160 @@
+"""Wire-level records exchanged between client and server.
+
+Only metadata crosses the simulated wire; value *sizes* determine wire
+and I/O costs. ``req_id`` values are unique per client connection and
+match responses (and RDMA-written values) back to requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Bytes of a request header on the wire (opcode, key length, metadata).
+REQUEST_HEADER_BYTES = 64
+#: Bytes of a response header on the wire (status, flags, value length).
+RESPONSE_HEADER_BYTES = 64
+
+# Response status codes (mirroring memcached_return values).
+STORED = "STORED"
+NOT_STORED = "NOT_STORED"  # add on existing / replace on absent key
+EXISTS = "EXISTS"  # cas token mismatch
+HIT = "HIT"
+MISS = "MISS"
+DELETED = "DELETED"
+NOT_FOUND = "NOT_FOUND"
+ERROR = "ERROR"
+
+
+@dataclass
+class Request:
+    req_id: int
+    op: str
+    key: bytes
+
+    @property
+    def header_bytes(self) -> int:
+        return REQUEST_HEADER_BYTES + len(self.key)
+
+
+@dataclass
+class SetRequest(Request):
+    value_length: int = 0
+    flags: int = 0
+    expiration: float = 0.0
+    #: Storage mode: "set" (unconditional), "add" (only if absent),
+    #: "replace" (only if present), "cas" (only if the token matches).
+    mode: str = "set"
+    #: For mode "cas": the token the client observed on its last get.
+    cas_token: int = 0
+    #: True when the value travels inside the same wire message as the
+    #: header (IPoIB streams); False when it arrives separately via an
+    #: RDMA write (see :class:`ValueArrival`).
+    inline_value: bool = False
+
+    def __post_init__(self):
+        self.op = "set"
+
+
+@dataclass
+class GetRequest(Request):
+    def __post_init__(self):
+        self.op = "get"
+
+
+@dataclass
+class DeleteRequest(Request):
+    def __post_init__(self):
+        self.op = "delete"
+
+
+@dataclass
+class TouchRequest(Request):
+    """memcached's ``touch``: refresh an item's expiration in place."""
+
+    expiration: float = 0.0
+
+    def __post_init__(self):
+        self.op = "touch"
+
+
+@dataclass
+class StatsRequest(Request):
+    """memcached's ``stats`` command: fetch server counters."""
+
+    def __post_init__(self):
+        self.op = "stats"
+        self.key = b""
+
+
+@dataclass
+class MultiGetRequest(Request):
+    """libmemcached's ``memcached_mget``: one request, many keys.
+
+    ``entries`` maps each key to the per-key request id its response
+    answers; the server streams one :class:`Response` per key.
+    """
+
+    entries: tuple = ()  # of (req_id, key)
+
+    def __post_init__(self):
+        self.op = "mget"
+
+    @property
+    def header_bytes(self) -> int:
+        return (REQUEST_HEADER_BYTES
+                + sum(len(k) + 8 for _, k in self.entries))
+
+
+@dataclass
+class ValueArrival:
+    """Marks the landing of an RDMA-written SET value in a server buffer.
+
+    ``credit`` is the receive-buffer credit the client's communication
+    engine acquired before the write; the server releases it when the
+    buffer is consumed (late for the default design, early for the
+    optimized one — Section V-B1).
+    """
+
+    req_id: int
+    nbytes: int
+    credit: Any = None
+
+
+@dataclass
+class BufferAck:
+    """Optimized-server notification that a SET's value is staged.
+
+    Section V-B1: "the server buffers the client's request and data, and
+    notifies the client that its buffer can be re-used". ``bset`` blocks
+    until this ack; the operation's *completion* still arrives separately
+    after the slab/cache phases.
+    """
+
+    req_id: int
+
+    @property
+    def header_bytes(self) -> int:
+        return 32
+
+
+@dataclass
+class Response:
+    req_id: int
+    op: str
+    status: str
+    value_length: int = 0
+    #: stats-command payload: server counter snapshot.
+    stats_payload: Optional[Dict[str, float]] = None
+    #: CAS token of the item (get responses; 0 when not applicable).
+    cas_token: int = 0
+    #: Per-stage server time for this operation (seconds), keyed by the
+    #: six-stage breakdown names of Section III-A.
+    stages: Dict[str, float] = field(default_factory=dict)
+    #: Simulation time at which the server handed the response to its NIC.
+    sent_at: float = 0.0
+    server_name: str = ""
+
+    @property
+    def header_bytes(self) -> int:
+        return RESPONSE_HEADER_BYTES

@@ -1,0 +1,413 @@
+"""The Memcached server runtime.
+
+Worker processes (memcached's worker threads) pull assembled requests
+from a queue and drive the slab manager. Two runtime designs exist,
+selected by :class:`ServerConfig`:
+
+* **default** (H-RDMA-Def lineage): a SET's receive-buffer credit is
+  held until the request is fully processed — slab allocation and any
+  synchronous SSD flush included — so a busy server backpressures the
+  clients' communication engines;
+* **optimized** (Section V-B1, ``early_ack=True``): the server copies
+  the value into internal staging and releases the credit immediately,
+  then performs the expensive hybrid memory/SSD work, and only then
+  communicates the operation's completion — the non-blocking client can
+  meanwhile reuse its buffers and issue further requests.
+
+Stage times are measured here and shipped back in each
+:class:`~repro.server.protocol.Response` so the client side can assemble
+the six-stage breakdown of Section III-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.net.transport import Endpoint
+from repro.server.hybrid import HybridSlabManager
+from repro.server.protocol import (
+    DELETED,
+    HIT,
+    MISS,
+    NOT_FOUND,
+    STORED,
+    BufferAck,
+    DeleteRequest,
+    GetRequest,
+    MultiGetRequest,
+    Request,
+    Response,
+    SetRequest,
+    StatsRequest,
+    TouchRequest,
+    ValueArrival,
+)
+from repro.sim import PriorityStore, Resource, Simulator, Store
+from repro.storage.device import BlockDevice
+from repro.storage.params import DeviceParams, PageCacheParams
+from repro.units import GB, KB, MB, US
+
+
+@dataclass(frozen=True)
+class ServerCosts:
+    """CPU service times of the server's fast-path operations."""
+
+    parse: float = 0.5 * US
+    hash_lookup: float = 0.4 * US
+    lru_update: float = 0.25 * US
+    slab_alloc_cpu: float = 0.5 * US
+    response_prep: float = 0.4 * US
+    #: memcpy bandwidth for staging/chunk copies (bytes/s).
+    memcpy_bandwidth: float = 8e9
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything that distinguishes one server design from another."""
+
+    mem_limit: int = 1 * GB
+    page_size: int = 1 * MB
+    #: SSD backing; None gives a pure in-memory server.
+    ssd: Optional[DeviceParams] = None
+    ssd_limit: int = 4 * GB
+    #: "direct" (existing design) or "adaptive" (mmap/cached by class).
+    io_policy: str = "direct"
+    adaptive_cutoff: int = 32 * KB
+    promote_policy: str = "always"
+    victim_policy: str = "coldest"
+    worker_threads: int = 8
+    #: RDMA receive-buffer credits for in-flight SET values.
+    recv_credits: int = 16
+    #: Optimized runtime: release the credit after staging the value.
+    early_ack: bool = False
+    #: Asynchronous SSD I/O (the paper's Sec-VII future work): slab
+    #: flushes stage in bounded buffers and write back in the background.
+    async_flush: bool = False
+    flush_buffers: int = 4
+    #: Slab automover (memcached's rebalancer) for shifting workloads.
+    automove: bool = False
+    automove_interval: float = 0.05
+    #: Schedule GETs ahead of SETs in the worker queue (an extension
+    #: beyond the paper: read requests skip ahead of writes whose slab
+    #: flushes would otherwise head-of-line-block them).
+    get_priority: bool = False
+    pagecache: PageCacheParams = field(default_factory=PageCacheParams)
+    costs: ServerCosts = field(default_factory=ServerCosts)
+    min_chunk: int = 96
+    growth_factor: float = 1.25
+
+    @property
+    def hybrid(self) -> bool:
+        return self.ssd is not None
+
+
+@dataclass
+class ServerStats:
+    """Operation counters and per-stage time accumulators."""
+
+    sets: int = 0
+    gets: int = 0
+    deletes: int = 0
+    get_hits: int = 0
+    get_misses: int = 0
+    stage_time: Dict[str, float] = field(default_factory=dict)
+    busy_time: float = 0.0
+
+    def add_stage(self, name: str, dt: float) -> None:
+        self.stage_time[name] = self.stage_time.get(name, 0.0) + dt
+
+
+class MemcachedServer:
+    """One Memcached server instance bound to a fabric node."""
+
+    def __init__(self, sim: Simulator, config: ServerConfig,
+                 name: str = "server0"):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self.device = (BlockDevice(sim, config.ssd, name=f"{name}-ssd")
+                       if config.ssd is not None else None)
+        self.manager = HybridSlabManager(
+            sim,
+            mem_limit=config.mem_limit,
+            device=self.device,
+            ssd_limit=config.ssd_limit,
+            page_size=config.page_size,
+            io_policy=config.io_policy,
+            adaptive_cutoff=config.adaptive_cutoff,
+            promote_policy=config.promote_policy,
+            victim_policy=config.victim_policy,
+            pagecache_params=config.pagecache,
+            min_chunk=config.min_chunk,
+            growth_factor=config.growth_factor,
+            async_flush=config.async_flush,
+            flush_buffers=config.flush_buffers,
+            flush_memcpy_bandwidth=config.costs.memcpy_bandwidth,
+            automove=config.automove,
+            automove_interval=config.automove_interval,
+        )
+        self.stats = ServerStats()
+        self._queue = PriorityStore(sim) if config.get_priority else Store(sim)
+        self.credits = Resource(sim, capacity=config.recv_credits)
+        self._value_events: Dict[int, object] = {}
+        self._started = False
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, endpoint: Endpoint) -> None:
+        """Serve one client connection."""
+        self.sim.spawn(self._rx_pump(endpoint), name=f"{self.name}-rx")
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for i in range(self.config.worker_threads):
+            self.sim.spawn(self._worker(), name=f"{self.name}-worker{i}")
+
+    # -- receive path ---------------------------------------------------------
+
+    def _rx_pump(self, endpoint: Endpoint):
+        while True:
+            delivery = yield endpoint.recv()
+            payload = delivery.payload
+            if isinstance(payload, ValueArrival):
+                # req_ids are unique per client connection only; key the
+                # rendezvous by (connection, req_id).
+                key = (id(endpoint), payload.req_id)
+                ev = self._value_events.setdefault(key, self.sim.event())
+                ev.succeed(payload)
+            elif isinstance(payload, Request):
+                if self.config.get_priority:
+                    # Reads skip ahead of writes (0 beats 1).
+                    rank = 0 if payload.op in ("get", "mget") else 1
+                    self._queue.put((delivery, endpoint), priority=rank)
+                else:
+                    self._queue.put((delivery, endpoint))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unexpected payload {payload!r}")
+
+    def _await_value(self, endpoint: Endpoint, req_id: int):
+        key = (id(endpoint), req_id)
+        ev = self._value_events.setdefault(key, self.sim.event())
+        arrival = yield ev
+        del self._value_events[key]
+        return arrival
+
+    # -- worker threads ---------------------------------------------------------
+
+    def _worker(self):
+        while True:
+            delivery, endpoint = yield self._queue.get()
+            start = self.sim.now
+            if delivery.recv_cpu:
+                yield self.sim.timeout(delivery.recv_cpu)
+            yield self.sim.timeout(self.config.costs.parse)
+            request = delivery.payload
+            if isinstance(request, SetRequest):
+                yield from self._handle_set(request, endpoint)
+            elif isinstance(request, MultiGetRequest):
+                yield from self._handle_mget(request, endpoint)
+            elif isinstance(request, GetRequest):
+                yield from self._handle_get(request, endpoint)
+            elif isinstance(request, DeleteRequest):
+                yield from self._handle_delete(request, endpoint)
+            elif isinstance(request, TouchRequest):
+                yield from self._handle_touch(request, endpoint)
+            elif isinstance(request, StatsRequest):
+                yield from self._handle_stats(request, endpoint)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown request {request!r}")
+            self.stats.busy_time += self.sim.now - start
+
+    # -- SET -----------------------------------------------------------------
+
+    def _handle_set(self, request: SetRequest, endpoint: Endpoint):
+        costs = self.config.costs
+        stages: Dict[str, float] = {}
+        credit = None
+        if not request.inline_value:
+            arrival = yield from self._await_value(endpoint, request.req_id)
+            credit = arrival.credit
+        # Copy the value out of the receive buffer (staging on the
+        # optimized server, directly toward the chunk otherwise).
+        yield self.sim.timeout(request.value_length / costs.memcpy_bandwidth)
+        if credit is not None and self.config.early_ack:
+            # Optimized runtime: the receive buffer is free *now*; the
+            # client engine's next value transfer can proceed while we do
+            # the expensive slab work below. Notify the client that its
+            # buffers are reusable (what bset blocks on — Section V-B1).
+            self.credits.release(credit)
+            credit = None
+            ack = BufferAck(req_id=request.req_id)
+            endpoint.send(ack, ack.header_bytes, one_sided=True)
+
+        t0 = self.sim.now
+        yield self.sim.timeout(costs.slab_alloc_cpu)
+        item, info = yield from self.manager.store(
+            request.key, request.value_length, request.flags,
+            request.expiration, mode=request.mode,
+            cas_token=request.cas_token)
+        stages["slab_alloc"] = self.sim.now - t0
+
+        t0 = self.sim.now
+        yield self.sim.timeout(costs.lru_update)
+        stages["cache_update"] = self.sim.now - t0
+
+        if credit is not None:
+            self.credits.release(credit)
+        self.stats.sets += 1
+        for k, v in stages.items():
+            self.stats.add_stage(k, v)
+        yield from self._respond(endpoint, request, info.status, 0, stages,
+                                 cas_token=item.cas if item else 0)
+
+    # -- GET ------------------------------------------------------------------
+
+    def _handle_get(self, request: GetRequest, endpoint: Endpoint):
+        costs = self.config.costs
+        stages: Dict[str, float] = {}
+        t0 = self.sim.now
+        yield self.sim.timeout(costs.hash_lookup)
+        item = self.manager.lookup(request.key)
+        if item is not None:
+            yield from self.manager.load_value(item)
+        stages["cache_check_load"] = self.sim.now - t0
+
+        self.stats.gets += 1
+        if item is None:
+            self.stats.get_misses += 1
+            for k, v in stages.items():
+                self.stats.add_stage(k, v)
+            yield from self._respond(endpoint, request, MISS, 0, stages)
+            return
+
+        t0 = self.sim.now
+        yield self.sim.timeout(costs.lru_update)
+        self.manager.touch(item)
+        stages["cache_update"] = self.sim.now - t0
+
+        self.stats.get_hits += 1
+        for k, v in stages.items():
+            self.stats.add_stage(k, v)
+        yield from self._respond(endpoint, request, HIT, item.value_length,
+                                 stages, cas_token=item.cas)
+
+    # -- MGET -----------------------------------------------------------------
+
+    def _handle_mget(self, request: MultiGetRequest, endpoint: Endpoint):
+        """memcached_mget: stream one response per requested key."""
+        costs = self.config.costs
+        for req_id, key in request.entries:
+            stages: Dict[str, float] = {}
+            t0 = self.sim.now
+            yield self.sim.timeout(costs.hash_lookup)
+            item = self.manager.lookup(key)
+            if item is not None:
+                yield from self.manager.load_value(item)
+            stages["cache_check_load"] = self.sim.now - t0
+            self.stats.gets += 1
+            sub = GetRequest(req_id=req_id, op="get", key=key)
+            if item is None:
+                self.stats.get_misses += 1
+                yield from self._respond(endpoint, sub, MISS, 0, stages)
+                continue
+            t0 = self.sim.now
+            yield self.sim.timeout(costs.lru_update)
+            self.manager.touch(item)
+            stages["cache_update"] = self.sim.now - t0
+            self.stats.get_hits += 1
+            for k, v in stages.items():
+                self.stats.add_stage(k, v)
+            yield from self._respond(endpoint, sub, HIT, item.value_length,
+                                     stages, cas_token=item.cas)
+
+    # -- DELETE --------------------------------------------------------------
+
+    def _handle_delete(self, request: DeleteRequest, endpoint: Endpoint):
+        yield self.sim.timeout(self.config.costs.hash_lookup)
+        found = self.manager.delete(request.key)
+        self.stats.deletes += 1
+        yield from self._respond(endpoint, request,
+                                 DELETED if found else NOT_FOUND, 0, {})
+
+    # -- TOUCH ---------------------------------------------------------------
+
+    def _handle_touch(self, request: TouchRequest, endpoint: Endpoint):
+        """memcached's ``touch``: bump expiration + LRU, no data moved."""
+        costs = self.config.costs
+        yield self.sim.timeout(costs.hash_lookup)
+        item = self.manager.lookup(request.key)
+        if item is None:
+            yield from self._respond(endpoint, request, NOT_FOUND, 0, {})
+            return
+        item.expiration = request.expiration
+        yield self.sim.timeout(costs.lru_update)
+        self.manager.touch(item)
+        yield from self._respond(endpoint, request, "TOUCHED", 0, {})
+
+    # -- STATS ---------------------------------------------------------------
+
+    def _handle_stats(self, request: StatsRequest, endpoint: Endpoint):
+        """memcached's ``stats``: ship a counter snapshot to the client."""
+        yield self.sim.timeout(self.config.costs.response_prep)
+        snapshot = self.stats_snapshot()
+        response = Response(req_id=request.req_id, op="stats", status="OK",
+                            stats_payload=snapshot, sent_at=self.sim.now,
+                            server_name=self.name)
+        # ~100 bytes per counter line, like the text protocol.
+        endpoint.send(response, response.header_bytes + 100 * len(snapshot),
+                      one_sided=True)
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        """The counters the ``stats`` command reports."""
+        m = self.manager.stats
+        snap: Dict[str, float] = {
+            "cmd_set": self.stats.sets,
+            "cmd_get": self.stats.gets,
+            "get_hits": self.stats.get_hits,
+            "get_misses": self.stats.get_misses,
+            "cmd_delete": self.stats.deletes,
+            "curr_items": len(self.manager.table),
+            "items_ram": self.manager.items_in_ram,
+            "items_ssd": self.manager.items_on_ssd,
+            "slab_flushes": m.flushes,
+            "ssd_reads": m.ssd_reads,
+            "promotions": m.promotions,
+            "evictions": m.ram_evictions + m.dropped_items,
+            "bytes_flushed": m.flushed_bytes,
+        }
+        if self.device is not None:
+            snap["device_reads"] = self.device.stats.reads
+            snap["device_writes"] = self.device.stats.writes
+            snap["device_busy_time"] = self.device.stats.busy_time
+        return snap
+
+    # -- response ----------------------------------------------------------------
+
+    def _respond(self, endpoint: Endpoint, request: Request, status: str,
+                 value_length: int, stages: Dict[str, float],
+                 cas_token: int = 0):
+        yield self.sim.timeout(self.config.costs.response_prep)
+        response = Response(req_id=request.req_id, op=request.op,
+                            status=status, value_length=value_length,
+                            stages=dict(stages), sent_at=self.sim.now,
+                            server_name=self.name, cas_token=cas_token)
+        nbytes = response.header_bytes + value_length
+        # GET responses carry the value via an RDMA write into the
+        # client's buffer (one-sided); on IPoIB this degrades to a stream
+        # send, both exactly as in the respective real designs.
+        endpoint.send(response, nbytes, one_sided=True)
+        self.stats.add_stage("server_response",
+                             self.config.costs.response_prep)
+
+    # -- experiment setup ------------------------------------------------------
+
+    def preload(self, pairs) -> int:
+        """Insert ``(key, value_length)`` pairs in zero simulated time."""
+        n = 0
+        for key, value_length in pairs:
+            self.manager.preload(key, value_length)
+            n += 1
+        return n

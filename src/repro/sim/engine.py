@@ -1,0 +1,109 @@
+"""The simulator core: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, Optional, Union
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+
+
+class Simulator:
+    """Owns the virtual clock and the pending-event queue.
+
+    All events and processes are bound to one simulator; mixing objects
+    from different simulators raises :class:`SimulationError`.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = count()
+        self._active_process: Optional[Process] = None
+        #: Exceptions from failed events that no handler defused.
+        self._unhandled: list[BaseException] = []
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh, untriggered event (trigger it with succeed/fail)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, gen: Generator, name: Optional[str] = None) -> Process:
+        """Run a generator as a process; returns its completion event."""
+        return Process(self, gen, name=name)
+
+    # Alias matching SimPy nomenclature.
+    process = spawn
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _post(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        event._process()
+        if self._unhandled:
+            exc = self._unhandled[0]
+            self._unhandled.clear()
+            raise exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run until the schedule drains, a deadline, or an event.
+
+        * ``until=None`` — run until no events remain.
+        * ``until=<float>`` — run until the clock would pass that time
+          (the clock is then set to exactly ``until``).
+        * ``until=<Event>`` — run until that event is processed; returns
+          its value (raising if it failed).
+        """
+        if isinstance(until, Event):
+            stop = until
+            if stop.sim is not self:
+                raise SimulationError("until-event belongs to another simulator")
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "schedule drained before until-event triggered (deadlock?)"
+                    )
+                self.step()
+            stop.defused = True
+            if stop.ok:
+                return stop.value
+            raise stop.value
+        deadline = float("inf") if until is None else float(until)
+        if deadline < self._now:
+            raise SimulationError(f"until={deadline} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

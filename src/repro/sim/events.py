@@ -1,0 +1,259 @@
+"""Event primitives for the discrete-event engine.
+
+Lifecycle of an :class:`Event`:
+
+1. *pending* — created, no value.
+2. *triggered* — ``succeed``/``fail`` called; the event is placed on the
+   simulator's queue at the current time (or at ``now + delay`` for
+   :class:`Timeout`).
+3. *processed* — popped from the queue; callbacks run, waiting processes
+   resume.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.sim.errors import Interrupt, SimulationError
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Trigger with :meth:`succeed` or :meth:`fail`; waiting processes resume
+    with the event's value (or the exception thrown into them).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused")
+
+    def __init__(self, sim):
+        self.sim = sim
+        #: Callables invoked (with the event) when the event is processed.
+        #: ``None`` once processed.
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: Set when a failure has been delivered to (or absorbed by) a
+        #: handler, so it is not re-raised out of :meth:`Simulator.run`.
+        self.defused = False
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        self._trigger(False, exc)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = ok
+        self._value = value
+        self.sim._post(self, delay=0.0)
+
+    # -- processing (called by the simulator) -----------------------------
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for cb in callbacks:
+            cb(self)
+        if not self._ok and not self.defused:
+            # A failure nobody handled: surface it from Simulator.run().
+            self.sim._unhandled.append(self._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._post(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal: kicks off a newly spawned process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, sim, process: "Process"):
+        super().__init__(sim)
+        self.process = process
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._post(self, delay=0.0)
+
+
+class Process(Event):
+    """Wraps a generator; the process *is* the event of its termination.
+
+    The generator may ``yield`` any :class:`Event`; it is resumed with the
+    event's value once the event is processed. A generator ``return x``
+    succeeds the process event with value ``x``.
+    """
+
+    __slots__ = ("_gen", "_target", "name")
+
+    def __init__(self, sim, gen: Generator, name: Optional[str] = None):
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"spawn() needs a generator, got {gen!r}")
+        super().__init__(sim)
+        self._gen = gen
+        #: The event this process is currently waiting on (None when ready).
+        self._target: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self.sim._active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from whatever it is waiting on, then resume with the error.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        wake = Event(self.sim)
+        wake.callbacks.append(self._resume)
+        wake.fail(Interrupt(cause))
+        wake.defused = True
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self.sim._active_process = self
+        try:
+            while True:
+                if event._ok:
+                    target = self._gen.send(event._value)
+                else:
+                    event.defused = True
+                    target = self._gen.throw(event._value)
+                if not isinstance(target, Event):
+                    self._gen.close()
+                    raise SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}"
+                    )
+                if target.sim is not self.sim:
+                    raise SimulationError("event belongs to a different simulator")
+                if target.processed:
+                    # Already done: loop around and feed its value right in.
+                    event = target
+                    continue
+                target.callbacks.append(self._resume)
+                self._target = target
+                return
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except BaseException as exc:  # noqa: BLE001 - process died
+            self.fail(exc)
+        finally:
+            self.sim._active_process = None
+
+
+class Condition(Event):
+    """Composite event over several child events.
+
+    ``evaluate(events, done_count)`` decides completion. The condition's
+    value is an ordered dict mapping each *triggered* child to its value.
+    """
+
+    __slots__ = ("events", "_done", "_evaluate")
+
+    def __init__(self, sim, events: Iterable[Event], evaluate):
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._done = 0
+        self._evaluate = evaluate  # type: ignore[misc]
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition spans simulators")
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict:
+        # Only *processed* children count: a Timeout carries its value from
+        # creation, but it has not "happened" until the queue pops it.
+        return {ev: ev._value for ev in self.events if ev.processed and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._evaluate(self.events, self._done):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Triggers when every child event has triggered successfully."""
+
+    __slots__ = ()
+
+    def __init__(self, sim, events: Iterable[Event]):
+        super().__init__(sim, events, lambda evs, n: n == len(evs))
+
+
+class AnyOf(Condition):
+    """Triggers when at least one child event has triggered successfully."""
+
+    __slots__ = ()
+
+    def __init__(self, sim, events: Iterable[Event]):
+        super().__init__(sim, events, lambda evs, n: n >= 1 and len(evs) > 0)

@@ -1,0 +1,201 @@
+"""Shared-resource primitives: counted resources and item stores.
+
+Usage from a process::
+
+    req = resource.request()
+    yield req
+    try:
+        ...  # hold the resource
+    finally:
+        resource.release(req)
+
+    yield store.put(item)
+    item = yield store.get()
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Request(Event):
+    """Pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with a FIFO wait queue.
+
+    ``capacity`` concurrent holders; further requests queue in arrival
+    order. Deterministic: ties broken by request order.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._holders: set[Request] = set()
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return len(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        req = Request(self)
+        if len(self._holders) < self.capacity:
+            self._holders.add(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        if req not in self._holders:
+            raise SimulationError("releasing a request that does not hold the resource")
+        self._holders.remove(req)
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            self._holders.add(nxt)
+            nxt.succeed()
+
+    def cancel(self, req: Request) -> None:
+        """Withdraw a queued (not yet granted) request."""
+        try:
+            self._waiting.remove(req)
+        except ValueError as err:
+            raise SimulationError("request is not queued") from err
+
+    def acquire(self):
+        """Generator helper: ``req = yield from res.acquire()``."""
+        req = self.request()
+        yield req
+        return req
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, sim: Simulator, item: Any):
+        super().__init__(sim)
+        self.item = item
+
+
+class StoreGet(Event):
+    __slots__ = ("filter",)
+
+    def __init__(self, sim: Simulator, filter: Optional[Callable[[Any], bool]] = None):
+        super().__init__(sim)
+        self.filter = filter
+
+
+class PriorityStore:
+    """A store whose getters receive the lowest-priority-value item first.
+
+    ``put(item, priority)`` inserts; ties resolve FIFO (stable). Getters
+    are served FIFO. Unbounded (use :class:`Store` when backpressure on
+    producers is needed).
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._heap: list[tuple[float, int, Any]] = []
+        self._counter = 0
+        self._getters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def put(self, item: Any, priority: float = 0.0) -> StorePut:
+        ev = StorePut(self.sim, item)
+        heapq.heappush(self._heap, (priority, self._counter, item))
+        self._counter += 1
+        ev.succeed()
+        self._dispatch()
+        return ev
+
+    def get(self) -> StoreGet:
+        ev = StoreGet(self.sim, None)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        while self._getters and self._heap:
+            _, _, item = heapq.heappop(self._heap)
+            self._getters.popleft().succeed(item)
+
+
+class Store:
+    """FIFO buffer of items with optional capacity.
+
+    ``put`` blocks when full; ``get`` blocks when empty (or when no item
+    matches the optional filter). Items are matched to getters in FIFO
+    order; a filtered getter skips past non-matching items without
+    consuming them.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        ev = StorePut(self.sim, item)
+        self._putters.append(ev)
+        self._dispatch()
+        return ev
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        ev = StoreGet(self.sim, filter)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Admit queued puts while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Serve getters against buffered items.
+            for get in list(self._getters):
+                match_idx = None
+                for idx, item in enumerate(self.items):
+                    if get.filter is None or get.filter(item):
+                        match_idx = idx
+                        break
+                if match_idx is None:
+                    continue
+                item = self.items[match_idx]
+                del self.items[match_idx]
+                self._getters.remove(get)
+                get.succeed(item)
+                progress = True

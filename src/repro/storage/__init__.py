@@ -1,0 +1,47 @@
+"""Storage substrate: block devices, OS page cache, and I/O schemes.
+
+Three synchronous I/O schemes are modeled, matching Section V-B of the
+paper (Figure 4):
+
+* **direct I/O** (``O_DIRECT``) — every call pays the full device latency
+  and bandwidth, bypassing the page cache. This is what the existing
+  H-RDMA-Def hybrid design uses for slab eviction.
+* **cached I/O** — buffered ``write``/``read`` through the page cache:
+  a syscall plus a memcpy, with asynchronous write-back and dirty-ratio
+  throttling. Wins for large transfers.
+* **mmap** — load/store into a mapped region: no syscall, but a per-page
+  fault cost and less efficient (small-cluster) write-back. Wins for
+  small transfers.
+
+The adaptive slab manager (``repro.server.hybrid``) picks mmap for small
+slab classes and cached I/O for large ones, per the paper's Figure 5.
+"""
+
+from repro.storage.device import BlockDevice, DeviceStats
+from repro.storage.pagecache import PageCache
+from repro.storage.params import (
+    DEFAULT_PAGE_CACHE,
+    NVME_SSD,
+    RAMDISK,
+    SATA_SSD,
+    DeviceParams,
+    PageCacheParams,
+)
+from repro.storage.schemes import CachedIO, DirectIO, IOScheme, MmapIO, make_scheme
+
+__all__ = [
+    "BlockDevice",
+    "DeviceStats",
+    "DeviceParams",
+    "PageCacheParams",
+    "SATA_SSD",
+    "NVME_SSD",
+    "RAMDISK",
+    "DEFAULT_PAGE_CACHE",
+    "PageCache",
+    "IOScheme",
+    "DirectIO",
+    "CachedIO",
+    "MmapIO",
+    "make_scheme",
+]

@@ -1,0 +1,102 @@
+"""Queued block device model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim import Resource, Simulator
+from repro.sim.errors import SimulationError
+from repro.storage.params import DeviceParams
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative I/O accounting for one device."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_time: float = 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "busy_time": self.busy_time,
+        }
+
+
+class BlockDevice:
+    """A block device with NCQ-style parallelism and a shared data pipe.
+
+    Each request passes two stages:
+
+    1. an **access-latency** stage (flash lookup / command handling) that
+       up to ``params.parallelism`` requests overlap — this is what lets
+       a deep queue hide per-request latency (NCQ / NVMe queues);
+    2. a **bandwidth** stage: the device's internal data path is one
+       shared pipe, so concurrent requests cannot exceed the rated
+       sequential bandwidth no matter the queue depth.
+
+    ``read``/``write`` return the completion :class:`~repro.sim.Process`;
+    callers ``yield`` it for synchronous semantics or keep it for
+    asynchronous completion.
+    """
+
+    def __init__(self, sim: Simulator, params: DeviceParams, name: str | None = None):
+        self.sim = sim
+        self.params = params
+        self.name = name or params.name
+        self._slots = Resource(sim, capacity=params.parallelism)
+        self._pipe = Resource(sim, capacity=1)
+        self.stats = DeviceStats()
+
+    def read(self, nbytes: int):
+        return self.sim.spawn(self._io(nbytes, write=False), name=f"{self.name}-read")
+
+    def write(self, nbytes: int):
+        return self.sim.spawn(self._io(nbytes, write=True), name=f"{self.name}-write")
+
+    def _io(self, nbytes: int, write: bool):
+        if nbytes < 0:
+            raise SimulationError(f"negative I/O size {nbytes}")
+        slot = self._slots.request()
+        yield slot
+        try:
+            latency = (self.params.write_latency if write
+                       else self.params.read_latency)
+            yield self.sim.timeout(latency)
+            bandwidth = (self.params.write_bandwidth if write
+                         else self.params.read_bandwidth)
+            remaining = self.params.aligned(nbytes)
+            xfer = remaining / bandwidth
+            quantum = max(self.params.pipe_quantum, self.params.sector)
+            while remaining > 0:
+                chunk = min(remaining, quantum)
+                pipe = self._pipe.request()
+                yield pipe
+                try:
+                    yield self.sim.timeout(chunk / bandwidth)
+                finally:
+                    self._pipe.release(pipe)
+                remaining -= chunk
+            self.stats.busy_time += latency + xfer
+            if write:
+                self.stats.writes += 1
+                self.stats.bytes_written += nbytes
+            else:
+                self.stats.reads += 1
+                self.stats.bytes_read += nbytes
+        finally:
+            self._slots.release(slot)
+
+    @property
+    def queue_length(self) -> int:
+        return self._slots.queue_length
+
+    @property
+    def in_service(self) -> int:
+        return self._slots.in_use

@@ -1,0 +1,24 @@
+"""Workload generators: the OHB-style micro-benchmark suite (Sec VI-A).
+
+Supports the dimensions the paper's micro-benchmarks expose: key-value
+pair size, overall workload size, data access pattern (uniform and
+Zipf-skewed), operation mix (read:write per client), and a block-based
+bursty-I/O pattern that reads/writes blocks as sequences of chunks
+(Listing 2 / Section VI-G).
+"""
+
+from repro.workloads.bursty import BurstyWorkload
+from repro.workloads.distributions import UniformSampler, ZipfSampler
+from repro.workloads.generator import Op, WorkloadSpec, generate_ops, make_dataset
+from repro.workloads.keyspace import Keyspace
+
+__all__ = [
+    "Keyspace",
+    "ZipfSampler",
+    "UniformSampler",
+    "Op",
+    "WorkloadSpec",
+    "generate_ops",
+    "make_dataset",
+    "BurstyWorkload",
+]

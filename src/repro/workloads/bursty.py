@@ -1,0 +1,71 @@
+"""Block-based bursty-I/O workload (Sections IV-B and VI-G).
+
+Data moves in *blocks* (e.g. 2 MB or 16 MB); each block is split into
+fixed-size *chunks* (e.g. 256 KB) that become individual key-value
+pairs, possibly scattered over multiple Memcached servers. Completion
+is guaranteed block-by-block: with the non-blocking APIs the client
+issues every chunk of a block and then waits on all of them, exactly
+as in the paper's Listing 2; with blocking APIs each chunk round-trips
+before the next is issued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class BurstyWorkload:
+    """Sizing of a bursty block-I/O run."""
+
+    block_size: int
+    chunk_size: int
+    total_bytes: int
+    key_prefix: str = "blk"
+
+    def __post_init__(self):
+        if self.block_size % self.chunk_size:
+            raise ValueError("block_size must be a chunk multiple")
+        if self.total_bytes % self.block_size:
+            raise ValueError("total_bytes must be a block multiple")
+
+    @property
+    def chunks_per_block(self) -> int:
+        return self.block_size // self.chunk_size
+
+    @property
+    def num_blocks(self) -> int:
+        return self.total_bytes // self.block_size
+
+    def chunk_keys(self, block: int) -> List[bytes]:
+        if not 0 <= block < self.num_blocks:
+            raise IndexError(f"block {block} out of range")
+        return [f"{self.key_prefix}:{block:06d}:{c:04d}".encode()
+                for c in range(self.chunks_per_block)]
+
+    # -- client drivers (generators) -------------------------------------
+
+    def write_block_blocking(self, client, block: int):
+        """Chunk-by-chunk blocking writes."""
+        for key in self.chunk_keys(block):
+            yield from client.set(key, self.chunk_size)
+
+    def write_block_nonblocking(self, client, block: int, api: str = "iset"):
+        """Listing 2: issue every chunk, then wait for the whole block."""
+        issue = client.iset if api == "iset" else client.bset
+        reqs = []
+        for key in self.chunk_keys(block):
+            reqs.append((yield from issue(key, self.chunk_size)))
+        yield from client.wait_all(reqs)
+
+    def read_block_blocking(self, client, block: int):
+        for key in self.chunk_keys(block):
+            yield from client.get(key)
+
+    def read_block_nonblocking(self, client, block: int, api: str = "iget"):
+        issue = client.iget if api == "iget" else client.bget
+        reqs = []
+        for key in self.chunk_keys(block):
+            reqs.append((yield from issue(key)))
+        yield from client.wait_all(reqs)

@@ -1,0 +1,84 @@
+"""Key-index samplers: uniform and Zipf (skewed) access patterns.
+
+The Zipf sampler draws ranks with probability proportional to
+``1/rank**theta`` (YCSB's "zipfian", theta defaulting to 0.99) and maps
+ranks onto key indices through a fixed pseudo-random permutation, so the
+hot keys are scattered over the keyspace (and therefore over servers),
+as YCSB's scrambled-zipfian does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class UniformSampler:
+    """Every key equally likely."""
+
+    def __init__(self, num_keys: int, seed: int = 0):
+        if num_keys < 1:
+            raise ValueError("num_keys must be positive")
+        self.num_keys = num_keys
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, n: int) -> np.ndarray:
+        return self._rng.integers(0, self.num_keys, size=n)
+
+
+class ZipfSampler:
+    """Zipf-skewed sampling over a scrambled keyspace.
+
+    ``seed`` drives the draw sequence; ``perm_seed`` (defaulting to
+    ``seed``) drives the rank-to-key scramble. Streams that should be
+    decorrelated but agree on *which keys are hot* — multiple clients
+    of one workload, or a warmup phase — share ``perm_seed`` and vary
+    ``seed``.
+    """
+
+    def __init__(self, num_keys: int, theta: float = 0.99, seed: int = 0,
+                 perm_seed: Optional[int] = None):
+        if num_keys < 1:
+            raise ValueError("num_keys must be positive")
+        if theta <= 0:
+            raise ValueError("theta must be positive")
+        self.num_keys = num_keys
+        self.theta = theta
+        self._rng = np.random.default_rng(seed)
+        ranks = np.arange(1, num_keys + 1, dtype=np.float64)
+        weights = ranks ** -theta
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        # Fixed permutation scatters hot ranks across the keyspace.
+        scramble = seed if perm_seed is None else perm_seed
+        self._perm = np.random.default_rng(scramble + 0x5EED).permutation(
+            num_keys)
+
+    def sample(self, n: int) -> np.ndarray:
+        return self._perm[self.sample_ranks(n)]
+
+    def sample_ranks(self, n: int) -> np.ndarray:
+        """Unscrambled popularity ranks (0 = hottest).
+
+        Used by recency-skewed ("latest") patterns where rank maps to
+        how recently a record was created, not to a scattered key.
+        """
+        u = self._rng.random(n)
+        return np.searchsorted(self._cdf, u, side="left")
+
+    def hot_fraction(self, top: float = 0.1) -> float:
+        """Probability mass of the hottest ``top`` fraction of keys."""
+        cut = max(1, int(self.num_keys * top))
+        return float(self._cdf[cut - 1])
+
+
+def make_sampler(kind: str, num_keys: int, theta: float = 0.99,
+                 seed: int = 0, perm_seed: Optional[int] = None):
+    """Factory: ``"zipf"`` or ``"uniform"``."""
+    if kind == "zipf":
+        return ZipfSampler(num_keys, theta=theta, seed=seed,
+                           perm_seed=perm_seed)
+    if kind == "uniform":
+        return UniformSampler(num_keys, seed=seed)
+    raise ValueError(f"unknown distribution {kind!r}")

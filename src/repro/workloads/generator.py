@@ -1,0 +1,132 @@
+"""Operation-stream generation for the web-scale micro-benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.workloads.distributions import make_sampler
+from repro.workloads.keyspace import Keyspace
+
+
+@dataclass(frozen=True)
+class Op:
+    """One operation of a generated stream."""
+
+    kind: str  # "get" | "set"
+    key: bytes
+    value_length: int
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One micro-benchmark configuration (the knobs of Section VI-A).
+
+    ``value_sizes`` optionally replaces the single ``value_length`` with
+    a weighted mixture, e.g. ``((512, 0.8), (64 * KB, 0.2))`` for a
+    web-scale 80/20 small/large split. Each *key* gets a stable size
+    (assigned pseudo-randomly from the mixture at dataset-construction
+    time), so overwrites and backend repopulation keep sizes coherent —
+    and a single server exercises multiple slab classes, which is what
+    the adaptive I/O design switches schemes over.
+    """
+
+    num_ops: int
+    num_keys: int
+    value_length: int
+    #: reads per (reads+writes); 1.0 = read-only, 0.5 = the paper's
+    #: write-heavy 50:50 mix.
+    read_fraction: float = 0.5
+    distribution: str = "zipf"  # "zipf" | "uniform"
+    theta: float = 0.99
+    seed: int = 1
+    #: Optional weighted size mixture: ((size_bytes, weight), ...).
+    value_sizes: Optional[Tuple[Tuple[int, float], ...]] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be within [0, 1]")
+        if self.num_ops < 1 or self.num_keys < 1 or self.value_length < 0:
+            raise ValueError("invalid workload sizing")
+        if self.value_sizes is not None:
+            if not self.value_sizes:
+                raise ValueError("value_sizes must not be empty")
+            total = sum(w for _, w in self.value_sizes)
+            if abs(total - 1.0) > 1e-9:
+                raise ValueError("value_sizes weights must sum to 1.0")
+
+    def _size_table(self) -> np.ndarray:
+        """Per-key-index value sizes (stable for a given spec)."""
+        return _size_table_cached(self.num_keys, self.value_length,
+                                  self.value_sizes, self.seed)
+
+    def size_of_index(self, index: int) -> int:
+        return int(self._size_table()[index])
+
+    def value_length_for(self, key: bytes) -> int:
+        """Value size of a key (for the backend database on misses)."""
+        if self.value_sizes is None:
+            return self.value_length
+        if not key.startswith(b"key:"):  # not from this spec's keyspace
+            return self.value_length
+        try:
+            index = int(key.rsplit(b":", 1)[-1])
+        except ValueError:
+            return self.value_length
+        if 0 <= index < self.num_keys:
+            return self.size_of_index(index)
+        return self.value_length
+
+    @property
+    def total_bytes(self) -> int:
+        """Dataset footprint (values only)."""
+        if self.value_sizes is None:
+            return self.num_keys * self.value_length
+        return int(self._size_table().sum())
+
+
+@lru_cache(maxsize=128)
+def _size_table_cached(num_keys: int, value_length: int,
+                       value_sizes, seed: int) -> np.ndarray:
+    if value_sizes is None:
+        return np.full(num_keys, value_length, dtype=np.int64)
+    sizes = np.array([s for s, _ in value_sizes], dtype=np.int64)
+    weights = np.array([w for _, w in value_sizes])
+    rng = np.random.default_rng(seed + 0x51CE)
+    return sizes[rng.choice(len(sizes), size=num_keys, p=weights)]
+
+
+def generate_ops(spec: WorkloadSpec, client_index: int = 0,
+                 stream_offset: int = 0) -> List[Op]:
+    """Deterministic op stream for one client.
+
+    Different clients get decorrelated *draw sequences* via
+    ``client_index`` (or ``stream_offset`` for extra phases such as
+    warmup) while sharing the spec's rank-to-key scramble — all streams
+    of one workload agree on which keys are hot, as YCSB clients do.
+    """
+    seed = spec.seed + 7919 * client_index + stream_offset
+    sampler = make_sampler(spec.distribution, spec.num_keys,
+                           theta=spec.theta, seed=seed,
+                           perm_seed=spec.seed)
+    keyspace = Keyspace(spec.num_keys)
+    sizes = spec._size_table()
+    indices = sampler.sample(spec.num_ops)
+    reads = np.random.default_rng(seed + 0xA11CE).random(spec.num_ops) \
+        < spec.read_fraction
+    ops: List[Op] = []
+    for idx, is_read in zip(indices, reads):
+        ops.append(Op(kind="get" if is_read else "set",
+                      key=keyspace.key(int(idx)),
+                      value_length=int(sizes[idx])))
+    return ops
+
+
+def make_dataset(spec: WorkloadSpec) -> List[Tuple[bytes, int]]:
+    """(key, value_length) pairs for preloading the whole keyspace."""
+    keyspace = Keyspace(spec.num_keys)
+    sizes = spec._size_table()
+    return [(keyspace.key(i), int(sizes[i])) for i in range(spec.num_keys)]

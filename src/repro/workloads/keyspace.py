@@ -1,0 +1,32 @@
+"""Key naming for workloads."""
+
+from __future__ import annotations
+
+
+class Keyspace:
+    """A dense keyspace ``prefix:00000042`` of ``size`` keys.
+
+    Fixed-width suffixes keep key length (and therefore header size)
+    constant across the keyspace, like YCSB's ``user########`` keys.
+    """
+
+    def __init__(self, size: int, prefix: str = "key", width: int = 10):
+        if size < 1:
+            raise ValueError("keyspace must hold at least one key")
+        self.size = size
+        self.prefix = prefix
+        self.width = width
+        self._fmt = f"{prefix}:%0{width}d"
+
+    def key(self, index: int) -> bytes:
+        if not 0 <= index < self.size:
+            raise IndexError(f"key index {index} out of range")
+        return (self._fmt % index).encode()
+
+    def __len__(self) -> int:
+        return self.size
+
+    def all_keys(self):
+        """Iterate every key (preload uses this)."""
+        for i in range(self.size):
+            yield self.key(i)

@@ -1,0 +1,114 @@
+"""YCSB core-workload presets (Cooper et al., SoCC'10 — the paper's
+reference for cloud access patterns, Sec VI-A).
+
+Maps the standard core workloads onto op streams for the runner:
+
+========  =========================================  ==================
+workload  mix                                        distribution
+========  =========================================  ==================
+A         50% read / 50% update                      zipfian
+B         95% read / 5% update                       zipfian
+C         100% read                                  zipfian
+D         95% read / 5% insert (read-latest)         latest-skewed
+F         50% read / 50% read-modify-write           zipfian
+========  =========================================  ==================
+
+(Workload E is range scans; memcached has no range queries, exactly why
+YCSB-E is conventionally skipped for key-value caches.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.workloads.distributions import ZipfSampler
+from repro.workloads.generator import Op
+from repro.workloads.keyspace import Keyspace
+
+
+@dataclass(frozen=True)
+class YCSBWorkload:
+    """One YCSB core-workload definition."""
+
+    name: str
+    read_fraction: float
+    update_fraction: float = 0.0
+    insert_fraction: float = 0.0
+    rmw_fraction: float = 0.0
+    distribution: str = "zipfian"  # "zipfian" | "latest"
+    theta: float = 0.99
+
+    def __post_init__(self):
+        total = (self.read_fraction + self.update_fraction
+                 + self.insert_fraction + self.rmw_fraction)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"{self.name}: op mix must sum to 1.0")
+
+
+WORKLOAD_A = YCSBWorkload("A", read_fraction=0.5, update_fraction=0.5)
+WORKLOAD_B = YCSBWorkload("B", read_fraction=0.95, update_fraction=0.05)
+WORKLOAD_C = YCSBWorkload("C", read_fraction=1.0)
+WORKLOAD_D = YCSBWorkload("D", read_fraction=0.95, insert_fraction=0.05,
+                          distribution="latest")
+WORKLOAD_F = YCSBWorkload("F", read_fraction=0.5, rmw_fraction=0.5)
+
+CORE_WORKLOADS = {w.name: w for w in
+                  (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_D,
+                   WORKLOAD_F)}
+
+
+def generate_ycsb_ops(workload: YCSBWorkload, num_ops: int, num_keys: int,
+                      value_length: int, seed: int = 0,
+                      client_index: int = 0) -> List[Op]:
+    """Deterministic op stream for one client running a YCSB workload.
+
+    Inserts (workload D) create fresh keys beyond the preloaded
+    keyspace; the *latest* distribution skews reads toward the most
+    recently inserted/loaded records, as YCSB defines it.
+    """
+    rng = np.random.default_rng(seed + 7919 * client_index + 13)
+    keyspace = Keyspace(num_keys)
+    zipf = ZipfSampler(num_keys, theta=workload.theta,
+                       seed=seed + 7919 * client_index)
+    kinds = rng.choice(
+        ["read", "update", "insert", "rmw"],
+        size=num_ops,
+        p=[workload.read_fraction, workload.update_fraction,
+           workload.insert_fraction, workload.rmw_fraction])
+    zipf_draws = iter(zipf.sample(num_ops))
+    rank_draws = iter(zipf.sample_ranks(num_ops))
+    ops: List[Op] = []
+    inserted = 0  # keys appended past the initial keyspace
+
+    def pick_key() -> bytes:
+        if workload.distribution == "latest":
+            # Skew toward the most recent records: draw a zipf rank and
+            # count backwards from the newest key.
+            total = num_keys + inserted
+            back = int(next(rank_draws)) % total
+            index = total - 1 - back
+        else:
+            index = int(next(zipf_draws))
+        if index < num_keys:
+            return keyspace.key(index)
+        return _insert_key(client_index, index - num_keys)
+
+    for kind in kinds:
+        if kind == "read":
+            ops.append(Op("get", pick_key(), value_length))
+        elif kind == "update":
+            ops.append(Op("set", pick_key(), value_length))
+        elif kind == "rmw":
+            ops.append(Op("rmw", pick_key(), value_length))
+        else:  # insert
+            ops.append(Op("set", _insert_key(client_index, inserted),
+                          value_length))
+            inserted += 1
+    return ops
+
+
+def _insert_key(client_index: int, seq: int) -> bytes:
+    return f"ins:{client_index:03d}:{seq:010d}".encode()

@@ -1,0 +1,57 @@
+"""Unit tests for the backend database model."""
+
+import pytest
+
+from repro.client.backend import BackendDatabase
+from repro.sim import Simulator
+from repro.units import MS
+
+
+def test_fetch_costs_the_penalty():
+    sim = Simulator()
+    backend = BackendDatabase(sim, penalty=2 * MS)
+
+    def app(sim):
+        yield from backend.fetch(b"k")
+        return sim.now
+
+    assert sim.run(until=sim.spawn(app(sim))) == pytest.approx(2 * MS)
+    assert backend.fetches == 1
+
+
+def test_default_value_length():
+    sim = Simulator()
+    backend = BackendDatabase(sim, default_value_length=512)
+
+    def app(sim):
+        return (yield from backend.fetch(b"k"))
+
+    assert sim.run(until=sim.spawn(app(sim))) == 512
+
+
+def test_value_length_callable_wins():
+    sim = Simulator()
+    backend = BackendDatabase(sim, value_length_for=lambda k: len(k) * 100,
+                              default_value_length=1)
+
+    def app(sim):
+        return (yield from backend.fetch(b"abcd"))
+
+    assert sim.run(until=sim.spawn(app(sim))) == 400
+
+
+def test_concurrent_fetches_overlap():
+    """The backend is a parallel database, not a serial queue."""
+    sim = Simulator()
+    backend = BackendDatabase(sim, penalty=1 * MS)
+    done = []
+
+    def app(sim):
+        yield from backend.fetch(b"x")
+        done.append(sim.now)
+
+    for _ in range(5):
+        sim.spawn(app(sim))
+    sim.run()
+    assert all(t == pytest.approx(1 * MS) for t in done)
+    assert backend.fetches == 5

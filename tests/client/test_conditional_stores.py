@@ -1,0 +1,146 @@
+"""Tests for add/replace/cas (memcached's conditional storage commands)."""
+
+import pytest
+
+from repro import build_cluster, profiles
+from repro.units import KB, MB
+
+
+@pytest.fixture()
+def rig():
+    cluster = build_cluster(profiles.H_RDMA_OPT_NONB_I, server_mem=16 * MB,
+                            ssd_limit=64 * MB)
+    return cluster, cluster.clients[0]
+
+
+def run_app(cluster, gen_fn):
+    sim = cluster.sim
+    return sim.run(until=sim.spawn(gen_fn(sim)))
+
+
+class TestAdd:
+    def test_add_stores_when_absent(self, rig):
+        cluster, client = rig
+
+        def app(sim):
+            r = yield from client.add(b"fresh", 1 * KB)
+            assert r.status == "STORED"
+            g = yield from client.get(b"fresh")
+            assert g.status == "HIT"
+
+        run_app(cluster, app)
+
+    def test_add_fails_when_present(self, rig):
+        cluster, client = rig
+
+        def app(sim):
+            yield from client.set(b"key", 1 * KB)
+            r = yield from client.add(b"key", 2 * KB)
+            assert r.status == "NOT_STORED"
+            g = yield from client.get(b"key")
+            assert g.value_length == 1 * KB  # original untouched
+
+        run_app(cluster, app)
+
+
+class TestReplace:
+    def test_replace_fails_when_absent(self, rig):
+        cluster, client = rig
+
+        def app(sim):
+            r = yield from client.replace(b"nope", 1 * KB)
+            assert r.status == "NOT_STORED"
+            g = yield from client.get(b"nope")
+            assert g.status == "MISS"
+
+        run_app(cluster, app)
+
+    def test_replace_overwrites_when_present(self, rig):
+        cluster, client = rig
+
+        def app(sim):
+            yield from client.set(b"key", 1 * KB)
+            r = yield from client.replace(b"key", 4 * KB)
+            assert r.status == "STORED"
+            g = yield from client.get(b"key")
+            assert g.value_length == 4 * KB
+
+        run_app(cluster, app)
+
+
+class TestCas:
+    def test_cas_succeeds_with_fresh_token(self, rig):
+        cluster, client = rig
+
+        def app(sim):
+            yield from client.set(b"key", 1 * KB)
+            g = yield from client.get(b"key")
+            assert g.cas_token > 0
+            r = yield from client.cas(b"key", 2 * KB, g.cas_token)
+            assert r.status == "STORED"
+
+        run_app(cluster, app)
+
+    def test_cas_fails_after_interleaved_write(self, rig):
+        cluster, client = rig
+
+        def app(sim):
+            yield from client.set(b"key", 1 * KB)
+            g = yield from client.get(b"key")
+            stale = g.cas_token
+            yield from client.set(b"key", 1 * KB)  # someone else wrote
+            r = yield from client.cas(b"key", 2 * KB, stale)
+            assert r.status == "EXISTS"
+            g2 = yield from client.get(b"key")
+            assert g2.value_length == 1 * KB  # cas write rejected
+
+        run_app(cluster, app)
+
+    def test_cas_on_absent_key(self, rig):
+        cluster, client = rig
+
+        def app(sim):
+            r = yield from client.cas(b"ghost", 1 * KB, 42)
+            assert r.status == "NOT_FOUND"
+
+        run_app(cluster, app)
+
+    def test_cas_tokens_monotone_per_server(self, rig):
+        cluster, client = rig
+
+        def app(sim):
+            tokens = []
+            for _ in range(3):
+                yield from client.set(b"key", 1 * KB)
+                g = yield from client.get(b"key")
+                tokens.append(g.cas_token)
+            assert tokens == sorted(tokens)
+            assert len(set(tokens)) == 3
+
+        run_app(cluster, app)
+
+
+class TestFailedStoresAllocateNothing:
+    def test_failed_add_does_not_grow_server(self, rig):
+        cluster, client = rig
+        srv = cluster.servers[0].manager
+
+        def app(sim):
+            yield from client.set(b"key", 1 * KB)
+            before = srv.allocator.stored_bytes()
+            yield from client.add(b"key", 8 * KB)
+            assert srv.allocator.stored_bytes() == before
+
+        run_app(cluster, app)
+
+
+def test_conditionals_work_over_ipoib():
+    cluster = build_cluster(profiles.IPOIB_MEM, server_mem=16 * MB)
+    client = cluster.clients[0]
+
+    def app(sim):
+        r1 = yield from client.add(b"k", 1 * KB)
+        r2 = yield from client.add(b"k", 1 * KB)
+        assert (r1.status, r2.status) == ("STORED", "NOT_STORED")
+
+    run_app(cluster, app)

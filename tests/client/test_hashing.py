@@ -1,0 +1,60 @@
+"""Tests for key-to-server routing."""
+
+import pytest
+
+from repro.client.hashing import KetamaRouter, ModuloRouter, one_at_a_time
+
+
+def test_one_at_a_time_is_deterministic_32bit():
+    h1 = one_at_a_time(b"some-key")
+    h2 = one_at_a_time(b"some-key")
+    assert h1 == h2
+    assert 0 <= h1 < 2 ** 32
+
+
+def test_one_at_a_time_disperses():
+    hashes = {one_at_a_time(f"key{i}".encode()) for i in range(1000)}
+    assert len(hashes) > 990  # essentially no collisions
+
+
+def test_modulo_router_covers_all_servers():
+    router = ModuloRouter(4)
+    seen = {router.server_for(f"key{i}".encode()) for i in range(1000)}
+    assert seen == {0, 1, 2, 3}
+
+
+def test_modulo_router_balance():
+    router = ModuloRouter(4)
+    counts = [0] * 4
+    for i in range(4000):
+        counts[router.server_for(f"key{i}".encode())] += 1
+    assert min(counts) > 700  # roughly balanced
+
+
+def test_router_validates_server_count():
+    with pytest.raises(ValueError):
+        ModuloRouter(0)
+    with pytest.raises(ValueError):
+        KetamaRouter(0)
+
+
+def test_ketama_stability_on_server_add():
+    """Consistent hashing moves only ~1/n of the keys."""
+    r3 = KetamaRouter(3)
+    r4 = KetamaRouter(4)
+    keys = [f"key{i}".encode() for i in range(2000)]
+    moved = sum(1 for k in keys if r3.server_for(k) != r4.server_for(k))
+    assert moved < len(keys) * 0.5  # far fewer than modulo's ~75%
+
+
+def test_modulo_instability_on_server_add():
+    r3 = ModuloRouter(3)
+    r4 = ModuloRouter(4)
+    keys = [f"key{i}".encode() for i in range(2000)]
+    moved = sum(1 for k in keys if r3.server_for(k) != r4.server_for(k))
+    assert moved > len(keys) * 0.5
+
+
+def test_ketama_deterministic():
+    r = KetamaRouter(5)
+    assert [r.server_for(b"abc")] * 3 == [r.server_for(b"abc") for _ in range(3)]

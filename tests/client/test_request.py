@@ -1,0 +1,74 @@
+"""Unit tests for MemcachedReq and OpRecord."""
+
+import pytest
+
+from repro.client.request import MemcachedReq, OpRecord
+from repro.sim import Simulator
+
+
+def make_req(**kw):
+    sim = Simulator()
+    defaults = dict(req_id=1, op="get", key=b"k", value_length=0, api="iget")
+    defaults.update(kw)
+    return sim, MemcachedReq(sim, **defaults)
+
+
+def test_initial_state():
+    _, req = make_req()
+    assert not req.done
+    assert req.status is None
+    assert req.blocked_time == 0.0
+    assert req.cas_token == 0
+
+
+def test_done_after_completion():
+    sim, req = make_req()
+    req.complete.succeed("resp")
+    assert req.done
+
+
+def test_latency_and_overlap():
+    _, req = make_req()
+    req.t_issue = 1.0
+    req.t_complete = 3.0
+    req.blocked_time = 0.5
+    assert req.latency == pytest.approx(2.0)
+    assert req.overlap_fraction == pytest.approx(0.75)
+
+
+def test_overlap_clamped():
+    _, req = make_req()
+    req.t_issue = 1.0
+    req.t_complete = 2.0
+    req.blocked_time = 5.0  # over-accounted: clamp, don't go negative
+    assert req.overlap_fraction == 0.0
+
+
+def test_overlap_zero_lifetime():
+    _, req = make_req()
+    req.t_issue = req.t_complete = 1.0
+    assert req.overlap_fraction == 0.0
+
+
+def test_repr_mentions_api_and_key():
+    _, req = make_req()
+    assert "iget" in repr(req)
+    assert "k" in repr(req)
+
+
+def test_oprecord_from_req_copies_everything():
+    _, req = make_req(op="set", api="bset", value_length=2048)
+    req.status = "STORED"
+    req.t_issue, req.t_complete = 0.0, 1.0
+    req.blocked_time = 0.25
+    req.stages["slab_alloc"] = 0.1
+    req.server_index = 3
+    rec = OpRecord.from_req(req)
+    assert rec.op == "set" and rec.api == "bset"
+    assert rec.value_length == 2048
+    assert rec.server_index == 3
+    assert rec.stages == {"slab_alloc": 0.1}
+    assert rec.overlap_fraction == pytest.approx(0.75)
+    # Mutating the req afterwards must not affect the record.
+    req.stages["slab_alloc"] = 9.9
+    assert rec.stages["slab_alloc"] == 0.1

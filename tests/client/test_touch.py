@@ -1,0 +1,75 @@
+"""Tests for the touch command (TTL refresh)."""
+
+import pytest
+
+from repro import build_cluster, profiles
+from repro.units import KB, MB
+
+
+def run_app(cluster, gen_fn):
+    sim = cluster.sim
+    return sim.run(until=sim.spawn(gen_fn(sim)))
+
+
+def test_touch_extends_ttl():
+    cluster = build_cluster(profiles.RDMA_MEM, server_mem=16 * MB)
+    cluster.backend.default_value_length = 0
+    client = cluster.clients[0]
+    out = {}
+
+    def app(sim):
+        yield from client.set(b"ttl", 1 * KB, expiration=sim.now + 0.5)
+        r = yield from client.touch(b"ttl", sim.now + 10.0)
+        out["touch"] = r.status
+        yield sim.timeout(1.0)  # past the original TTL
+        g = yield from client.get(b"ttl")
+        out["get"] = g.status
+
+    run_app(cluster, app)
+    assert out["touch"] == "TOUCHED"
+    assert out["get"] == "HIT"  # the refreshed TTL kept it alive
+
+
+def test_touch_missing_key():
+    cluster = build_cluster(profiles.RDMA_MEM, server_mem=16 * MB)
+    client = cluster.clients[0]
+
+    def app(sim):
+        r = yield from client.touch(b"ghost", sim.now + 5)
+        assert r.status == "NOT_FOUND"
+
+    run_app(cluster, app)
+
+
+def test_touch_can_shorten_ttl():
+    cluster = build_cluster(profiles.RDMA_MEM, server_mem=16 * MB)
+    cluster.backend.default_value_length = 0
+    client = cluster.clients[0]
+    out = {}
+
+    def app(sim):
+        yield from client.set(b"k", 1 * KB)  # no expiry
+        yield from client.touch(b"k", sim.now + 0.1)
+        yield sim.timeout(0.5)
+        g = yield from client.get(b"k")
+        out["status"] = g.status
+
+    run_app(cluster, app)
+    assert out["status"] == "MISS"
+
+
+def test_touch_bumps_lru():
+    """A touched item should survive eviction pressure it would
+    otherwise lose to (touch promotes it to MRU)."""
+    cluster = build_cluster(profiles.RDMA_MEM, server_mem=2 * MB)
+    client = cluster.clients[0]
+
+    def app(sim):
+        for i in range(60):
+            yield from client.set(f"k{i}".encode(), 30 * KB)
+        yield from client.touch(b"k0", 0.0)
+        for i in range(60, 75):
+            yield from client.set(f"k{i}".encode(), 30 * KB)
+
+    run_app(cluster, app)
+    assert cluster.servers[0].manager.lookup(b"k0") is not None

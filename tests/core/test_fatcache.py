@@ -1,0 +1,61 @@
+"""Tests for the FatCache-style baseline (Table I's fourth comparator)."""
+
+import pytest
+
+from repro import build_cluster, profiles
+from repro.core import metrics
+from repro.core.profiles import FATCACHE
+from repro.harness.figures import latency_experiment
+from repro.units import KB, MB
+
+
+def test_profile_shape():
+    assert not FATCACHE.rdma
+    assert FATCACHE.hybrid
+    assert not FATCACHE.nonblocking
+    assert FATCACHE.io_policy == "direct"
+    assert profiles.ALL_PROFILES["fatcache"] is FATCACHE
+
+
+def test_fatcache_retains_data_like_hybrid():
+    cluster = build_cluster(FATCACHE, server_mem=2 * MB, ssd_limit=32 * MB)
+    client = cluster.clients[0]
+
+    def app(sim):
+        for i in range(100):
+            yield from client.set(f"k{i}".encode(), 30 * KB)
+        for i in range(100):
+            g = yield from client.get(f"k{i}".encode())
+            assert g.status == "HIT", i
+
+    cluster.sim.run(until=cluster.sim.spawn(app(cluster.sim)))
+    assert cluster.servers[0].manager.stats.flushes > 0
+
+
+def test_fatcache_slots_between_ipoib_mem_and_rdma_hybrid():
+    """Table I's design space, measured: FatCache adds retention to the
+    TCP stack (beats IPoIB-Mem under misses) but keeps the TCP penalty
+    (loses to the RDMA hybrid)."""
+    fat = latency_experiment(FATCACHE, fit=False, scale=64, ops=250)
+    ipoib = latency_experiment(profiles.IPOIB_MEM, fit=False, scale=64,
+                               ops=250)
+    h_def = latency_experiment(profiles.H_RDMA_DEF, fit=False, scale=64,
+                               ops=250)
+    assert fat["miss_rate"] == 0.0  # retention: no backend traffic
+    assert ipoib["miss_rate"] > 0.0
+    assert fat["latency"] < ipoib["latency"]
+    assert fat["latency"] > h_def["latency"]
+
+
+def test_fatcache_rejects_nonblocking_api():
+    from repro.client.client import UnsupportedOperation
+
+    cluster = build_cluster(FATCACHE, server_mem=8 * MB, ssd_limit=32 * MB)
+    client = cluster.clients[0]
+
+    def app(sim):
+        with pytest.raises(UnsupportedOperation):
+            yield from client.iset(b"k", 1 * KB)
+        yield sim.timeout(0)
+
+    cluster.sim.run(until=cluster.sim.spawn(app(cluster.sim)))

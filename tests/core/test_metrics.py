@@ -1,0 +1,105 @@
+"""Tests for metric aggregation."""
+
+import pytest
+
+from repro.client.request import OpRecord
+from repro.core import metrics
+
+
+def rec(op="get", status="HIT", t0=0.0, t1=1.0, blocked=1.0, stages=None,
+        api="get"):
+    return OpRecord(op=op, api=api, key_length=10, value_length=100,
+                    status=status, t_issue=t0, t_complete=t1,
+                    blocked_time=blocked, stages=stages or {})
+
+
+class TestLatency:
+    def test_mean(self):
+        rs = [rec(t0=0, t1=1), rec(t0=0, t1=3)]
+        assert metrics.mean_latency(rs) == pytest.approx(2.0)
+        assert metrics.mean_latency([]) == 0.0
+
+    def test_percentile(self):
+        rs = [rec(t0=0, t1=i + 1) for i in range(100)]
+        assert metrics.percentile_latency(rs, 50) == pytest.approx(50.0)
+        assert metrics.percentile_latency(rs, 99) == pytest.approx(99.0)
+        assert metrics.percentile_latency(rs, 100) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            metrics.percentile_latency(rs, 101)
+
+    def test_effective_latency_is_span_over_count(self):
+        rs = [rec(t0=0, t1=10), rec(t0=1, t1=2), rec(t0=2, t1=4)]
+        assert metrics.effective_latency(rs) == pytest.approx(10 / 3)
+
+    def test_effective_equals_mean_for_back_to_back_blocking(self):
+        rs = [rec(t0=0, t1=1), rec(t0=1, t1=2), rec(t0=2, t1=3)]
+        assert metrics.effective_latency(rs) == pytest.approx(
+            metrics.mean_latency(rs))
+
+
+class TestOverlap:
+    def test_fully_blocked_is_zero(self):
+        rs = [rec(blocked=1.0)]
+        assert metrics.overlap_percent(rs) == pytest.approx(0.0)
+
+    def test_never_blocked_is_hundred(self):
+        rs = [rec(blocked=0.0)]
+        assert metrics.overlap_percent(rs) == pytest.approx(100.0)
+
+    def test_mixed(self):
+        rs = [rec(blocked=0.25)]
+        assert metrics.overlap_percent(rs) == pytest.approx(75.0)
+
+
+class TestThroughput:
+    def test_ops_over_span(self):
+        rs = [rec(t0=0, t1=1), rec(t0=0.5, t1=2)]
+        assert metrics.throughput(rs) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert metrics.throughput([]) == 0.0
+
+
+class TestBreakdown:
+    def test_stage_averages(self):
+        rs = [
+            rec(stages={"slab_alloc": 0.2, "server_response": 0.1},
+                blocked=1.0),
+            rec(stages={"slab_alloc": 0.4, "server_response": 0.1},
+                blocked=1.0),
+        ]
+        bd = metrics.stage_breakdown(rs)
+        assert bd["slab_alloc"] == pytest.approx(0.3)
+        assert bd["server_response"] == pytest.approx(0.1)
+        # residual: blocked (1.0) minus attributed (0.3 + 0.1 avg)
+        assert bd["client_wait"] == pytest.approx(0.6)
+
+    def test_all_keys_present(self):
+        bd = metrics.stage_breakdown([])
+        assert set(bd) == set(metrics.STAGE_KEYS)
+
+    def test_client_wait_clamped_nonnegative(self):
+        rs = [rec(stages={"slab_alloc": 5.0}, blocked=0.1)]
+        assert metrics.stage_breakdown(rs)["client_wait"] == 0.0
+
+
+class TestMissRateAndFilters:
+    def test_miss_rate(self):
+        rs = [rec(status="HIT"), rec(status="MISS"),
+              rec(op="set", status="STORED", api="set")]
+        assert metrics.miss_rate(rs) == pytest.approx(0.5)
+
+    def test_miss_rate_no_gets(self):
+        assert metrics.miss_rate([rec(op="set", status="STORED")]) == 0.0
+
+    def test_filters(self):
+        rs = [rec(op="get"), rec(op="set", status="STORED", api="set")]
+        assert len(metrics.filter_records(rs, op="get")) == 1
+        assert len(metrics.filter_records(rs, status="HIT")) == 1
+
+    def test_summarize_keys(self):
+        s = metrics.summarize([rec()])
+        for key in ("ops", "mean_latency", "effective_latency",
+                    "p99_latency", "throughput", "overlap_pct",
+                    "miss_rate", "mean_blocked"):
+            assert key in s

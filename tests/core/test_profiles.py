@@ -1,0 +1,70 @@
+"""Tests for design profiles and the Table-I feature matrix."""
+
+import pytest
+
+from repro.core import profiles
+
+
+def test_all_six_designs_exist():
+    assert len(profiles.ALL_SIX) == 6
+    labels = [p.label for p in profiles.ALL_SIX]
+    assert labels == ["IPoIB-Mem", "RDMA-Mem", "H-RDMA-Def",
+                      "H-RDMA-Opt-Block", "H-RDMA-Opt-NonB-b",
+                      "H-RDMA-Opt-NonB-i"]
+
+
+def test_profiles_registry_keys_match():
+    for key, p in profiles.ALL_PROFILES.items():
+        assert p.key == key
+
+
+def test_baselines_are_existing_designs():
+    assert all(not p.nonblocking for p in profiles.BASELINES)
+
+
+def test_transport_flags():
+    assert not profiles.IPOIB_MEM.rdma
+    assert profiles.RDMA_MEM.rdma
+    assert all(p.rdma for p in profiles.ALL_SIX[2:])
+
+
+def test_hybrid_flags():
+    assert not profiles.IPOIB_MEM.hybrid
+    assert not profiles.RDMA_MEM.hybrid
+    assert all(p.hybrid for p in profiles.ALL_SIX[2:])
+
+
+def test_io_policy_split():
+    assert profiles.H_RDMA_DEF.io_policy == "direct"
+    assert profiles.H_RDMA_OPT_BLOCK.io_policy == "adaptive"
+
+
+def test_invalid_profiles_rejected():
+    from repro.core.profiles import DesignProfile
+
+    with pytest.raises(ValueError):
+        DesignProfile(key="x", label="x", transport="carrier-pigeon",
+                      hybrid=False, io_policy="direct", early_ack=False,
+                      nonblocking=False, api="blocking")
+    with pytest.raises(ValueError):
+        # non-blocking API on a design without the extension
+        DesignProfile(key="x", label="x", transport="rdma", hybrid=True,
+                      io_policy="direct", early_ack=False,
+                      nonblocking=False, api="nonb-i")
+
+
+def test_feature_matrix_matches_table1():
+    rows = profiles.feature_matrix()
+    by_name = {r["design"]: r for r in rows}
+    assert len(rows) == 5
+    # Spot-check the paper's Table I.
+    assert not by_name["IPoIB-Mem [3]"]["rdma"]
+    assert by_name["RDMA-Mem [10]"]["rdma"]
+    assert by_name["FatCache [7]"]["hybrid_ssd"]
+    assert not by_name["FatCache [7]"]["rdma"]
+    assert by_name["H-RDMA-Def [17]"]["rdma"]
+    assert not by_name["H-RDMA-Def [17]"]["nonblocking_api"]
+    this = by_name["This Paper"]
+    assert all(this[k] for k in
+               ("rdma", "hybrid_ssd", "adaptive_io", "nvme",
+                "nonblocking_api"))

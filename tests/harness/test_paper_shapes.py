@@ -1,0 +1,134 @@
+"""Shape assertions against the paper's quantitative claims.
+
+These run the headline experiments at scale=32 (32 MB server memory —
+large enough that the regimes of the paper emerge) and check that the
+measured ratios fall in the paper's ranges with generous slack. They are
+the "does the reproduction still reproduce" regression net; exact
+numbers go to EXPERIMENTS.md from the benchmark harness.
+"""
+
+import pytest
+
+from repro.harness import figures, paper
+
+SCALE = 32
+OPS = 700
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def fig6_data():
+    return figures.fig6(scale=SCALE, ops=OPS)
+
+
+def _lat(data, regime, label):
+    return next(r["latency"] for r in data[regime] if r["design"] == label)
+
+
+class TestFig1Shapes:
+    def test_def_degradation_order_of_magnitude(self, fig6_data):
+        ratio = (_lat(fig6_data, "nofit", "H-RDMA-Def")
+                 / _lat(fig6_data, "fit", "H-RDMA-Def"))
+        # Paper: 15-17x. Accept the right order of magnitude.
+        assert ratio > 5.0
+
+    def test_rdma_beats_ipoib_fit(self, fig6_data):
+        ratio = (_lat(fig6_data, "fit", "IPoIB-Mem")
+                 / _lat(fig6_data, "fit", "RDMA-Mem"))
+        assert paper.FIG1_RDMA_VS_IPOIB_FIT.contains(ratio, slack=0.5)
+
+    def test_hybrid_beats_inmemory_nofit(self, fig6_data):
+        assert (_lat(fig6_data, "nofit", "H-RDMA-Def")
+                < _lat(fig6_data, "nofit", "RDMA-Mem"))
+
+
+class TestFig6Shapes:
+    def test_nonb_over_def(self, fig6_data):
+        ratio = (_lat(fig6_data, "nofit", "H-RDMA-Def")
+                 / _lat(fig6_data, "nofit", "H-RDMA-Opt-NonB-i"))
+        # Paper: 10-16x; simulator compresses somewhat. Require >=4x.
+        assert ratio >= 4.0
+
+    def test_opt_block_over_def(self, fig6_data):
+        ratio = (_lat(fig6_data, "nofit", "H-RDMA-Def")
+                 / _lat(fig6_data, "nofit", "H-RDMA-Opt-Block"))
+        assert paper.FIG6_OPT_BLOCK_OVER_DEF.contains(ratio, slack=0.4)
+
+    def test_nonb_over_opt_block(self, fig6_data):
+        ratio = (_lat(fig6_data, "nofit", "H-RDMA-Opt-Block")
+                 / _lat(fig6_data, "nofit", "H-RDMA-Opt-NonB-i"))
+        assert paper.FIG6_NONB_OVER_OPT_BLOCK.contains(ratio, slack=0.4)
+
+    def test_nonb_close_to_inmemory_rdma_when_fit(self, fig6_data):
+        # "achieve performance similar to that of the in-memory design"
+        assert (_lat(fig6_data, "fit", "H-RDMA-Opt-NonB-i")
+                <= 1.5 * _lat(fig6_data, "fit", "RDMA-Mem"))
+
+
+class TestFig7aShapes:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figures.fig7a(scale=SCALE, ops=OPS)
+
+    def _overlap(self, rows, api, workload):
+        return next(r["overlap_pct"] for r in rows
+                    if r["api"] == api and r["workload"] == workload)
+
+    def test_blocking_no_overlap(self, rows):
+        assert paper.FIG7A_BLOCK_OVERLAP.contains(
+            self._overlap(rows, "RDMA-Block", "read-only"))
+
+    def test_nonb_i_high_overlap(self, rows):
+        assert paper.FIG7A_NONB_I_OVERLAP.contains(
+            self._overlap(rows, "RDMA-NonB-i", "read-only"))
+        assert paper.FIG7A_NONB_I_OVERLAP.contains(
+            self._overlap(rows, "RDMA-NonB-i", "write-heavy"))
+
+    def test_nonb_b_read_high_write_low(self, rows):
+        assert paper.FIG7A_NONB_B_READ_OVERLAP.contains(
+            self._overlap(rows, "RDMA-NonB-b", "read-only"))
+        assert paper.FIG7A_NONB_B_WRITE_OVERLAP.contains(
+            self._overlap(rows, "RDMA-NonB-b", "write-heavy"))
+
+
+class TestFig7cShapes:
+    def test_throughput_gains(self):
+        rows = figures.fig7c(scale=SCALE, num_clients=16, client_nodes=8,
+                             num_servers=4, ops_per_client=80)
+        by = {r["design"]: r["throughput"] for r in rows}
+        nonb_gain = by["H-RDMA-Opt-NonB-i"] / by["H-RDMA-Def-Block"]
+        assert paper.FIG7C_NONB_THROUGHPUT_GAIN.contains(nonb_gain,
+                                                         slack=0.5)
+        adapt_gain = by["H-RDMA-Opt-Block"] / by["H-RDMA-Def-Block"]
+        assert paper.FIG7C_ADAPTIVE_IO_GAIN.contains(adapt_gain, slack=0.5)
+
+
+class TestFig8Shapes:
+    def test_fig8a_nonb_improvement(self):
+        rows = figures.fig8a(scale=SCALE, ops=400)
+
+        def lat(device, design, wl):
+            return next(r["latency"] for r in rows
+                        if r["device"] == device and r["design"] == design
+                        and r["workload"] == wl)
+
+        for device in ("SATA", "NVMe"):
+            for wl in ("read-only", "write-heavy"):
+                impr = 100 * (1 - lat(device, "H-RDMA-Opt-NonB-i", wl)
+                              / lat(device, "H-RDMA-Opt-Block", wl))
+                assert paper.FIG8A_NONB_IMPROVEMENT_PCT.contains(
+                    impr, slack=0.3), (device, wl, impr)
+
+    def test_fig8b_block_latency(self):
+        from repro.units import MB
+
+        rows = figures.fig8b(scale=SCALE, block_sizes=(2 * MB, 8 * MB))
+        for device in ("SATA", "NVMe"):
+            for bs in (2 * MB, 8 * MB):
+                sub = {r["design"]: r["block_latency"] for r in rows
+                       if r["device"] == device and r["block_size"] == bs}
+                impr = 100 * (1 - sub["H-RDMA-Opt-NonB-i"]
+                              / sub["H-RDMA-Opt-Block"])
+                # Paper: 79-85%; accept >= 40% (simulator compresses).
+                assert impr >= 40, (device, bs, impr)

@@ -1,0 +1,52 @@
+"""Tests for report formatting and the encoded paper claims."""
+
+import pytest
+
+from repro.harness import paper
+from repro.harness.report import ascii_table, fmt_pct, fmt_ratio, fmt_us, markdown_table
+from repro.units import MS, US
+
+
+class TestFormatters:
+    def test_fmt_us_small(self):
+        assert fmt_us(12.34 * US) == "12.3 us"
+
+    def test_fmt_us_switches_to_ms(self):
+        assert fmt_us(2.5 * MS) == "2.50 ms"
+
+    def test_ratio_and_pct(self):
+        assert fmt_ratio(2.0) == "2.00x"
+        assert fmt_pct(12.3456) == "12.3%"
+
+
+class TestAsciiTable:
+    def test_renders_rows(self):
+        out = ascii_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}],
+                          title="t")
+        assert "t" in out
+        assert "| a " in out and "| 22" in out
+
+    def test_empty(self):
+        assert "(no rows)" in ascii_table([], title="empty")
+
+    def test_column_selection(self):
+        out = ascii_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.splitlines()[1]
+
+    def test_markdown(self):
+        out = markdown_table([{"x": 1}])
+        assert out.splitlines()[0] == "| x |"
+        assert "| 1 |" in out
+
+
+class TestClaims:
+    def test_claim_contains(self):
+        c = paper.Claim("f", "d", 10.0, 16.0)
+        assert c.contains(12.0)
+        assert not c.contains(9.0)
+        assert c.contains(9.0, slack=0.2)
+
+    def test_all_claims_collected(self):
+        assert len(paper.ALL_CLAIMS) >= 12
+        assert all(c.low <= c.high for c in paper.ALL_CLAIMS)
+        assert all(c.figure.startswith("fig") for c in paper.ALL_CLAIMS)

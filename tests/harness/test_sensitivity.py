@@ -1,0 +1,55 @@
+"""Smoke tests for the sensitivity-analysis sweeps (tiny scale)."""
+
+import pytest
+
+from repro.harness import sensitivity
+
+
+def test_ssd_latency_sweep_structure():
+    rows = sensitivity.sweep_ssd_latency(multipliers=(1.0, 4.0),
+                                         scale=64, ops=150)
+    assert [r["latency_multiplier"] for r in rows] == [1.0, 4.0]
+    assert all(r["nonb_gain"] > 1.0 for r in rows)
+    assert rows[1]["def_latency"] > rows[0]["def_latency"]
+
+
+def test_theta_sweep_structure():
+    rows = sensitivity.sweep_zipf_theta(thetas=(0.6, 1.1),
+                                        scale=64, ops=150)
+    assert all(r["nonb_gain"] > 1.0 for r in rows)
+    # Hotter workloads touch the SSD less: Def gets faster.
+    assert rows[1]["def_latency"] < rows[0]["def_latency"]
+
+
+def test_pagecache_sweep_structure():
+    rows = sensitivity.sweep_pagecache(sizes_mb=(4, 64), scale=64, ops=150)
+    assert len(rows) == 2
+    # Page cache never changes the direct-I/O design's latency.
+    assert rows[0]["def_latency"] == pytest.approx(rows[1]["def_latency"])
+
+
+def test_bandwidth_sweep_structure():
+    rows = sensitivity.sweep_ssd_bandwidth(multipliers=(0.5, 2.0),
+                                           scale=64, ops=150)
+    assert all(r["nonb_gain"] > 1.0 for r in rows)
+
+
+def test_network_sweep_shows_io_bound_regime():
+    rows = sensitivity.sweep_network(scale=64, ops=150)
+    assert [r["fabric"] for r in rows] == ["FDR 56G", "EDR 100G"]
+    fdr, edr = rows
+    # Faster fabric: at most marginal movement — the SSD dominates.
+    assert edr["def_latency"] <= fdr["def_latency"]
+    assert edr["def_latency"] > 0.7 * fdr["def_latency"]
+    assert all(r["nonb_gain"] > 1.0 for r in rows)
+
+
+def test_backend_penalty_sweep_structure():
+    rows = sensitivity.sweep_backend_penalty(penalties_ms=(0.05, 5.0),
+                                             scale=64, ops=150)
+    # Fast backend favours in-memory; slow backend favours hybrid.
+    assert not rows[0]["hybrid_wins"]
+    assert rows[1]["hybrid_wins"]
+    # The hybrid's latency is penalty-independent.
+    assert rows[0]["hybrid_latency"] == pytest.approx(
+        rows[1]["hybrid_latency"])

@@ -1,0 +1,88 @@
+"""Direct tests for the IPoIB stream transport module."""
+
+import pytest
+
+from repro.net.fabric import Fabric
+from repro.net.ipoib import Delivery, IPoIBConnection
+from repro.net.params import FDR_IPOIB, FDR_RDMA
+from repro.sim import Simulator
+from repro.units import KB, MB, US
+
+
+@pytest.fixture()
+def conn():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    c = IPoIBConnection(sim, fabric.node("a").nic(FDR_IPOIB),
+                        fabric.node("b").nic(FDR_IPOIB))
+    return sim, c
+
+
+def test_bidirectional_send_recv(conn):
+    sim, c = conn
+    got = {}
+
+    def side_b(sim):
+        d = yield c.b.recv()
+        got["b"] = d.payload
+        c.b.send("pong", 64)
+
+    def side_a(sim):
+        c.a.send("ping", 64)
+        d = yield c.a.recv()
+        got["a"] = d.payload
+
+    sim.spawn(side_b(sim))
+    sim.spawn(side_a(sim))
+    sim.run()
+    assert got == {"a": "pong", "b": "ping"}
+
+
+def test_stream_preserves_order(conn):
+    sim, c = conn
+    seen = []
+
+    def rx(sim):
+        for _ in range(5):
+            d = yield c.b.recv()
+            seen.append(d.payload)
+
+    for i in range(5):
+        c.a.send(i, 1 * KB)
+    sim.spawn(rx(sim))
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_delivery_carries_kernel_cpu(conn):
+    sim, c = conn
+    out = {}
+
+    def rx(sim):
+        d = yield c.b.recv()
+        out["d"] = d
+
+    c.a.send("x", 4 * KB)
+    sim.spawn(rx(sim))
+    sim.run()
+    d: Delivery = out["d"]
+    assert d.recv_cpu == FDR_IPOIB.cpu_recv
+    assert not d.one_sided
+    assert d.nbytes == 4 * KB
+
+
+def test_mtu_segmentation_penalty():
+    # A 1 MB message crosses many IPoIB MTUs; the per-segment overhead
+    # must show up in serialization time.
+    t = FDR_IPOIB.serialize_time(1 * MB)
+    base = 1 * MB / FDR_IPOIB.bandwidth
+    segments = -(-1 * MB // FDR_IPOIB.mtu)
+    assert t == pytest.approx(base + segments * FDR_IPOIB.per_segment_overhead)
+    assert segments == 16
+
+
+def test_ipoib_latency_and_cpu_dominate_small_messages():
+    # For small messages the RDMA/IPoIB gap is stack latency, not bytes.
+    ipoib = FDR_IPOIB.latency + FDR_IPOIB.cpu_send + FDR_IPOIB.cpu_recv
+    rdma = FDR_RDMA.latency + FDR_RDMA.cpu_send + FDR_RDMA.cpu_recv
+    assert ipoib > 5 * rdma

@@ -1,0 +1,102 @@
+"""Full-stack model checking: the cluster vs a reference dict.
+
+A single client runs a random program of set/add/replace/get/delete
+through the entire stack (engine, wire, credits, server workers, slab
+manager, SSD spill). With ample SSD the hybrid design never loses data,
+so the observable results must match a plain dict executing the same
+program — for every single operation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_cluster, profiles
+from repro.storage.params import PageCacheParams, RAMDISK
+from repro.units import KB, MB
+
+
+@st.composite
+def programs(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(
+            ["set", "add", "replace", "get", "delete"]))
+        key = draw(st.integers(min_value=0, max_value=12))
+        size = draw(st.sampled_from([512, 4 * KB, 30 * KB]))
+        ops.append((kind, key, size))
+    return ops
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs())
+def test_cluster_matches_reference_model(program):
+    cluster = build_cluster(
+        profiles.H_RDMA_OPT_NONB_I,
+        server_mem=2 * MB, ssd_limit=64 * MB,  # spill likely, loss not
+        device=RAMDISK,
+        pagecache=PageCacheParams(size_bytes=8 * MB))
+    cluster.backend.default_value_length = 0  # misses stay misses
+    client = cluster.clients[0]
+    sim = cluster.sim
+    model: dict[bytes, int] = {}
+    failures: list[str] = []
+
+    def expect(cond, msg):
+        if not cond:
+            failures.append(msg)
+
+    def app(sim):
+        for step, (kind, k, size) in enumerate(program):
+            key = b"key%d" % k
+            if kind == "set":
+                r = yield from client.set(key, size)
+                expect(r.status == "STORED", f"{step}: set -> {r.status}")
+                model[key] = size
+            elif kind == "add":
+                r = yield from client.add(key, size)
+                if key in model:
+                    expect(r.status == "NOT_STORED",
+                           f"{step}: add existing -> {r.status}")
+                else:
+                    expect(r.status == "STORED",
+                           f"{step}: add fresh -> {r.status}")
+                    model[key] = size
+            elif kind == "replace":
+                r = yield from client.replace(key, size)
+                if key in model:
+                    expect(r.status == "STORED",
+                           f"{step}: replace -> {r.status}")
+                    model[key] = size
+                else:
+                    expect(r.status == "NOT_STORED",
+                           f"{step}: replace absent -> {r.status}")
+            elif kind == "get":
+                r = yield from client.get(key)
+                if key in model:
+                    expect(r.status == "HIT",
+                           f"{step}: get -> {r.status}")
+                    expect(r.value_length == model[key],
+                           f"{step}: get len {r.value_length} "
+                           f"!= {model[key]}")
+                else:
+                    expect(r.status == "MISS",
+                           f"{step}: get absent -> {r.status}")
+            else:
+                r = yield from client.delete(key)
+                if key in model:
+                    expect(r.status == "DELETED",
+                           f"{step}: delete -> {r.status}")
+                    del model[key]
+                else:
+                    expect(r.status == "NOT_FOUND",
+                           f"{step}: delete absent -> {r.status}")
+        # Final sweep: every model key readable with the right size.
+        for key, size in model.items():
+            r = yield from client.get(key)
+            expect(r.status == "HIT" and r.value_length == size,
+                   f"final: {key!r} -> {r.status}/{r.value_length}")
+
+    sim.run(until=sim.spawn(app(sim)))
+    assert not failures, failures
+    assert cluster.total_items == len(model)

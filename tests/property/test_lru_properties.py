@@ -1,0 +1,48 @@
+"""Property-based tests: the intrusive LRU against a reference model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server.item import Item
+from repro.server.lru import LRUList
+
+
+@st.composite
+def lru_programs(draw):
+    n = draw(st.integers(min_value=1, max_value=200))
+    return [(draw(st.sampled_from(["insert", "touch", "remove"])),
+             draw(st.integers(min_value=0, max_value=30)))
+            for _ in range(n)]
+
+
+@settings(max_examples=100, deadline=None)
+@given(lru_programs())
+def test_lru_matches_reference_model(program):
+    lru = LRUList()
+    model = []  # most recent first
+    pool = {i: Item(b"k%d" % i, 10) for i in range(31)}
+    inside = set()
+
+    for op, i in program:
+        item = pool[i]
+        if op == "insert" and i not in inside:
+            lru.insert_head(item)
+            model.insert(0, i)
+            inside.add(i)
+        elif op == "touch" and i in inside:
+            lru.touch(item)
+            model.remove(i)
+            model.insert(0, i)
+        elif op == "remove" and i in inside:
+            lru.remove(item)
+            model.remove(i)
+            inside.discard(i)
+        # Full-state comparison after every step.
+        assert [pool[j] for j in model] == list(lru)
+        assert len(lru) == len(model)
+        coldest = lru.coldest()
+        assert coldest is (pool[model[-1]] if model else None)
+
+    # Detached items have clean links.
+    for i in set(pool) - inside:
+        assert pool[i].lru_prev is None and pool[i].lru_next is None

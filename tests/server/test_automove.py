@@ -1,0 +1,96 @@
+"""Tests for the slab automover (memcached's rebalancer, hybrid-aware)."""
+
+import pytest
+
+from repro.server.hybrid import HybridSlabManager
+from repro.sim import Simulator
+from repro.storage.device import BlockDevice
+from repro.storage.params import PageCacheParams, RAMDISK
+from repro.units import KB, MB
+
+
+def make_mgr(automove=True, hybrid=True, mem=2 * MB):
+    sim = Simulator()
+    dev = BlockDevice(sim, RAMDISK) if hybrid else None
+    mgr = HybridSlabManager(
+        sim, mem_limit=mem, device=dev,
+        ssd_limit=64 * MB if hybrid else 0,
+        io_policy="adaptive" if hybrid else "direct",
+        automove=automove, automove_interval=0.001,
+        pagecache_params=PageCacheParams(size_bytes=8 * MB))
+    return sim, mgr
+
+
+def phase_shift_workload(sim, mgr, n_small=400, n_large=60):
+    """Phase 1 fills memory with small values; phase 2 demands large."""
+    def driver():
+        for i in range(n_small):
+            yield from mgr.store(b"small%d" % i, 1 * KB)
+        for i in range(n_large):
+            yield from mgr.store(b"large%d" % i, 30 * KB)
+            yield sim.timeout(0.0005)  # give the automover air
+
+    sim.run(until=sim.spawn(driver()))
+    sim.run(until=sim.now + 0.1)  # let the batch window close
+
+
+def test_automover_donates_pages_under_shift():
+    sim, mgr = make_mgr()
+    phase_shift_workload(sim, mgr)
+    assert mgr.stats.automoves > 0
+    # The large class ended up with pages despite the small class
+    # having grabbed all memory first.
+    large_cls = mgr.allocator.class_for(30 * KB + 70)
+    assert large_cls.pages
+
+
+def test_automover_hybrid_preserves_data():
+    sim, mgr = make_mgr()
+    phase_shift_workload(sim, mgr)
+    for i in range(400):
+        assert mgr.lookup(b"small%d" % i) is not None, i
+    for i in range(60):
+        assert mgr.lookup(b"large%d" % i) is not None, i
+
+
+def test_automover_inmemory_evicts_donor_items():
+    sim, mgr = make_mgr(hybrid=False)
+    phase_shift_workload(sim, mgr)
+    # In-memory mode has no SSD: donated pages lose their items.
+    live_small = sum(mgr.lookup(b"small%d" % i) is not None
+                     for i in range(400))
+    assert live_small < 400
+
+
+def test_disabled_automover_never_moves():
+    sim, mgr = make_mgr(automove=False)
+    phase_shift_workload(sim, mgr)
+    assert mgr.stats.automoves == 0
+
+
+def test_idle_manager_with_automover_drains():
+    """The daemon must not keep the simulation alive forever."""
+    sim, mgr = make_mgr()
+
+    def driver():
+        yield from mgr.store(b"one", 1 * KB)
+
+    sim.run(until=sim.spawn(driver()))
+    sim.run()  # must terminate (event-triggered daemon, no polling)
+    assert sim.peek() == float("inf")
+
+
+def test_least_used_page_selection():
+    sim, mgr = make_mgr(automove=False, mem=4 * MB)
+
+    def driver():
+        # Fill one class fully, another sparsely.
+        for i in range(200):
+            yield from mgr.store(b"dense%d" % i, 4 * KB)
+        yield from mgr.store(b"sparse", 30 * KB)
+
+    sim.run(until=sim.spawn(driver()))
+    sparse_cls = mgr.allocator.class_for(30 * KB + 70)
+    page = mgr._least_used_page(exclude=999)
+    assert page is not None
+    assert page.clsid == sparse_cls.clsid  # the barely-used page wins

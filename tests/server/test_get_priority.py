@@ -1,0 +1,85 @@
+"""Tests for GET-priority scheduling (extension beyond the paper)."""
+
+import pytest
+
+from repro import build_cluster, profiles
+from repro.core import metrics
+from repro.storage.params import PageCacheParams
+from repro.units import KB, MB
+
+
+def run_mixed(get_priority, seed=3):
+    """One client blasts writes; another issues latency-sensitive reads.
+
+    Separate clients so the reader's latency reflects *server* queueing
+    (the writer's engine would otherwise serialize in front of the
+    reader's requests client-side).
+    """
+    # One worker thread: the worker queue is the bottleneck, which is
+    # the regime read-priority scheduling exists for.
+    cluster = build_cluster(profiles.H_RDMA_OPT_NONB_I,
+                            num_clients=2, worker_threads=1,
+                            server_mem=4 * MB, ssd_limit=64 * MB,
+                            get_priority=get_priority,
+                            pagecache=PageCacheParams(size_bytes=8 * MB))
+    writer, reader = cluster.clients
+    sim = cluster.sim
+    read_latencies = []
+
+    def warm(sim):
+        for i in range(200):
+            yield from writer.set(f"k{i}".encode(), 16 * KB)
+
+    sim.run(until=sim.spawn(warm(sim)))
+
+    def write_burst(sim):
+        reqs = []
+        for i in range(200, 400):
+            reqs.append((yield from writer.iset(f"k{i}".encode(), 16 * KB)))
+        yield from writer.wait_all(reqs)
+
+    def read_probe(sim):
+        yield sim.timeout(0.0005)  # land mid-burst
+        for i in range(0, 60):
+            g = yield from reader.get(f"k{i}".encode())
+            read_latencies.append(g.latency)
+
+    done = sim.all_of([sim.spawn(write_burst(sim)),
+                       sim.spawn(read_probe(sim))])
+    sim.run(until=done)
+    return sum(read_latencies) / len(read_latencies)
+
+
+def test_get_priority_improves_read_latency_under_write_burst():
+    fifo = run_mixed(get_priority=False)
+    prio = run_mixed(get_priority=True)
+    assert prio < fifo
+
+
+def test_priority_server_still_completes_everything():
+    cluster = build_cluster(profiles.H_RDMA_OPT_NONB_I,
+                            server_mem=8 * MB, ssd_limit=64 * MB,
+                            get_priority=True)
+    client = cluster.clients[0]
+    sim = cluster.sim
+
+    def app(sim):
+        reqs = []
+        for i in range(100):
+            reqs.append((yield from client.iset(f"k{i}".encode(), 8 * KB)))
+        yield from client.wait_all(reqs)
+        for i in range(100):
+            g = yield from client.get(f"k{i}".encode())
+            assert g.status == "HIT"
+
+    sim.run(until=sim.spawn(app(sim)))
+    assert client.outstanding_count == 0
+    assert len(client.records) == 200
+
+
+def test_config_plumbs_through_cluster():
+    c = build_cluster(profiles.H_RDMA_DEF, server_mem=8 * MB,
+                      ssd_limit=32 * MB, get_priority=True)
+    from repro.sim import PriorityStore
+
+    assert isinstance(c.servers[0]._queue, PriorityStore)

@@ -1,0 +1,78 @@
+"""Tests for the intrusive LRU list."""
+
+import pytest
+
+from repro.server.item import Item
+from repro.server.lru import LRUList
+
+
+def make_items(n):
+    return [Item(f"k{i}".encode(), 100) for i in range(n)]
+
+
+def test_empty_list():
+    lru = LRUList()
+    assert len(lru) == 0
+    assert lru.coldest() is None
+    assert list(lru) == []
+
+
+def test_insert_head_order():
+    lru = LRUList()
+    items = make_items(3)
+    for it in items:
+        lru.insert_head(it)
+    assert list(lru) == [items[2], items[1], items[0]]
+    assert lru.coldest() is items[0]
+    assert len(lru) == 3
+
+
+def test_remove_middle():
+    lru = LRUList()
+    a, b, c = make_items(3)
+    for it in (a, b, c):
+        lru.insert_head(it)
+    lru.remove(b)
+    assert list(lru) == [c, a]
+    assert b.lru_prev is None and b.lru_next is None
+
+
+def test_remove_head_and_tail():
+    lru = LRUList()
+    a, b = make_items(2)
+    lru.insert_head(a)
+    lru.insert_head(b)
+    lru.remove(b)  # head
+    assert lru.head is a and lru.tail is a
+    lru.remove(a)  # both
+    assert lru.head is None and lru.tail is None
+    assert len(lru) == 0
+
+
+def test_touch_moves_to_head():
+    lru = LRUList()
+    a, b, c = make_items(3)
+    for it in (a, b, c):
+        lru.insert_head(it)
+    lru.touch(a)
+    assert list(lru) == [a, c, b]
+    assert lru.coldest() is b
+
+
+def test_touch_head_is_noop():
+    lru = LRUList()
+    a, b = make_items(2)
+    lru.insert_head(a)
+    lru.insert_head(b)
+    lru.touch(b)
+    assert list(lru) == [b, a]
+
+
+def test_single_item_lifecycle():
+    lru = LRUList()
+    (a,) = make_items(1)
+    lru.insert_head(a)
+    lru.touch(a)
+    assert lru.coldest() is a
+    lru.remove(a)
+    assert len(lru) == 0

@@ -1,0 +1,139 @@
+"""Tests for AllOf/AnyOf composite events."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    out = []
+
+    def proc(sim):
+        t1 = sim.timeout(1, value="a")
+        t2 = sim.timeout(3, value="b")
+        values = yield sim.all_of([t1, t2])
+        out.append((sim.now, sorted(values.values())))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert out == [(3.0, ["a", "b"])]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    out = []
+
+    def proc(sim):
+        t1 = sim.timeout(1, value="fast")
+        t2 = sim.timeout(5, value="slow")
+        values = yield sim.any_of([t1, t2])
+        out.append((sim.now, list(values.values())))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert out == [(1.0, ["fast"])]
+
+
+def test_empty_all_of_triggers_immediately():
+    sim = Simulator()
+    out = []
+
+    def proc(sim):
+        v = yield sim.all_of([])
+        out.append((sim.now, v))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert out == [(0.0, {})]
+
+
+def test_empty_any_of_triggers_immediately():
+    sim = Simulator()
+    out = []
+
+    def proc(sim):
+        v = yield sim.any_of([])
+        out.append((sim.now, v))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert out == [(0.0, {})]
+
+
+def test_all_of_with_already_processed_children():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("pre")
+    out = []
+
+    def proc(sim):
+        yield sim.timeout(1)
+        values = yield sim.all_of([ev, sim.timeout(1, value="post")])
+        out.append(sorted(values.values()))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert out == [["post", "pre"]]
+
+
+def test_all_of_fails_if_any_child_fails():
+    sim = Simulator()
+    caught = []
+
+    def proc(sim):
+        good = sim.timeout(1)
+        bad = sim.event()
+        bad.fail(ValueError("child failed"))
+        try:
+            yield sim.all_of([good, bad])
+        except ValueError as e:
+            caught.append(str(e))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert caught == ["child failed"]
+
+
+def test_all_of_over_processes():
+    sim = Simulator()
+
+    def worker(sim, d):
+        yield sim.timeout(d)
+        return d
+
+    def main(sim):
+        procs = [sim.spawn(worker(sim, d)) for d in (3, 1, 2)]
+        values = yield sim.all_of(procs)
+        return [values[p] for p in procs]
+
+    m = sim.spawn(main(sim))
+    sim.run()
+    assert m.value == [3, 1, 2]
+
+
+def test_condition_value_maps_events_to_values():
+    sim = Simulator()
+
+    def main(sim):
+        t1 = sim.timeout(1, value=10)
+        t2 = sim.timeout(2, value=20)
+        values = yield sim.all_of([t1, t2])
+        assert values[t1] == 10 and values[t2] == 20
+
+    p = sim.spawn(main(sim))
+    sim.run()
+    assert p.ok
+
+
+def test_any_of_failure_propagates():
+    sim = Simulator()
+
+    def main(sim):
+        bad = sim.event()
+        bad.fail(RuntimeError("first thing failed"))
+        yield sim.any_of([bad, sim.timeout(10)])
+
+    sim.spawn(main(sim))
+    with pytest.raises(RuntimeError, match="first thing failed"):
+        sim.run()

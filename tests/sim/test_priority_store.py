@@ -1,0 +1,79 @@
+"""Tests for the PriorityStore primitive."""
+
+from repro.sim import PriorityStore, Simulator
+
+
+def test_lowest_priority_first():
+    sim = Simulator()
+    ps = PriorityStore(sim)
+    out = []
+
+    def consumer(sim):
+        for _ in range(3):
+            out.append((yield ps.get()))
+
+    ps.put("low", priority=2)
+    ps.put("high", priority=0)
+    ps.put("mid", priority=1)
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert out == ["high", "mid", "low"]
+
+
+def test_ties_resolve_fifo():
+    sim = Simulator()
+    ps = PriorityStore(sim)
+    out = []
+
+    def consumer(sim):
+        for _ in range(4):
+            out.append((yield ps.get()))
+
+    for tag in "abcd":
+        ps.put(tag, priority=1)
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert out == list("abcd")
+
+
+def test_getter_blocks_until_put():
+    sim = Simulator()
+    ps = PriorityStore(sim)
+    out = []
+
+    def consumer(sim):
+        out.append(((yield ps.get()), sim.now))
+
+    def producer(sim):
+        yield sim.timeout(2.0)
+        ps.put("late")
+
+    sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert out == [("late", 2.0)]
+
+
+def test_later_high_priority_overtakes_buffered_low():
+    sim = Simulator()
+    ps = PriorityStore(sim)
+    out = []
+
+    def consumer(sim):
+        yield sim.timeout(1.0)
+        for _ in range(2):
+            out.append((yield ps.get()))
+
+    ps.put("first-but-low", priority=5)
+    ps.put("second-but-high", priority=0)
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert out == ["second-but-high", "first-but-low"]
+
+
+def test_len_tracks_buffer():
+    sim = Simulator()
+    ps = PriorityStore(sim)
+    ps.put(1)
+    ps.put(2)
+    assert len(ps) == 2

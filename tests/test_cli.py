@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+def test_list_profiles(capsys):
+    rc, out = run_cli(capsys, "list-profiles")
+    assert rc == 0
+    for key in ("ipoib-mem", "rdma-mem", "h-rdma-def",
+                "h-rdma-opt-nonb-i"):
+        assert key in out
+
+
+def test_run_command_prints_summary(capsys):
+    rc, out = run_cli(capsys, "run", "--ops", "60", "--server-mem-mb", "16",
+                      "--ssd-limit-mb", "64", "--value-kb", "8")
+    assert rc == 0
+    assert "throughput" in out
+    assert "effective latency" in out
+
+
+def test_run_blocking_profile(capsys):
+    rc, out = run_cli(capsys, "run", "--profile", "rdma-mem",
+                      "--ops", "40", "--server-mem-mb", "16",
+                      "--value-kb", "4", "--dataset-ratio", "0.5")
+    assert rc == 0
+    assert "RDMA-Mem" in out
+
+
+def test_run_with_async_flush(capsys):
+    rc, out = run_cli(capsys, "run", "--ops", "40", "--server-mem-mb", "16",
+                      "--ssd-limit-mb", "64", "--value-kb", "8",
+                      "--async-flush")
+    assert rc == 0
+
+
+def test_ycsb_command(capsys):
+    rc, out = run_cli(capsys, "ycsb", "--workload", "B", "--ops", "80",
+                      "--server-mem-mb", "16", "--ssd-limit-mb", "64",
+                      "--value-kb", "4")
+    assert rc == 0
+    assert "YCSB-B" in out
+
+
+def test_reproduce_single_figure(capsys):
+    rc, out = run_cli(capsys, "reproduce", "--figure", "fig4")
+    assert rc == 0
+    assert "Figure 4" in out
+    assert "direct" in out
+
+
+def test_reproduce_table1(capsys):
+    rc, out = run_cli(capsys, "reproduce", "--figure", "table1")
+    assert rc == 0
+    assert "This Paper" in out
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--profile", "bogus"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])

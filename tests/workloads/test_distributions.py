@@ -1,0 +1,82 @@
+"""Tests for the Zipf/uniform samplers."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import UniformSampler, ZipfSampler, make_sampler
+
+
+class TestUniform:
+    def test_range(self):
+        s = UniformSampler(100, seed=1)
+        draws = s.sample(10_000)
+        assert draws.min() >= 0 and draws.max() < 100
+
+    def test_roughly_flat(self):
+        s = UniformSampler(10, seed=2)
+        draws = s.sample(50_000)
+        counts = np.bincount(draws, minlength=10)
+        assert counts.min() > 4_000 and counts.max() < 6_000
+
+    def test_seeded_determinism(self):
+        a = UniformSampler(1000, seed=7).sample(100)
+        b = UniformSampler(1000, seed=7).sample(100)
+        assert (a == b).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformSampler(0)
+
+
+class TestZipf:
+    def test_range(self):
+        s = ZipfSampler(500, theta=0.99, seed=1)
+        draws = s.sample(10_000)
+        assert draws.min() >= 0 and draws.max() < 500
+
+    def test_skew_concentrates_mass(self):
+        s = ZipfSampler(10_000, theta=0.99, seed=3)
+        draws = s.sample(50_000)
+        counts = np.bincount(draws, minlength=10_000)
+        top = np.sort(counts)[::-1][:1000].sum()  # hottest 10% of keys
+        assert top / 50_000 > 0.5
+
+    def test_higher_theta_more_skew(self):
+        def top_mass(theta):
+            s = ZipfSampler(5_000, theta=theta, seed=5)
+            draws = s.sample(30_000)
+            counts = np.bincount(draws, minlength=5_000)
+            return np.sort(counts)[::-1][:500].sum()
+
+        assert top_mass(1.2) > top_mass(0.6)
+
+    def test_hot_keys_scattered_over_keyspace(self):
+        """Scrambling: the hottest key should (almost surely) not be 0."""
+        s = ZipfSampler(10_000, theta=0.99, seed=11)
+        draws = s.sample(20_000)
+        counts = np.bincount(draws, minlength=10_000)
+        hot = np.argsort(counts)[::-1][:10]
+        assert hot.mean() > 100  # not clustered at the low indices
+
+    def test_hot_fraction_helper(self):
+        s = ZipfSampler(1_000, theta=0.99, seed=1)
+        assert 0.5 < s.hot_fraction(0.1) < 1.0
+        assert s.hot_fraction(1.0) == pytest.approx(1.0)
+
+    def test_seeded_determinism(self):
+        a = ZipfSampler(1000, theta=0.9, seed=9).sample(50)
+        b = ZipfSampler(1000, theta=0.9, seed=9).sample(50)
+        assert (a == b).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, theta=0.0)
+
+
+def test_make_sampler_factory():
+    assert isinstance(make_sampler("zipf", 10), ZipfSampler)
+    assert isinstance(make_sampler("uniform", 10), UniformSampler)
+    with pytest.raises(ValueError):
+        make_sampler("gaussian", 10)
