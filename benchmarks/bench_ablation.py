@@ -145,7 +145,6 @@ def test_ablate_registration_cost(benchmark):
     (many registrations) while bset's early reuse needs only a few —
     the b-variants trade overlap for registration economy.
     """
-    import dataclasses as _dc
 
     from repro.client.client import ClientConfig
     from repro.core.profiles import H_RDMA_OPT_NONB_B

@@ -7,6 +7,8 @@ Usage::
         --value-kb 32 --servers 1 --read-fraction 0.5
     python -m repro ycsb --workload A --profile h-rdma-def
     python -m repro reproduce --figure fig6 --scale 16
+    python -m repro stats --profile h-rdma-def --ops 1000
+    python -m repro trace --out run.trace.json --ops 500
 """
 
 from __future__ import annotations
@@ -15,14 +17,13 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core import metrics
 from repro.core.cluster import ClusterSpec
 from repro.core.profiles import ALL_PROFILES
 from repro.harness import figures
-from repro.harness.report import ascii_table, fmt_pct, fmt_us
+from repro.harness.report import ascii_table, fmt_pct, fmt_us, obs_report
 from repro.harness.runner import run_ops, run_workload, setup_cluster
 from repro.storage.params import NVME_SSD, SATA_SSD
-from repro.units import GB, KB, MB
+from repro.units import KB, MB
 from repro.workloads.generator import WorkloadSpec
 from repro.workloads.ycsb import CORE_WORKLOADS, generate_ycsb_ops
 
@@ -44,7 +45,38 @@ def _add_cluster_args(p: argparse.ArgumentParser) -> None:
                    help="enable asynchronous SSD flushes (future work)")
 
 
-def _build(args, spec: WorkloadSpec):
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--ops", type=int, default=2000,
+                   help="operations per client")
+    p.add_argument("--value-kb", type=int, default=32)
+    p.add_argument("--keys", type=int, default=0,
+                   help="keyspace size (default: from dataset ratio)")
+    p.add_argument("--dataset-ratio", type=float, default=1.5,
+                   help="dataset bytes / aggregate server memory")
+    p.add_argument("--read-fraction", type=float, default=0.5)
+    p.add_argument("--distribution", default="zipf",
+                   choices=("zipf", "uniform"))
+    p.add_argument("--theta", type=float, default=0.8)
+    p.add_argument("--seed", type=int, default=1)
+
+
+def _workload_spec(args) -> WorkloadSpec:
+    return WorkloadSpec(
+        num_ops=args.ops,
+        num_keys=args.keys or max(8, int(args.dataset_ratio
+                                         * args.server_mem_mb * MB
+                                         * args.servers)
+                                  // (args.value_kb * KB)),
+        value_length=args.value_kb * KB,
+        read_fraction=args.read_fraction,
+        distribution=args.distribution,
+        theta=args.theta,
+        seed=args.seed,
+    )
+
+
+def _build(args, spec: WorkloadSpec, observe: bool = False,
+           trace: bool = False):
     profile = ALL_PROFILES[args.profile]
     cluster_spec = ClusterSpec(
         num_servers=args.servers,
@@ -53,6 +85,8 @@ def _build(args, spec: WorkloadSpec):
         ssd_limit=args.ssd_limit_mb * MB,
         device=DEVICES[args.device],
         async_flush=args.async_flush,
+        observe=observe,
+        trace=trace,
     )
     return setup_cluster(profile, spec, cluster_spec=cluster_spec)
 
@@ -85,24 +119,48 @@ def cmd_list_profiles(_args) -> int:
 
 
 def cmd_run(args) -> int:
-    spec = WorkloadSpec(
-        num_ops=args.ops,
-        num_keys=args.keys or max(8, int(args.dataset_ratio
-                                         * args.server_mem_mb * MB
-                                         * args.servers)
-                                  // (args.value_kb * KB)),
-        value_length=args.value_kb * KB,
-        read_fraction=args.read_fraction,
-        distribution=args.distribution,
-        theta=args.theta,
-        seed=args.seed,
-    )
+    spec = _workload_spec(args)
     cluster = _build(args, spec)
     result = run_workload(cluster, spec)
     _print_summary(
         f"{ALL_PROFILES[args.profile].label} — {args.ops} ops x "
         f"{args.clients} client(s), {args.value_kb} KB values, "
         f"{spec.num_keys} keys", result)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Run a workload with live metrics on; print the registry."""
+    spec = _workload_spec(args)
+    cluster = _build(args, spec, observe=True)
+    result = run_workload(cluster, spec)
+    _print_summary(
+        f"{ALL_PROFILES[args.profile].label} — observed run", result)
+    print()
+    print(obs_report(cluster.obs, match=args.match))
+    if args.out:
+        from repro.obs.export import write_bundle
+
+        for path in write_bundle(cluster.obs, args.out, prefix="stats"):
+            print(f"wrote {path}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run a workload with span tracing on; write a Chrome trace."""
+    spec = _workload_spec(args)
+    cluster = _build(args, spec, observe=True, trace=True)
+    result = run_workload(cluster, spec)
+    _print_summary(
+        f"{ALL_PROFILES[args.profile].label} — traced run", result)
+    from repro.obs.export import chrome_trace
+
+    path = chrome_trace(cluster.obs.tracer, args.out,
+                        metadata={"profile": args.profile,
+                                  "ops": args.ops,
+                                  "clients": args.clients})
+    print(f"\nwrote {path} ({len(cluster.obs.tracer)} spans) — open in "
+          "chrome://tracing or https://ui.perfetto.dev")
     return 0
 
 
@@ -183,19 +241,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one custom workload")
     _add_cluster_args(run_p)
-    run_p.add_argument("--ops", type=int, default=2000,
-                       help="operations per client")
-    run_p.add_argument("--value-kb", type=int, default=32)
-    run_p.add_argument("--keys", type=int, default=0,
-                       help="keyspace size (default: from dataset ratio)")
-    run_p.add_argument("--dataset-ratio", type=float, default=1.5,
-                       help="dataset bytes / aggregate server memory")
-    run_p.add_argument("--read-fraction", type=float, default=0.5)
-    run_p.add_argument("--distribution", default="zipf",
-                       choices=("zipf", "uniform"))
-    run_p.add_argument("--theta", type=float, default=0.8)
-    run_p.add_argument("--seed", type=int, default=1)
+    _add_workload_args(run_p)
     run_p.set_defaults(func=cmd_run)
+
+    stats_p = sub.add_parser(
+        "stats", help="run a workload with live metrics and print them")
+    _add_cluster_args(stats_p)
+    _add_workload_args(stats_p)
+    stats_p.add_argument("--match", default=None,
+                         help="substring filter on metric keys")
+    stats_p.add_argument("--out", default=None,
+                         help="also write trace/metrics/series bundle here")
+    stats_p.set_defaults(func=cmd_stats)
+
+    trace_p = sub.add_parser(
+        "trace", help="run a workload and export a Chrome trace timeline")
+    _add_cluster_args(trace_p)
+    _add_workload_args(trace_p)
+    trace_p.add_argument("--out", default="repro.trace.json",
+                         help="Chrome trace_event JSON output path")
+    trace_p.set_defaults(func=cmd_trace)
 
     ycsb_p = sub.add_parser("ycsb", help="run a YCSB core workload")
     _add_cluster_args(ycsb_p)

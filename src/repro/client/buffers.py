@@ -21,7 +21,7 @@ cost zero; enable it to study cold-start and pool-sizing effects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.units import KB, US

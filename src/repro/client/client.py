@@ -23,7 +23,7 @@ measurements (Figure 7a).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.client.backend import BackendDatabase
@@ -31,10 +31,10 @@ from repro.client.buffers import BufferPool
 from repro.client.hashing import KetamaRouter, ModuloRouter
 from repro.client.request import MemcachedReq, OpRecord
 from repro.net.transport import Endpoint
+from repro.obs.api import NULL_OBS, Observability
 from repro.server.protocol import (
     HIT,
     MISS,
-    STORED,
     BufferAck,
     DeleteRequest,
     GetRequest,
@@ -104,11 +104,13 @@ class MemcachedClient:
 
     def __init__(self, sim: Simulator, name: str = "client0",
                  config: Optional[ClientConfig] = None,
-                 backend: Optional[BackendDatabase] = None):
+                 backend: Optional[BackendDatabase] = None,
+                 obs: Optional[Observability] = None):
         self.sim = sim
         self.name = name
         self.config = config or ClientConfig()
         self.backend = backend
+        self.obs = obs or NULL_OBS
         self._conns: List[ServerConn] = []
         self._router = None
         self._engine_queue: Store = Store(sim)
@@ -124,6 +126,15 @@ class MemcachedClient:
         self.total_blocked = 0.0
         self.t_first_issue: Optional[float] = None
         self.t_last_complete: float = 0.0
+        # live metrics (no-ops when observability is disabled)
+        reg = self.obs.registry
+        labels = dict(client=name)
+        self._m_issued = reg.counter("client_ops_issued", **labels)
+        self._m_completed = reg.counter("client_ops_completed", **labels)
+        self._m_blocked = reg.counter("client_blocked_seconds", **labels)
+        reg.gauge("client_window",
+                  fn=lambda: len(self._outstanding), **labels)
+        self._op_spans: Dict[int, object] = {}
 
     # -- wiring ------------------------------------------------------------
 
@@ -225,6 +236,7 @@ class MemcachedClient:
             if self.t_first_issue is None:
                 self.t_first_issue = t0
             self._outstanding[req.req_id] = req
+            self._op_begin(req)
             reqs.append(req)
             batch = batches.setdefault(conn.index, _MgetJob([], conn))
             batch.reqs.append(req)
@@ -247,6 +259,7 @@ class MemcachedClient:
         for req in reqs:
             req.blocked_time += dt
         self.total_blocked += dt
+        self._m_blocked.inc(dt)
 
     def stats(self, server_index: int = 0):
         """memcached ``stats``: fetch one server's counter snapshot.
@@ -261,10 +274,12 @@ class MemcachedClient:
         req.t_issue = self.sim.now
         req.server_index = conn.index
         self._outstanding[req.req_id] = req
+        self._op_begin(req)
         t0 = self.sim.now
         yield self.sim.timeout(self.config.api_overhead)
         self._engine_queue.put(_EngineJob(req, conn))
         yield req.complete
+        self._op_end(req)
         self._account_block(req, self.sim.now - t0)
         self._recorded_ids.add(req.req_id)  # not a data op; never record
         return dict(req.response.stats_payload or {})
@@ -391,6 +406,7 @@ class MemcachedClient:
         conn = self._route(key)
         req.server_index = conn.index
         self._outstanding[req.req_id] = req
+        self._op_begin(req)
         t0 = self.sim.now
         yield self.sim.timeout(self.config.api_overhead)
         self._engine_queue.put(_EngineJob(req, conn))
@@ -426,12 +442,27 @@ class MemcachedClient:
     def _account_block(self, req: MemcachedReq, dt: float) -> None:
         req.blocked_time += dt
         self.total_blocked += dt
+        self._m_blocked.inc(dt)
+
+    def _op_begin(self, req: MemcachedReq) -> None:
+        self._m_issued.inc()
+        if self.obs.tracer.enabled:
+            self._op_spans[req.req_id] = self.obs.tracer.begin(
+                f"{req.api}:{req.op}", tid=self.name, pid="client",
+                cat="op", async_=True, req_id=req.req_id)
+
+    def _op_end(self, req: MemcachedReq) -> None:
+        self._m_completed.inc()
+        span = self._op_spans.pop(req.req_id, None)
+        if span is not None:
+            span.end(status=req.status)
 
     def _finalize(self, req: MemcachedReq, record: bool = True) -> None:
         """Record a completed user-visible operation (idempotent)."""
         if req.req_id in self._recorded_ids:
             return
         self._recorded_ids.add(req.req_id)
+        self._op_end(req)
         if record and self.config.record_ops and req.status is not None:
             self.records.append(OpRecord.from_req(req))
         self.t_last_complete = max(self.t_last_complete, req.t_complete)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import List, Sequence
+from typing import List
 
 
 def one_at_a_time(key: bytes) -> int:

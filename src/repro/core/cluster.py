@@ -20,6 +20,7 @@ from repro.core.profiles import DesignProfile
 from repro.net.fabric import Fabric
 from repro.net.params import FDR_IPOIB, FDR_RDMA, LinkParams
 from repro.net.transport import connect_ipoib, connect_rdma
+from repro.obs.api import NULL_OBS, Observability
 from repro.server.server import MemcachedServer, ServerConfig, ServerCosts
 from repro.sim import Simulator
 from repro.storage.params import (
@@ -62,6 +63,13 @@ class ClusterSpec:
     #: Schedule GETs ahead of SETs in the server worker queue.
     get_priority: bool = False
     record_ops: bool = True
+    #: Live metrics registry + gauge sampler (see :mod:`repro.obs`).
+    observe: bool = False
+    #: Sim-time span tracing (Chrome ``trace_event`` export).
+    trace: bool = False
+    #: Gauge-sampling period in seconds; defaults to 100 µs when
+    #: ``observe`` is on and no interval is given.
+    sample_interval: Optional[float] = None
 
 
 class Cluster:
@@ -70,7 +78,7 @@ class Cluster:
     def __init__(self, sim: Simulator, profile: DesignProfile,
                  spec: ClusterSpec, servers: List[MemcachedServer],
                  clients: List[MemcachedClient], backend: BackendDatabase,
-                 fabric: Fabric):
+                 fabric: Fabric, obs: Optional[Observability] = None):
         self.sim = sim
         self.profile = profile
         self.spec = spec
@@ -78,6 +86,7 @@ class Cluster:
         self.clients = clients
         self.backend = backend
         self.fabric = fabric
+        self.obs = obs or NULL_OBS
 
     def run(self, until=None):
         return self.sim.run(until=until)
@@ -127,7 +136,16 @@ def build_cluster(profile: DesignProfile,
     elif spec_overrides:
         raise TypeError("pass either spec or keyword overrides, not both")
     sim = sim or Simulator()
-    fabric = Fabric(sim)
+    if spec.observe or spec.trace:
+        interval = spec.sample_interval
+        if spec.observe and interval is None:
+            interval = 100e-6
+        obs = Observability(sim, metrics=spec.observe, trace=spec.trace,
+                            sample_interval=interval if spec.observe else None)
+        sim.tracer = obs.tracer
+    else:
+        obs = NULL_OBS
+    fabric = Fabric(sim, obs=obs)
     backend = BackendDatabase(sim, penalty=spec.backend_penalty,
                               value_length_for=value_length_for)
 
@@ -152,7 +170,8 @@ def build_cluster(profile: DesignProfile,
     )
     servers = []
     for i in range(spec.num_servers):
-        server = MemcachedServer(sim, server_cfg, name=f"server{i}")
+        server = MemcachedServer(sim, server_cfg, name=f"server{i}",
+                                 obs=obs)
         server.start()
         servers.append(server)
 
@@ -162,7 +181,7 @@ def build_cluster(profile: DesignProfile,
     clients = []
     for i in range(spec.num_clients):
         client = MemcachedClient(sim, name=f"client{i}", config=client_cfg,
-                                 backend=backend)
+                                 backend=backend, obs=obs)
         client_node = fabric.node(f"cnode{i % n_nodes}")
         for j, server in enumerate(servers):
             server_node = fabric.node(f"snode{j}")
@@ -176,4 +195,5 @@ def build_cluster(profile: DesignProfile,
             client.add_server(cli_ep, server)
         clients.append(client)
 
-    return Cluster(sim, profile, spec, servers, clients, backend, fabric)
+    return Cluster(sim, profile, spec, servers, clients, backend, fabric,
+                   obs=obs)

@@ -15,8 +15,14 @@ from typing import Iterable, List, Sequence, Union
 from repro.client.request import OpRecord
 from repro.core.metrics import STAGE_KEYS
 
+#: Every stored OpRecord field (audited against the dataclass: the
+#: constructor takes exactly these plus ``stages``).
 _BASE_FIELDS = ("op", "api", "key_length", "value_length", "status",
                 "t_issue", "t_complete", "blocked_time", "server_index")
+
+#: Computed properties written for offline analysis; ``_from_dict``
+#: ignores them (they reconstruct exactly from the base fields).
+_DERIVED_FIELDS = ("latency", "overlap_fraction")
 
 
 def to_dicts(records: Iterable[OpRecord]) -> List[dict]:
@@ -24,6 +30,8 @@ def to_dicts(records: Iterable[OpRecord]) -> List[dict]:
     out = []
     for r in records:
         d = {f: getattr(r, f) for f in _BASE_FIELDS}
+        for f in _DERIVED_FIELDS:
+            d[f] = getattr(r, f)
         for stage in STAGE_KEYS:
             d[f"stage_{stage}"] = r.stages.get(stage, 0.0)
         out.append(d)
@@ -46,7 +54,8 @@ def write_csv(records: Sequence[OpRecord],
               path: Union[str, Path]) -> Path:
     """Dump records as CSV; returns the path written."""
     path = Path(path)
-    fields = list(_BASE_FIELDS) + [f"stage_{s}" for s in STAGE_KEYS]
+    fields = (list(_BASE_FIELDS) + list(_DERIVED_FIELDS)
+              + [f"stage_{s}" for s in STAGE_KEYS])
     with path.open("w", newline="") as fh:
         writer = csv.DictWriter(fh, fieldnames=fields)
         writer.writeheader()

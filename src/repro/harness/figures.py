@@ -26,12 +26,10 @@ from repro.core.profiles import (
     H_RDMA_OPT_BLOCK,
     H_RDMA_OPT_NONB_B,
     H_RDMA_OPT_NONB_I,
-    IPOIB_MEM,
-    RDMA_MEM,
     DesignProfile,
     feature_matrix,
 )
-from repro.harness.runner import run_ops, run_workload, setup_cluster
+from repro.harness.runner import run_workload, setup_cluster
 from repro.sim import Simulator
 from repro.storage.device import BlockDevice
 from repro.storage.pagecache import PageCache

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.units import MS, US
 
@@ -66,6 +66,45 @@ def ascii_bars(values: Dict[str, float], width: int = 48,
         out.append(f"{str(label).ljust(label_w)} | "
                    f"{bar.ljust(width)} {fmt(value)}")
     return "\n".join(out)
+
+
+def obs_report(obs, match: Optional[str] = None) -> str:
+    """Observability highlights for a finished run.
+
+    Counters and gauges as one table, histograms as another (count,
+    mean, p50/p99), and each sampled gauge series summarized to its
+    last/peak values. ``match`` substring-filters metric keys.
+    """
+    reg = obs.registry
+    if not reg.enabled:
+        return "observability: (disabled)"
+    keep = (lambda m: match in m.key) if match else None
+    sections: List[str] = []
+    flat = [{"metric": m.key, "kind": m.kind, "value": f"{m.value:g}"}
+            for m in reg.counters(keep)]
+    flat += [{"metric": m.key, "kind": m.kind, "value": f"{m.value():g}"}
+             for m in reg.gauges(keep)]
+    if flat:
+        sections.append(ascii_table(flat, title="Counters and gauges"))
+    hists = [{"metric": h.key, "n": h.count, "mean": fmt_us(h.mean),
+              "p50": fmt_us(h.percentile(50)), "p99": fmt_us(h.percentile(99)),
+              "max": fmt_us(h.max if h.count else 0.0)}
+             for h in reg.histograms(keep) if h.count]
+    if hists:
+        sections.append(ascii_table(hists, title="Histograms"))
+    if obs.sampler is not None and obs.sampler.series:
+        rows = []
+        for key, points in sorted(obs.sampler.series.items()):
+            if match and match not in key:
+                continue
+            values = [v for _, v in points]
+            rows.append({"series": key, "samples": len(points),
+                         "last": f"{values[-1]:g}",
+                         "peak": f"{max(values):g}",
+                         "mean": f"{sum(values) / len(values):.2f}"})
+        if rows:
+            sections.append(ascii_table(rows, title="Sampled series"))
+    return "\n\n".join(sections) if sections else "observability: (no data)"
 
 
 def markdown_table(rows: Sequence[Dict[str, object]],

@@ -27,6 +27,9 @@ class RunResult:
     records: List[OpRecord]
     span: float  # first issue -> last completion (seconds)
     summary: Dict[str, float] = field(default_factory=dict)
+    #: The cluster's :class:`~repro.obs.Observability` when the run was
+    #: observed (``observe=True``/``trace=True``); None otherwise.
+    obs: Optional[object] = None
 
     @property
     def ops(self) -> int:
@@ -127,7 +130,8 @@ def run_ops(cluster: Cluster, per_client_ops: Sequence[Sequence[Op]],
         span = (max(r.t_complete for r in records)
                 - min(r.t_issue for r in records))
     result = RunResult(profile_key=cluster.profile.key, api=api,
-                       records=records, span=span)
+                       records=records, span=span,
+                       obs=cluster.obs if cluster.obs.enabled else None)
     result.summary = metrics.summarize(records)
     return result
 

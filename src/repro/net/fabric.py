@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from repro.net.params import LinkParams
+from repro.obs.api import NULL_OBS, Observability
 from repro.sim import Event, Resource, Simulator
 
 
@@ -46,7 +47,8 @@ class Message:
 class NIC:
     """One host channel adapter attached to the fabric."""
 
-    def __init__(self, sim: Simulator, node: "Node", params: LinkParams):
+    def __init__(self, sim: Simulator, node: "Node", params: LinkParams,
+                 obs: Optional[Observability] = None):
         self.sim = sim
         self.node = node
         self.params = params
@@ -57,6 +59,15 @@ class NIC:
         # traffic accounting
         self.bytes_sent = 0
         self.messages_sent = 0
+        # live metrics (no-ops when observability is disabled)
+        self.obs = obs or NULL_OBS
+        reg = self.obs.registry
+        labels = dict(node=node.name, link=params.name)
+        self._m_bytes = reg.counter("nic_bytes_sent", **labels)
+        self._m_msgs = reg.counter("nic_messages_sent", **labels)
+        self._m_tx_wait = reg.histogram("nic_tx_wait_seconds", **labels)
+        reg.gauge("nic_tx_backlog",
+                  fn=lambda: self.tx.in_use + self.tx.queue_length, **labels)
 
     def transmit(self, dst: "NIC", nbytes: int, payload: Any = None,
                  one_sided: bool = False, recv_cpu: float = 0.0) -> Message:
@@ -69,16 +80,24 @@ class NIC:
         return msg
 
     def _transfer(self, msg: Message):
+        t_queued = self.sim.now
         req = self.tx.request()
         yield req
+        self._m_tx_wait.observe(self.sim.now - t_queued)
+        span = self.obs.tracer.begin(
+            "tx", tid=f"{self.node.name}/{self.params.name}", pid="net",
+            cat="net", bytes=msg.nbytes)
         try:
             busy = self.params.cpu_send + self.params.serialize_time(msg.nbytes)
             if busy > 0:
                 yield self.sim.timeout(busy)
         finally:
             self.tx.release(req)
+            span.end()
         self.bytes_sent += msg.nbytes
         self.messages_sent += 1
+        self._m_bytes.inc(msg.nbytes)
+        self._m_msgs.inc()
         msg.on_wire.succeed(msg)
         yield self.sim.timeout(self.params.latency)
         msg.delivered.succeed(msg)
@@ -105,15 +124,17 @@ class Node:
         (and therefore contend for its transmit side).
         """
         if params.name not in self._nics:
-            self._nics[params.name] = NIC(self.sim, self, params)
+            self._nics[params.name] = NIC(self.sim, self, params,
+                                          obs=self.fabric.obs)
         return self._nics[params.name]
 
 
 class Fabric:
     """Star-topology interconnect; owns the nodes."""
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, obs: Optional[Observability] = None):
         self.sim = sim
+        self.obs = obs or NULL_OBS
         self._nodes: Dict[str, Node] = {}
 
     def node(self, name: str) -> Node:

@@ -22,9 +22,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from itertools import count
 from typing import Any, Callable, Deque, Optional
 
 from repro.net.fabric import Message, NIC
+from repro.obs.api import NULL_OBS, Observability
 from repro.sim import Simulator, Store
 from repro.sim.errors import SimulationError
 
@@ -41,27 +43,46 @@ class WorkCompletion:
     nbytes: int
     payload: Any = None
     status: str = "ok"
+    #: Sim time the completion entered its CQ (set by ``push``); the CQ
+    #: wait-time histogram is measured push-to-poll.
+    pushed_at: float = 0.0
+
+
+#: Deterministic CQ naming for metric labels (per-process creation order).
+_cq_ids = count()
 
 
 class CompletionQueue:
     """FIFO of work completions; pollable by the application."""
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, name: Optional[str] = None,
+                 obs: Optional[Observability] = None):
         self.sim = sim
         self._store = Store(sim)
+        self.name = name or f"cq{next(_cq_ids)}"
+        self.obs = obs or NULL_OBS
+        reg = self.obs.registry
+        self._m_wait = reg.histogram("cq_wait_seconds", cq=self.name)
+        reg.gauge("cq_backlog", fn=lambda: len(self._store), cq=self.name)
 
     def push(self, wc: WorkCompletion) -> None:
+        wc.pushed_at = self.sim.now
         self._store.put(wc)
 
     def wait(self):
         """Event yielding the next completion (blocks the poller)."""
-        return self._store.get()
+        ev = self._store.get()
+        if self.obs.registry.enabled:
+            ev.callbacks.append(
+                lambda e: self._m_wait.observe(self.sim.now - e.value.pushed_at))
+        return ev
 
     def try_poll(self) -> Optional[WorkCompletion]:
         """Non-blocking poll; None when the CQ is empty."""
         if self._store.items:
             ev = self._store.get()
             # Store.get on a non-empty store triggers synchronously.
+            self._m_wait.observe(self.sim.now - ev.value.pushed_at)
             return ev.value
         return None
 
@@ -92,11 +113,13 @@ class QueuePair:
 
     def __init__(self, sim: Simulator, nic: NIC,
                  send_cq: Optional[CompletionQueue] = None,
-                 recv_cq: Optional[CompletionQueue] = None):
+                 recv_cq: Optional[CompletionQueue] = None,
+                 obs: Optional[Observability] = None):
         self.sim = sim
         self.nic = nic
-        self.send_cq = send_cq or CompletionQueue(sim)
-        self.recv_cq = recv_cq or CompletionQueue(sim)
+        obs = obs or nic.obs
+        self.send_cq = send_cq or CompletionQueue(sim, obs=obs)
+        self.recv_cq = recv_cq or CompletionQueue(sim, obs=obs)
         self.peer: Optional[QueuePair] = None
         self._posted_recvs: Deque[Any] = deque()
         #: Frames that arrived before a receive was posted (RNR condition;

@@ -1,0 +1,69 @@
+"""Unified observability: live metrics, sim-time tracing, timeline export.
+
+The paper's core evidence is *attribution* — the six-stage latency
+breakdown (Fig. 2) and the overlap analysis (Fig. 7a) explain **where**
+time goes. This subsystem makes that attribution live:
+
+* :class:`MetricsRegistry` — ``Counter`` / ``Gauge`` / ``Histogram``
+  keyed by component labels, snapshot-able at any simulation time;
+* :class:`SpanTracer` — structured begin/end spans in virtual time,
+  exported as Chrome ``trace_event`` JSON (``chrome://tracing`` /
+  Perfetto);
+* :class:`Sampler` — a simulation process polling registered gauges
+  (device queue depth, worker occupancy, slab free slots, client window
+  occupancy) into time series;
+* exporters — Chrome trace, Prometheus text, human-readable tables.
+
+Enable per cluster with ``build_cluster(..., observe=True, trace=True)``
+or from the CLI via ``repro stats`` / ``repro trace``. Disabled (the
+default), every instrumentation point routes through the shared null
+objects and the simulated results are byte-identical.
+"""
+
+from repro.obs.api import NULL_OBS, Observability
+from repro.obs.buckets import bucket_index, log_bounds
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    metrics_table,
+    prometheus_text,
+    series_json,
+    write_bundle,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    render_key,
+)
+from repro.obs.sampler import Sampler
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER, NullTracer, Span, SpanTracer
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "render_key",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "NULL_SPAN",
+    "Sampler",
+    "chrome_trace",
+    "chrome_trace_events",
+    "prometheus_text",
+    "metrics_table",
+    "series_json",
+    "write_bundle",
+    "log_bounds",
+    "bucket_index",
+]

@@ -1,0 +1,57 @@
+"""The :class:`Observability` facade: registry + tracer + sampler.
+
+One ``Observability`` object is shared by every component of a cluster
+(fabric, NICs, devices, servers, slab managers, clients). Components
+hold it as ``self.obs`` and create their metrics/spans through it; when
+a cluster is built without observability they receive the module-level
+:data:`NULL_OBS`, whose registry and tracer are the shared null
+implementations — all instrumentation points become cheap no-ops and
+simulated behaviour is bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+from repro.obs.sampler import Sampler
+from repro.obs.tracer import NULL_TRACER, SpanTracer
+
+
+class Observability:
+    """Bundle of live-metrics registry, span tracer, and gauge sampler."""
+
+    def __init__(self, sim=None, metrics: bool = True, trace: bool = False,
+                 sample_interval: Optional[float] = None):
+        clock = (lambda: sim.now) if sim is not None else None
+        self.sim = sim
+        self.registry = MetricsRegistry(clock) if metrics else NULL_REGISTRY
+        self.tracer = SpanTracer(clock) if trace else NULL_TRACER
+        self.sampler: Optional[Sampler] = None
+        if metrics and sim is not None and sample_interval:
+            self.sampler = Sampler(sim, self.registry, sample_interval)
+            self.sampler.start()
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled or self.tracer.enabled
+
+    def snapshot(self) -> dict:
+        """Registry snapshot plus every sampled series so far."""
+        snap = self.registry.snapshot()
+        snap["series"] = (dict(self.sampler.series)
+                          if self.sampler is not None else {})
+        return snap
+
+
+class _NullObservability(Observability):
+    """Shared disabled instance; see :data:`NULL_OBS`."""
+
+    def __init__(self):
+        self.sim = None
+        self.registry = NULL_REGISTRY
+        self.tracer = NULL_TRACER
+        self.sampler = None
+
+
+NULL_OBS = _NullObservability()

@@ -1,0 +1,36 @@
+"""Log-spaced bucket math shared by ``core.metrics`` and ``obs.Histogram``.
+
+Latency distributions in this system are heavy-tailed (an SSD miss is
+100x a RAM hit), so every histogram in the repo buckets on a log scale.
+The bounds are precomputed once and values are placed with ``bisect``,
+replacing the old per-value linear scan.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Sequence
+
+
+def log_bounds(lo: float, hi: float, n: int) -> List[float]:
+    """``n`` log-spaced upper bucket bounds covering ``(lo, hi]``.
+
+    The last bound is exactly ``hi`` so the maximum observed value always
+    lands in the final bucket.
+    """
+    if n < 1:
+        raise ValueError("need at least one bucket")
+    if lo <= 0 or hi < lo:
+        raise ValueError(f"invalid bucket range [{lo}, {hi}]")
+    if lo == hi:
+        return [hi]
+    ratio = (hi / lo) ** (1.0 / n)
+    bounds = [lo * ratio ** (i + 1) for i in range(n)]
+    bounds[-1] = hi  # close the range exactly despite float error
+    return bounds
+
+
+def bucket_index(bounds: Sequence[float], value: float) -> int:
+    """Index of the first bound >= ``value``, clamped into range."""
+    i = bisect_left(bounds, value)
+    return min(i, len(bounds) - 1)

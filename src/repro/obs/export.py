@@ -1,0 +1,162 @@
+"""Exporters: Chrome ``trace_event`` JSON, Prometheus text, tables.
+
+* :func:`chrome_trace` — a timeline loadable in ``chrome://tracing`` or
+  https://ui.perfetto.dev (the JSON Array/Object format of the Trace
+  Event spec, timestamps in microseconds).
+* :func:`prometheus_text` — the text exposition format (counters,
+  gauges, and histograms with cumulative ``le`` buckets).
+* :func:`metrics_table` — a fixed-width human-readable table.
+* :func:`write_bundle` — one call that drops trace + metrics + sampled
+  series next to a benchmark's output, the harness/CLI integration
+  point.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+_SECONDS_TO_US = 1e6
+
+
+def chrome_trace_events(tracer) -> List[dict]:
+    """Tracer buffer as finished Chrome trace events (ts/dur in µs)."""
+    out = []
+    for ev in sorted(tracer.events, key=lambda e: (e["ts"], e["ph"])):
+        conv = dict(ev)
+        conv["ts"] = ev["ts"] * _SECONDS_TO_US
+        if "dur" in conv:
+            conv["dur"] = conv["dur"] * _SECONDS_TO_US
+        out.append(conv)
+    return out
+
+
+def chrome_trace(tracer, path: Union[str, Path, None] = None,
+                 metadata: Optional[Dict[str, object]] = None):
+    """Chrome ``trace_event`` document; written to ``path`` if given.
+
+    Returns the document dict (no path) or the :class:`Path` written.
+    """
+    doc = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", **(metadata or {})},
+    }
+    if path is None:
+        return doc
+    path = Path(path)
+    with path.open("w") as fh:
+        json.dump(doc, fh)
+    return path
+
+
+def prometheus_text(registry, match=None) -> str:
+    """Registry contents in the Prometheus text exposition format."""
+    lines: List[str] = []
+    typed: set = set()
+
+    def _type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for c in registry.counters(match):
+        _type_line(c.name, "counter")
+        lines.append(f"{c.key} {_fmt(c.value)}")
+    for g in registry.gauges(match):
+        _type_line(g.name, "gauge")
+        lines.append(f"{g.key} {_fmt(g.value())}")
+    for h in registry.histograms(match):
+        _type_line(h.name, "histogram")
+        labels = dict(h.labels)
+        cumulative = 0
+        for bound, count in zip(h.bounds, h.counts):
+            cumulative += count
+            key = _render(h.name + "_bucket", {**labels, "le": _fmt(bound)})
+            lines.append(f"{key} {cumulative}")
+        cumulative += h.counts[-1]
+        key = _render(h.name + "_bucket", {**labels, "le": "+Inf"})
+        lines.append(f"{key} {cumulative}")
+        lines.append(f"{_render(h.name + '_sum', labels)} {_fmt(h.total)}")
+        lines.append(f"{_render(h.name + '_count', labels)} {h.count}")
+    return "\n".join(lines) + "\n"
+
+
+def metrics_table(registry, match=None, title: Optional[str] = None) -> str:
+    """Human-readable fixed-width dump of counters, gauges, histograms."""
+    rows: List[tuple] = []
+    for c in registry.counters(match):
+        rows.append((c.key, "counter", _fmt(c.value)))
+    for g in registry.gauges(match):
+        rows.append((g.key, "gauge", _fmt(g.value())))
+    for h in registry.histograms(match):
+        if h.count:
+            detail = (f"n={h.count} mean={_fmt(h.mean)} "
+                      f"p50={_fmt(h.percentile(50))} "
+                      f"p99={_fmt(h.percentile(99))} max={_fmt(h.max)}")
+        else:
+            detail = "n=0"
+        rows.append((h.key, "histogram", detail))
+    if not rows:
+        return f"{title or 'metrics'}: (empty registry)"
+    name_w = max(len(r[0]) for r in rows)
+    kind_w = max(len(r[1]) for r in rows)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    for name, kind, value in rows:
+        out.append(f"{name.ljust(name_w)}  {kind.ljust(kind_w)}  {value}")
+    return "\n".join(out)
+
+
+def series_json(sampler, path: Union[str, Path, None] = None):
+    """Sampled gauge series as ``{gauge_key: [[t, value], ...]}``."""
+    doc = {key: [[t, v] for t, v in points]
+           for key, points in sorted(sampler.series.items())}
+    if path is None:
+        return doc
+    path = Path(path)
+    with path.open("w") as fh:
+        json.dump(doc, fh)
+    return path
+
+
+def write_bundle(obs, out_dir: Union[str, Path],
+                 prefix: str = "run") -> List[Path]:
+    """Write every enabled artifact of one run into ``out_dir``.
+
+    Emits ``<prefix>.trace.json`` (when tracing), ``<prefix>.prom`` and
+    ``<prefix>.metrics.txt`` (when metrics), and ``<prefix>.series.json``
+    (when a sampler ran). Returns the paths written.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    if obs.tracer.enabled:
+        written.append(chrome_trace(obs.tracer,
+                                    out_dir / f"{prefix}.trace.json"))
+    if obs.registry.enabled:
+        prom = out_dir / f"{prefix}.prom"
+        prom.write_text(prometheus_text(obs.registry))
+        written.append(prom)
+        table = out_dir / f"{prefix}.metrics.txt"
+        table.write_text(metrics_table(obs.registry) + "\n")
+        written.append(table)
+    if obs.sampler is not None:
+        written.append(series_json(obs.sampler,
+                                   out_dir / f"{prefix}.series.json"))
+    return written
+
+
+def _fmt(x: float) -> str:
+    x = float(x)
+    if x.is_integer() and abs(x) < 1e15:
+        return str(int(x))
+    return repr(x)
+
+
+def _render(name: str, labels: Dict[str, str]) -> str:
+    from repro.obs.registry import render_key
+
+    return render_key(name, labels)

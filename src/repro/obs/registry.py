@@ -1,0 +1,323 @@
+"""Live metrics registry: counters, gauges, histograms keyed by labels.
+
+Every metric is identified by a name plus a label set, rendered in
+Prometheus style (``device_reads{device="server0-ssd"}``). Components
+create their metrics once at construction and mutate them on the hot
+path; reads (snapshots, the sampler, the ``stats`` protocol command)
+never perturb simulation state, so enabling metrics cannot change the
+simulated outcome of a run.
+
+When observability is disabled, components receive the module-level
+:data:`NULL_REGISTRY`, whose factory methods hand back shared no-op
+metric singletons — hot paths pay one attribute lookup and an empty
+method call, and no state accumulates.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.buckets import log_bounds
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def render_key(name: str, labels: Dict[str, str]) -> str:
+    """Prometheus-style metric key: ``name{k="v",...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing accumulator (count or seconds)."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str]):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    @property
+    def key(self) -> str:
+        return render_key(self.name, self.labels)
+
+
+class Gauge:
+    """Instantaneous value: set explicitly or computed by a callback.
+
+    Callback gauges (``fn``) are what the periodic sampler polls into
+    time series — queue depths, occupancy, free slots.
+    """
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "fn", "_value")
+
+    def __init__(self, name: str, labels: Dict[str, str],
+                 fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self.labels = labels
+        self.fn = fn
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def value(self) -> float:
+        if self.fn is not None:
+            return float(self.fn())
+        return self._value
+
+    @property
+    def key(self) -> str:
+        return render_key(self.name, self.labels)
+
+
+class Histogram:
+    """Fixed log-spaced buckets plus an overflow bucket.
+
+    Bounds are precomputed at construction; observations place with
+    ``bisect`` — O(log buckets) per observation. Values above ``hi``
+    land in the overflow bucket (rendered as ``+Inf`` on export).
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "counts", "count", "total",
+                 "min", "max")
+
+    DEFAULT_LO = 1e-7
+    DEFAULT_HI = 10.0
+    DEFAULT_BUCKETS = 48
+
+    def __init__(self, name: str, labels: Dict[str, str],
+                 lo: float = DEFAULT_LO, hi: float = DEFAULT_HI,
+                 buckets: int = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.bounds = log_bounds(lo, hi, buckets)
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile: upper bound of the covering bucket."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, -(-q * self.count // 100))  # ceil without math
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                if i >= len(self.bounds):
+                    return self.max
+                return min(self.bounds[i], self.max)
+        return self.max  # pragma: no cover - defensive
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": list(zip(self.bounds + [float("inf")], self.counts)),
+        }
+
+    @property
+    def key(self) -> str:
+        return render_key(self.name, self.labels)
+
+
+class MetricsRegistry:
+    """Component-keyed metric store, snapshot-able at any sim time."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or (lambda: 0.0)
+        self._metrics: Dict[Tuple[str, LabelItems], object] = {}
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, str],
+                       factory: Callable[[], object]):
+        key = (name, tuple(sorted(labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {render_key(name, labels)!r} already registered "
+                f"as {type(metric).__name__}")
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, labels,
+                                   lambda: Counter(name, labels))
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None,
+              **labels: str) -> Gauge:
+        gauge = self._get_or_create(Gauge, name, labels,
+                                    lambda: Gauge(name, labels, fn=fn))
+        if fn is not None and gauge.fn is None:
+            gauge.fn = fn
+        return gauge
+
+    def histogram(self, name: str, lo: float = Histogram.DEFAULT_LO,
+                  hi: float = Histogram.DEFAULT_HI,
+                  buckets: int = Histogram.DEFAULT_BUCKETS,
+                  **labels: str) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, labels,
+            lambda: Histogram(name, labels, lo=lo, hi=hi, buckets=buckets))
+
+    # -- read side ---------------------------------------------------------
+
+    def _sorted(self, kind: str, match=None) -> List:
+        out = [m for m in self._metrics.values()
+               if m.kind == kind and (match is None or match(m))]
+        out.sort(key=lambda m: m.key)
+        return out
+
+    def counters(self, match=None) -> List[Counter]:
+        return self._sorted("counter", match)
+
+    def gauges(self, match=None) -> List[Gauge]:
+        return self._sorted("gauge", match)
+
+    def histograms(self, match=None) -> List[Histogram]:
+        return self._sorted("histogram", match)
+
+    def snapshot(self, match=None) -> Dict[str, object]:
+        """Full registry state at the current sim time (pure read)."""
+        return {
+            "time": self.now,
+            "counters": {m.key: m.value for m in self.counters(match)},
+            "gauges": {m.key: m.value() for m in self.gauges(match)},
+            "histograms": {m.key: m.to_dict() for m in self.histograms(match)},
+        }
+
+    def flatten(self, match=None) -> Dict[str, float]:
+        """Counters and gauges as one flat ``{key: value}`` mapping."""
+        out: Dict[str, float] = {}
+        for m in self.counters(match):
+            out[m.key] = m.value
+        for m in self.gauges(match):
+            out[m.key] = m.value()
+        return out
+
+
+# -- disabled path ---------------------------------------------------------
+
+
+class _NullCounter:
+    kind = "counter"
+    name = "null"
+    labels: Dict[str, str] = {}
+    value = 0.0
+    key = "null"
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    kind = "gauge"
+    name = "null"
+    labels: Dict[str, str] = {}
+    fn = None
+    key = "null"
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def value(self) -> float:
+        return 0.0
+
+
+class _NullHistogram:
+    kind = "histogram"
+    name = "null"
+    labels: Dict[str, str] = {}
+    count = 0
+    total = 0.0
+    mean = 0.0
+    key = "null"
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                "mean": 0.0, "buckets": []}
+
+
+class NullRegistry:
+    """No-op registry: all factories return shared null singletons."""
+
+    enabled = False
+    now = 0.0
+    _COUNTER = _NullCounter()
+    _GAUGE = _NullGauge()
+    _HISTOGRAM = _NullHistogram()
+
+    def counter(self, name: str, **labels: str) -> _NullCounter:
+        return self._COUNTER
+
+    def gauge(self, name: str, fn=None, **labels: str) -> _NullGauge:
+        return self._GAUGE
+
+    def histogram(self, name: str, lo: float = 0.0, hi: float = 0.0,
+                  buckets: int = 0, **labels: str) -> _NullHistogram:
+        return self._HISTOGRAM
+
+    def counters(self, match=None) -> List:
+        return []
+
+    def gauges(self, match=None) -> List:
+        return []
+
+    def histograms(self, match=None) -> List:
+        return []
+
+    def snapshot(self, match=None) -> Dict[str, object]:
+        return {"time": 0.0, "counters": {}, "gauges": {}, "histograms": {}}
+
+    def flatten(self, match=None) -> Dict[str, float]:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()

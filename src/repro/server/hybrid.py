@@ -20,9 +20,10 @@ so evicted keys miss and the client pays the backend penalty.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
 
+from repro.obs.api import NULL_OBS, Observability
 from repro.server.item import DEAD, Item, RAM, SSD
 from repro.server.slab import SlabAllocator, SlabClass, SlabPage
 from repro.sim import Resource, Simulator
@@ -109,7 +110,9 @@ class HybridSlabManager:
                  flush_buffers: int = 4,
                  flush_memcpy_bandwidth: float = 8e9,
                  automove: bool = False,
-                 automove_interval: float = 0.05):
+                 automove_interval: float = 0.05,
+                 obs: Optional[Observability] = None,
+                 owner: str = "server0"):
         if io_policy not in ("direct", "adaptive"):
             raise ValueError(f"unknown io_policy {io_policy!r}")
         if promote_policy not in ("always", "cheap", "never"):
@@ -117,6 +120,8 @@ class HybridSlabManager:
         if victim_policy not in ("coldest", "round_robin"):
             raise ValueError(f"unknown victim_policy {victim_policy!r}")
         self.sim = sim
+        self.obs = obs or NULL_OBS
+        self.owner = owner
         self.allocator = SlabAllocator(mem_limit, page_size=page_size,
                                        min_chunk=min_chunk,
                                        growth_factor=growth_factor)
@@ -134,6 +139,21 @@ class HybridSlabManager:
         #: of the things Section V-B2 redesigns.
         self.direct_read_chunks = direct_read_chunks
         self.stats = ManagerStats()
+        # live metrics (no-ops when observability is disabled)
+        reg = self.obs.registry
+        labels = dict(server=owner)
+        self._m_flushes = reg.counter("slab_flushes", **labels)
+        self._m_flushed_bytes = reg.counter("slab_flushed_bytes", **labels)
+        self._m_ssd_reads = reg.counter("ssd_reads", **labels)
+        self._m_promotions = reg.counter("promotions", **labels)
+        self._m_evictions = reg.counter("ram_evictions", **labels)
+        self._m_dropped = reg.counter("dropped_items", **labels)
+        # One free-chunk gauge per slab class (memcached's per-class
+        # occupancy); classes are fixed at allocator construction.
+        for cls in self.allocator.classes:
+            reg.gauge("slab_free_chunks",
+                      fn=lambda c=cls: sum(len(p.free_chunks) for p in c.pages),
+                      server=owner, chunk_size=str(cls.chunk_size))
         self._cas_counter = 0
         self._rr_next_cls = 0
         #: Serializes victim selection + flush (memcached's cache lock):
@@ -367,6 +387,7 @@ class HybridSlabManager:
                         donor_page.free(idx)
                         item.page = None
                         self.stats.ram_evictions += 1
+                        self._m_evictions.inc()
                     self.allocator.recycle_page(donor_page, poor)
                 self.stats.automoves += 1
             finally:
@@ -442,6 +463,9 @@ class HybridSlabManager:
         """
         from_cls = self.allocator.classes[page.clsid]
         scheme_name = self.scheme_name_for(from_cls)
+        span = self.obs.tracer.begin("slab_flush", tid=f"{self.owner}-slabs",
+                                     pid="server", cat="flush", async_=True,
+                                     scheme=scheme_name)
         slot = yield from self._acquire_slot(scheme_name)
         victims = list(page.items.items())
         for idx, item in victims:
@@ -467,6 +491,9 @@ class HybridSlabManager:
             slot.durable = True
         self.stats.flushes += 1
         self.stats.flushed_bytes += self.allocator.page_size
+        self._m_flushes.inc()
+        self._m_flushed_bytes.inc(self.allocator.page_size)
+        span.end(bytes=self.allocator.page_size)
         info.flushed = True
         info.flush_bytes += self.allocator.page_size
         self.allocator.recycle_page(page, to_cls)
@@ -486,6 +513,7 @@ class HybridSlabManager:
             for item in list(oldest.items):
                 self.table.pop(item.key, None)
                 self.stats.dropped_items += 1
+                self._m_dropped.inc()
             oldest.items.clear()
             self._free_slot(oldest)
             self.stats.disk_drops += 1
@@ -503,6 +531,7 @@ class HybridSlabManager:
         if tail is not None:
             self._remove_item(tail)
             self.stats.ram_evictions += 1
+            self._m_evictions.inc()
             info.evicted += 1
             return
         # Class has no items: steal the coldest page of another class.
@@ -521,6 +550,7 @@ class HybridSlabManager:
             page.free(idx)
             item.page = None
             self.stats.ram_evictions += 1
+            self._m_evictions.inc()
             info.evicted += 1
         self.allocator.recycle_page(page, cls)
 
@@ -559,6 +589,7 @@ class HybridSlabManager:
             yield from scheme.read(item.disk_offset, nbytes)
             self.stats.ssd_reads += 1
             self.stats.ssd_read_bytes += nbytes
+            self._m_ssd_reads.inc()
         if self.promote_policy in ("cheap", "always") and self._promotable(item):
             page = self.allocator.alloc_chunk(cls, item)
             if page is None and self.promote_policy == "always":
@@ -572,6 +603,7 @@ class HybridSlabManager:
                 item.location = RAM
                 cls.lru.insert_head(item)
                 self.stats.promotions += 1
+                self._m_promotions.inc()
         return nbytes
 
     def _promotable(self, item: Item) -> bool:
@@ -618,6 +650,7 @@ class HybridSlabManager:
             for item in list(oldest.items):
                 self.table.pop(item.key, None)
                 self.stats.dropped_items += 1
+                self._m_dropped.inc()
             oldest.items.clear()
             self._free_slot(oldest)
             self.stats.disk_drops += 1

@@ -25,13 +25,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.net.transport import Endpoint
+from repro.obs.api import NULL_OBS, Observability
 from repro.server.hybrid import HybridSlabManager
 from repro.server.protocol import (
     DELETED,
     HIT,
     MISS,
     NOT_FOUND,
-    STORED,
     BufferAck,
     DeleteRequest,
     GetRequest,
@@ -122,11 +122,14 @@ class MemcachedServer:
     """One Memcached server instance bound to a fabric node."""
 
     def __init__(self, sim: Simulator, config: ServerConfig,
-                 name: str = "server0"):
+                 name: str = "server0",
+                 obs: Optional[Observability] = None):
         self.sim = sim
         self.config = config
         self.name = name
-        self.device = (BlockDevice(sim, config.ssd, name=f"{name}-ssd")
+        self.obs = obs or NULL_OBS
+        self.device = (BlockDevice(sim, config.ssd, name=f"{name}-ssd",
+                                   obs=self.obs)
                        if config.ssd is not None else None)
         self.manager = HybridSlabManager(
             sim,
@@ -146,12 +149,28 @@ class MemcachedServer:
             flush_memcpy_bandwidth=config.costs.memcpy_bandwidth,
             automove=config.automove,
             automove_interval=config.automove_interval,
+            obs=self.obs,
+            owner=name,
         )
         self.stats = ServerStats()
         self._queue = PriorityStore(sim) if config.get_priority else Store(sim)
         self.credits = Resource(sim, capacity=config.recv_credits)
         self._value_events: Dict[int, object] = {}
         self._started = False
+        self._busy_workers = 0
+        # live metrics (no-ops when observability is disabled)
+        reg = self.obs.registry
+        labels = dict(server=name)
+        self._m_sets = reg.counter("cmd_set", **labels)
+        self._m_gets = reg.counter("cmd_get", **labels)
+        self._m_hits = reg.counter("get_hits", **labels)
+        self._m_misses = reg.counter("get_misses", **labels)
+        self._m_deletes = reg.counter("cmd_delete", **labels)
+        self._m_credit_hold = reg.histogram("credit_hold_seconds", **labels)
+        reg.gauge("server_queue_depth", fn=lambda: len(self._queue), **labels)
+        reg.gauge("workers_busy", fn=lambda: self._busy_workers, **labels)
+        reg.gauge("server_credits_in_use",
+                  fn=lambda: self.credits.in_use, **labels)
 
     # -- wiring -----------------------------------------------------------
 
@@ -164,7 +183,7 @@ class MemcachedServer:
             return
         self._started = True
         for i in range(self.config.worker_threads):
-            self.sim.spawn(self._worker(), name=f"{self.name}-worker{i}")
+            self.sim.spawn(self._worker(i), name=f"{self.name}-worker{i}")
 
     # -- receive path ---------------------------------------------------------
 
@@ -197,14 +216,24 @@ class MemcachedServer:
 
     # -- worker threads ---------------------------------------------------------
 
-    def _worker(self):
+    def _worker(self, wid: int = 0):
+        m_busy = self.obs.registry.counter(
+            "worker_busy_seconds", server=self.name, worker=str(wid))
+        self.obs.registry.gauge(
+            "worker_busy_fraction",
+            fn=lambda: m_busy.value / self.sim.now if self.sim.now > 0 else 0.0,
+            server=self.name, worker=str(wid))
+        tid = f"{self.name}-w{wid}"
         while True:
             delivery, endpoint = yield self._queue.get()
             start = self.sim.now
+            self._busy_workers += 1
+            request = delivery.payload
+            span = self.obs.tracer.begin(request.op, tid=tid, pid="server",
+                                         cat="request", req_id=request.req_id)
             if delivery.recv_cpu:
                 yield self.sim.timeout(delivery.recv_cpu)
             yield self.sim.timeout(self.config.costs.parse)
-            request = delivery.payload
             if isinstance(request, SetRequest):
                 yield from self._handle_set(request, endpoint)
             elif isinstance(request, MultiGetRequest):
@@ -219,7 +248,11 @@ class MemcachedServer:
                 yield from self._handle_stats(request, endpoint)
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown request {request!r}")
-            self.stats.busy_time += self.sim.now - start
+            span.end()
+            self._busy_workers -= 1
+            busy = self.sim.now - start
+            self.stats.busy_time += busy
+            m_busy.inc(busy)
 
     # -- SET -----------------------------------------------------------------
 
@@ -238,6 +271,8 @@ class MemcachedServer:
             # client engine's next value transfer can proceed while we do
             # the expensive slab work below. Notify the client that its
             # buffers are reusable (what bset blocks on — Section V-B1).
+            if credit.granted_at is not None:
+                self._m_credit_hold.observe(self.sim.now - credit.granted_at)
             self.credits.release(credit)
             credit = None
             ack = BufferAck(req_id=request.req_id)
@@ -256,8 +291,11 @@ class MemcachedServer:
         stages["cache_update"] = self.sim.now - t0
 
         if credit is not None:
+            if credit.granted_at is not None:
+                self._m_credit_hold.observe(self.sim.now - credit.granted_at)
             self.credits.release(credit)
         self.stats.sets += 1
+        self._m_sets.inc()
         for k, v in stages.items():
             self.stats.add_stage(k, v)
         yield from self._respond(endpoint, request, info.status, 0, stages,
@@ -276,8 +314,10 @@ class MemcachedServer:
         stages["cache_check_load"] = self.sim.now - t0
 
         self.stats.gets += 1
+        self._m_gets.inc()
         if item is None:
             self.stats.get_misses += 1
+            self._m_misses.inc()
             for k, v in stages.items():
                 self.stats.add_stage(k, v)
             yield from self._respond(endpoint, request, MISS, 0, stages)
@@ -289,6 +329,7 @@ class MemcachedServer:
         stages["cache_update"] = self.sim.now - t0
 
         self.stats.get_hits += 1
+        self._m_hits.inc()
         for k, v in stages.items():
             self.stats.add_stage(k, v)
         yield from self._respond(endpoint, request, HIT, item.value_length,
@@ -308,9 +349,11 @@ class MemcachedServer:
                 yield from self.manager.load_value(item)
             stages["cache_check_load"] = self.sim.now - t0
             self.stats.gets += 1
+            self._m_gets.inc()
             sub = GetRequest(req_id=req_id, op="get", key=key)
             if item is None:
                 self.stats.get_misses += 1
+                self._m_misses.inc()
                 yield from self._respond(endpoint, sub, MISS, 0, stages)
                 continue
             t0 = self.sim.now
@@ -318,6 +361,7 @@ class MemcachedServer:
             self.manager.touch(item)
             stages["cache_update"] = self.sim.now - t0
             self.stats.get_hits += 1
+            self._m_hits.inc()
             for k, v in stages.items():
                 self.stats.add_stage(k, v)
             yield from self._respond(endpoint, sub, HIT, item.value_length,
@@ -329,6 +373,7 @@ class MemcachedServer:
         yield self.sim.timeout(self.config.costs.hash_lookup)
         found = self.manager.delete(request.key)
         self.stats.deletes += 1
+        self._m_deletes.inc()
         yield from self._respond(endpoint, request,
                                  DELETED if found else NOT_FOUND, 0, {})
 
@@ -382,6 +427,17 @@ class MemcachedServer:
             snap["device_reads"] = self.device.stats.reads
             snap["device_writes"] = self.device.stats.writes
             snap["device_busy_time"] = self.device.stats.busy_time
+        if self.obs.registry.enabled:
+            # The live registry rides along under its fully-labelled keys
+            # (``cmd_set{server="server0"}`` ...), so a ``stats`` client
+            # sees the same data the observability exporters do.
+            mine = []
+            if self.device is not None:
+                mine.append(f'device="{self.device.name}"')
+            mine.append(f'server="{self.name}"')
+            for key, value in self.obs.registry.flatten().items():
+                if any(label in key for label in mine):
+                    snap[key] = value
         return snap
 
     # -- response ----------------------------------------------------------------

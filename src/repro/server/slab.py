@@ -13,7 +13,7 @@ I/O that a hybrid flush performs lives in :mod:`repro.server.hybrid`.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.server.item import Item
 from repro.server.lru import LRUList

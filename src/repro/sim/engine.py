@@ -6,6 +6,7 @@ import heapq
 from itertools import count
 from typing import Any, Generator, Iterable, Optional, Union
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
 
@@ -24,6 +25,9 @@ class Simulator:
         self._active_process: Optional[Process] = None
         #: Exceptions from failed events that no handler defused.
         self._unhandled: list[BaseException] = []
+        #: Span tracer for process lifetimes; the shared no-op tracer
+        #: unless an :class:`~repro.obs.api.Observability` installs one.
+        self.tracer = NULL_TRACER
 
     # -- clock -----------------------------------------------------------
 

@@ -132,7 +132,7 @@ class Process(Event):
     succeeds the process event with value ``x``.
     """
 
-    __slots__ = ("_gen", "_target", "name")
+    __slots__ = ("_gen", "_target", "name", "_span")
 
     def __init__(self, sim, gen: Generator, name: Optional[str] = None):
         if not hasattr(gen, "send"):
@@ -142,6 +142,10 @@ class Process(Event):
         #: The event this process is currently waiting on (None when ready).
         self._target: Optional[Event] = None
         self.name = name or getattr(gen, "__name__", "process")
+        #: Spawn-to-finish span (no-op unless the simulator's tracer is
+        #: enabled); async because process lifetimes overlap arbitrarily.
+        self._span = sim.tracer.begin(self.name, tid="processes", pid="sim",
+                                      cat="process", async_=True)
         Initialize(sim, self)
 
     @property
@@ -191,8 +195,10 @@ class Process(Event):
                 self._target = target
                 return
         except StopIteration as stop:
+            self._span.end()
             self.succeed(stop.value)
         except BaseException as exc:  # noqa: BLE001 - process died
+            self._span.end(failed=True)
             self.fail(exc)
         finally:
             self.sim._active_process = None

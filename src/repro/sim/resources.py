@@ -27,11 +27,15 @@ from repro.sim.events import Event
 class Request(Event):
     """Pending claim on a :class:`Resource` slot."""
 
-    __slots__ = ("resource",)
+    __slots__ = ("resource", "granted_at")
 
     def __init__(self, resource: "Resource"):
         super().__init__(resource.sim)
         self.resource = resource
+        #: Sim time the slot was granted (None while queued). Lets
+        #: holders report hold durations (e.g. credit hold time) without
+        #: extra bookkeeping of their own.
+        self.granted_at: Optional[float] = None
 
 
 class Resource:
@@ -61,6 +65,7 @@ class Resource:
         req = Request(self)
         if len(self._holders) < self.capacity:
             self._holders.add(req)
+            req.granted_at = self.sim.now
             req.succeed()
         else:
             self._waiting.append(req)
@@ -73,6 +78,7 @@ class Resource:
         if self._waiting:
             nxt = self._waiting.popleft()
             self._holders.add(nxt)
+            nxt.granted_at = self.sim.now
             nxt.succeed()
 
     def cancel(self, req: Request) -> None:

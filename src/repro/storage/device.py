@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from typing import Optional
+
+from repro.obs.api import NULL_OBS, Observability
 from repro.sim import Resource, Simulator
 from repro.sim.errors import SimulationError
 from repro.storage.params import DeviceParams
@@ -46,13 +49,26 @@ class BlockDevice:
     asynchronous completion.
     """
 
-    def __init__(self, sim: Simulator, params: DeviceParams, name: str | None = None):
+    def __init__(self, sim: Simulator, params: DeviceParams, name: str | None = None,
+                 obs: Optional[Observability] = None):
         self.sim = sim
         self.params = params
         self.name = name or params.name
         self._slots = Resource(sim, capacity=params.parallelism)
         self._pipe = Resource(sim, capacity=1)
         self.stats = DeviceStats()
+        # live metrics (no-ops when observability is disabled)
+        self.obs = obs or NULL_OBS
+        reg = self.obs.registry
+        labels = dict(device=self.name)
+        self._m_reads = reg.counter("device_reads", **labels)
+        self._m_writes = reg.counter("device_writes", **labels)
+        self._m_bytes_read = reg.counter("device_bytes_read", **labels)
+        self._m_bytes_written = reg.counter("device_bytes_written", **labels)
+        self._m_busy = reg.counter("device_busy_seconds", **labels)
+        self._m_lat = reg.histogram("device_io_seconds", **labels)
+        reg.gauge("device_queue_depth",
+                  fn=lambda: self.in_service + self.queue_length, **labels)
 
     def read(self, nbytes: int):
         return self.sim.spawn(self._io(nbytes, write=False), name=f"{self.name}-read")
@@ -63,6 +79,11 @@ class BlockDevice:
     def _io(self, nbytes: int, write: bool):
         if nbytes < 0:
             raise SimulationError(f"negative I/O size {nbytes}")
+        t_start = self.sim.now
+        # Async span: up to ``parallelism`` I/Os overlap on one device.
+        span = self.obs.tracer.begin("write" if write else "read",
+                                     tid=self.name, pid="storage", cat="io",
+                                     async_=True, bytes=nbytes)
         slot = self._slots.request()
         yield slot
         try:
@@ -84,14 +105,21 @@ class BlockDevice:
                     self._pipe.release(pipe)
                 remaining -= chunk
             self.stats.busy_time += latency + xfer
+            self._m_busy.inc(latency + xfer)
             if write:
                 self.stats.writes += 1
                 self.stats.bytes_written += nbytes
+                self._m_writes.inc()
+                self._m_bytes_written.inc(nbytes)
             else:
                 self.stats.reads += 1
                 self.stats.bytes_read += nbytes
+                self._m_reads.inc()
+                self._m_bytes_read.inc(nbytes)
+            self._m_lat.observe(self.sim.now - t_start)
         finally:
             self._slots.release(slot)
+            span.end()
 
     @property
     def queue_length(self) -> int:

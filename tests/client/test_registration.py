@@ -1,7 +1,5 @@
 """Tests for the RDMA memory-registration model (Section IV motivation)."""
 
-import pytest
-
 from repro import build_cluster, profiles
 from repro.client.buffers import (
     PAGE,

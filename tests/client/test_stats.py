@@ -1,7 +1,5 @@
 """Tests for the stats wire command."""
 
-import pytest
-
 from repro import build_cluster, profiles
 from repro.units import KB, MB
 

@@ -1,7 +1,5 @@
 """Tests for the touch command (TTL refresh)."""
 
-import pytest
-
 from repro import build_cluster, profiles
 from repro.units import KB, MB
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import build_cluster, profiles
-from repro.core import metrics
 from repro.core.profiles import FATCACHE
 from repro.harness.figures import latency_experiment
 from repro.units import KB, MB

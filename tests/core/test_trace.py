@@ -1,9 +1,14 @@
 """Tests for trace export/import round trips."""
 
+import dataclasses
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.client.request import OpRecord
 from repro.core import trace
+from repro.core.metrics import STAGE_KEYS
 
 
 @pytest.fixture()
@@ -79,3 +84,55 @@ def test_ascii_bars_empty():
     from repro.harness.report import ascii_bars
 
     assert "(no data)" in ascii_bars({}, title="x")
+
+
+def test_base_fields_cover_every_stored_oprecord_field():
+    """_BASE_FIELDS must stay in sync with the OpRecord dataclass."""
+    stored = {f.name for f in dataclasses.fields(OpRecord)}
+    assert set(trace._BASE_FIELDS) | {"stages"} == stored
+
+
+def test_derived_fields_are_written_and_survive_roundtrip(tmp_path, records):
+    d = trace.to_dicts(records)[0]
+    assert d["latency"] == pytest.approx(records[0].latency)
+    assert d["overlap_fraction"] == pytest.approx(
+        records[0].overlap_fraction)
+    for reader, writer, name in (
+            (trace.read_csv, trace.write_csv, "ops.csv"),
+            (trace.read_jsonl, trace.write_jsonl, "ops.jsonl")):
+        loaded = reader(writer(records, tmp_path / name))
+        for orig, back in zip(records, loaded):
+            assert back.latency == pytest.approx(orig.latency)
+            assert back.overlap_fraction == pytest.approx(
+                orig.overlap_fraction)
+
+
+@st.composite
+def op_records(draw):
+    t_issue = draw(st.floats(min_value=0, max_value=10, allow_nan=False))
+    dt = draw(st.floats(min_value=0, max_value=1, allow_nan=False))
+    n_stages = draw(st.integers(min_value=0, max_value=len(STAGE_KEYS)))
+    stages = {k: draw(st.floats(min_value=1e-9, max_value=1e-2,
+                                allow_nan=False))
+              for k in STAGE_KEYS[:n_stages]}
+    return OpRecord(
+        op=draw(st.sampled_from(["get", "set", "delete"])),
+        api=draw(st.sampled_from(["get", "set", "iget", "iset", "bget",
+                                  "bset"])),
+        key_length=draw(st.integers(min_value=1, max_value=250)),
+        value_length=draw(st.integers(min_value=0, max_value=1 << 20)),
+        status=draw(st.sampled_from(["HIT", "MISS", "STORED"])),
+        t_issue=t_issue, t_complete=t_issue + dt,
+        blocked_time=draw(st.floats(min_value=0, max_value=1,
+                                    allow_nan=False)),
+        stages=stages,
+        server_index=draw(st.integers(min_value=-1, max_value=31)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(op_records(), max_size=8))
+def test_roundtrip_property(tmp_path_factory, recs):
+    tmp_path = tmp_path_factory.mktemp("trace")
+    assert trace.read_csv(trace.write_csv(recs, tmp_path / "r.csv")) == recs
+    assert trace.read_jsonl(
+        trace.write_jsonl(recs, tmp_path / "r.jsonl")) == recs

@@ -1,7 +1,5 @@
 """Tests for the artifact-evaluation claim checker."""
 
-import pytest
-
 from repro.harness import paper
 from repro.harness.check import Verdict, _grade, run_checks, summarize_verdicts
 

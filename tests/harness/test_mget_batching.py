@@ -1,7 +1,5 @@
 """Tests for mget batching in the blocking driver."""
 
-import pytest
-
 from repro.core import metrics
 from repro.core.profiles import H_RDMA_OPT_BLOCK, RDMA_MEM
 from repro.harness.runner import run_workload, setup_cluster

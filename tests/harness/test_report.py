@@ -1,7 +1,5 @@
 """Tests for report formatting and the encoded paper claims."""
 
-import pytest
-
 from repro.harness import paper
 from repro.harness.report import ascii_table, fmt_pct, fmt_ratio, fmt_us, markdown_table
 from repro.units import MS, US

@@ -1,7 +1,5 @@
 """Tests for warmup runs and server-balance metrics."""
 
-import pytest
-
 from repro.core import metrics
 from repro.core.profiles import H_RDMA_OPT_NONB_I, RDMA_MEM
 from repro.harness.runner import run_workload, setup_cluster

@@ -6,7 +6,7 @@ from repro.net.fabric import Fabric
 from repro.net.ipoib import Delivery, IPoIBConnection
 from repro.net.params import FDR_IPOIB, FDR_RDMA
 from repro.sim import Simulator
-from repro.units import KB, MB, US
+from repro.units import KB, MB
 
 
 @pytest.fixture()

@@ -1,0 +1,142 @@
+"""Tests for the exporters: Chrome trace, Prometheus text, tables."""
+
+import json
+
+from repro.obs.api import Observability
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    metrics_table,
+    prometheus_text,
+    series_json,
+    write_bundle,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import Sampler
+from repro.obs.tracer import SpanTracer
+from repro.sim import Simulator
+
+
+def make_tracer_with_events():
+    t = {"now": 0.0}
+    tracer = SpanTracer(clock=lambda: t["now"])
+    s1 = tracer.begin("sync", tid="w0", pid="srv")
+    a1 = tracer.begin("async", tid="dev", pid="storage", async_=True)
+    t["now"] = 0.001
+    s1.end()
+    t["now"] = 0.002
+    a1.end()
+    return tracer
+
+
+def test_chrome_trace_events_convert_to_microseconds_sorted():
+    events = chrome_trace_events(make_tracer_with_events())
+    assert [e["ph"] for e in events] == ["X", "b", "e"]
+    x = events[0]
+    assert x["ts"] == 0.0 and x["dur"] == 1000.0  # µs
+    assert events[2]["ts"] == 2000.0
+
+
+def test_chrome_trace_document_schema(tmp_path):
+    tracer = make_tracer_with_events()
+    doc = chrome_trace(tracer, metadata={"profile": "x"})
+    # JSON Object Format of the trace_event spec.
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert doc["otherData"]["profile"] == "x"
+    for ev in doc["traceEvents"]:
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(ev)
+        if ev["ph"] == "X":
+            assert "dur" in ev
+        if ev["ph"] in ("b", "e"):
+            assert "id" in ev
+    # Round-trips through JSON and a file.
+    json.loads(json.dumps(doc))
+    path = chrome_trace(tracer, tmp_path / "t.json")
+    assert json.loads(path.read_text())["traceEvents"] == doc["traceEvents"]
+
+
+def test_prometheus_text_format():
+    reg = MetricsRegistry()
+    reg.counter("ops", server="s0").inc(3)
+    reg.counter("ops", server="s1").inc(4)
+    g = reg.gauge("depth")
+    g.set(2)
+    h = reg.histogram("lat", lo=1e-6, hi=1.0, buckets=8)
+    h.observe(1e-4)
+    h.observe(5.0)  # overflow
+    text = prometheus_text(reg)
+    lines = text.splitlines()
+    # one TYPE line per family, not per labeled instance
+    assert lines.count("# TYPE ops counter") == 1
+    assert 'ops{server="s0"} 3' in lines
+    assert 'ops{server="s1"} 4' in lines
+    assert "# TYPE depth gauge" in lines
+    assert "depth 2" in lines
+    assert "# TYPE lat histogram" in lines
+    # cumulative buckets, +Inf includes the overflow observation
+    inf_line = next(line for line in lines if 'le="+Inf"' in line)
+    assert inf_line.endswith(" 2")
+    assert "lat_count 2" in lines
+    assert any(line.startswith("lat_sum ") for line in lines)
+    # cumulative counts never decrease
+    bucket_counts = [int(line.rsplit(" ", 1)[1]) for line in lines
+                     if line.startswith("lat_bucket")]
+    assert bucket_counts == sorted(bucket_counts)
+
+
+def test_metrics_table_renders_all_kinds():
+    reg = MetricsRegistry()
+    reg.counter("ops").inc(5)
+    reg.gauge("depth", fn=lambda: 7)
+    reg.histogram("lat").observe(2e-5)
+    out = metrics_table(reg, title="run")
+    assert out.splitlines()[0] == "run"
+    assert "ops" in out and "counter" in out
+    assert "depth" in out and "gauge" in out
+    assert "n=1" in out
+    assert "(empty registry)" in metrics_table(MetricsRegistry())
+
+
+def test_series_json(tmp_path):
+    sim = Simulator()
+    reg = MetricsRegistry(clock=lambda: sim.now)
+    reg.gauge("g", fn=lambda: 1)
+    sampler = Sampler(sim, reg, interval=0.001)
+    sampler.start()
+
+    def proc():
+        yield sim.timeout(0.005)
+
+    sim.spawn(proc())
+    sim.run()
+    doc = series_json(sampler)
+    assert "g" in doc
+    assert all(len(pt) == 2 for pt in doc["g"])
+    path = series_json(sampler, tmp_path / "s.json")
+    assert json.loads(path.read_text()) == json.loads(json.dumps(doc))
+
+
+def test_write_bundle(tmp_path):
+    sim = Simulator()
+    obs = Observability(sim, metrics=True, trace=True, sample_interval=0.001)
+    sim.tracer = obs.tracer
+    obs.registry.counter("ops").inc()
+
+    def proc():
+        yield sim.timeout(0.003)
+
+    sim.spawn(proc(), name="p")
+    sim.run()
+    written = write_bundle(obs, tmp_path, prefix="run")
+    names = {p.name for p in written}
+    assert names == {"run.trace.json", "run.prom", "run.metrics.txt",
+                     "run.series.json"}
+    json.loads((tmp_path / "run.trace.json").read_text())
+
+
+def test_write_bundle_metrics_only(tmp_path):
+    obs = Observability(metrics=True, trace=False)
+    obs.registry.counter("ops").inc()
+    written = write_bundle(obs, tmp_path)
+    names = {p.name for p in written}
+    assert names == {"run.prom", "run.metrics.txt"}

@@ -1,0 +1,109 @@
+"""Tests for the periodic gauge sampler."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import Sampler
+from repro.sim import Simulator
+
+
+def test_interval_must_be_positive():
+    sim = Simulator()
+    reg = MetricsRegistry(clock=lambda: sim.now)
+    with pytest.raises(ValueError):
+        Sampler(sim, reg, 0.0)
+
+
+def test_sampler_records_series_and_terminates():
+    sim = Simulator()
+    reg = MetricsRegistry(clock=lambda: sim.now)
+    state = {"depth": 0}
+    reg.gauge("queue_depth", fn=lambda: state["depth"])
+
+    def workload():
+        state["depth"] = 3
+        yield sim.timeout(0.010)
+        state["depth"] = 1
+        yield sim.timeout(0.010)
+        state["depth"] = 0
+
+    sampler = Sampler(sim, reg, interval=0.001)
+    sampler.start()
+    sim.spawn(workload())
+    # run() drains the schedule: the sampler must self-terminate.
+    sim.run()
+    pts = sampler.series["queue_depth"]
+    assert len(pts) >= 20
+    times = [t for t, _ in pts]
+    assert times == sorted(times)
+    # The first sample sees depth already set? No: sampler starts at t=0
+    # before the workload runs -- depends on spawn order; just check the
+    # sampled values trace the gauge's step function.
+    assert {v for _, v in pts} <= {0, 1, 3}
+    assert pts[-1][1] == 0  # final drain sample sees the settled state
+    assert pts[-1][0] >= 0.020
+
+
+def test_sampler_is_deterministic():
+    def run():
+        sim = Simulator()
+        reg = MetricsRegistry(clock=lambda: sim.now)
+        state = {"v": 0}
+        reg.gauge("g", fn=lambda: state["v"])
+
+        def workload():
+            for i in range(10):
+                state["v"] = i
+                yield sim.timeout(0.0017)
+
+        sampler = Sampler(sim, reg, interval=0.0005)
+        sampler.start()
+        sim.spawn(workload())
+        sim.run()
+        return sampler.series["g"]
+
+    assert run() == run()
+
+
+def test_sampler_does_not_change_sim_outcome():
+    """Event timing with a sampler equals timing without one."""
+
+    def run(with_sampler: bool):
+        sim = Simulator()
+        reg = MetricsRegistry(clock=lambda: sim.now)
+        reg.gauge("g", fn=lambda: 1)
+        completions = []
+
+        def workload(i):
+            yield sim.timeout(0.001 * (i + 1))
+            completions.append((i, sim.now))
+
+        for i in range(5):
+            sim.spawn(workload(i))
+        if with_sampler:
+            Sampler(sim, reg, interval=0.0003).start()
+        sim.run()
+        return completions
+
+    assert run(True) == run(False)
+
+
+def test_stop_ends_sampling():
+    sim = Simulator()
+    reg = MetricsRegistry(clock=lambda: sim.now)
+    reg.gauge("g", fn=lambda: 1)
+    sampler = Sampler(sim, reg, interval=0.001)
+    sampler.start()
+
+    def stopper():
+        yield sim.timeout(0.0055)
+        sampler.stop()
+
+    def long_tail():
+        yield sim.timeout(0.100)
+
+    sim.spawn(stopper())
+    sim.spawn(long_tail())
+    sim.run()
+    # Stopped mid-run: no samples near the 100 ms tail.
+    assert max(t for t, _ in sampler.series["g"]) < 0.010

@@ -1,0 +1,45 @@
+"""The wire ``stats`` command returns the live registry when observed."""
+
+from repro import profiles
+from repro.core.cluster import build_cluster
+from repro.units import KB, MB
+
+
+def run_app(cluster, gen_fn):
+    sim = cluster.sim
+    return sim.run(until=sim.spawn(gen_fn(sim)))
+
+
+def _collect_stats(observe: bool):
+    cluster = build_cluster(profiles.H_RDMA_OPT_NONB_I, server_mem=16 * MB,
+                            ssd_limit=64 * MB, observe=observe)
+    client = cluster.clients[0]
+    out = {}
+
+    def app(sim):
+        for i in range(12):
+            yield from client.set(f"k{i}".encode(), 4 * KB)
+        yield from client.get(b"k0")
+        out["stats"] = yield from client.stats()
+
+    run_app(cluster, app)
+    return cluster, out["stats"]
+
+
+def test_stats_include_registry_snapshot_when_observed():
+    cluster, stats = _collect_stats(observe=True)
+    # Classic ad-hoc keys are still present (back-compat).
+    assert stats["cmd_set"] >= 12
+    assert stats["cmd_get"] >= 1
+    # Fully-labelled registry keys ride along.
+    assert stats['cmd_set{server="server0"}'] == stats["cmd_set"]
+    assert stats['cmd_get{server="server0"}'] == stats["cmd_get"]
+    assert 'workers_busy{server="server0"}' in stats
+    # Other servers'/clients' metrics are NOT in this server's reply.
+    assert not any("client=" in k for k in stats)
+
+
+def test_stats_unchanged_when_not_observed():
+    _, stats = _collect_stats(observe=False)
+    assert stats["cmd_set"] >= 12
+    assert not any("{" in k for k in stats)

@@ -1,7 +1,5 @@
 """Tests for asynchronous SSD flushes (the paper's Sec-VII future work)."""
 
-import pytest
-
 from repro.server.hybrid import HybridSlabManager
 from repro.sim import Simulator
 from repro.storage.device import BlockDevice

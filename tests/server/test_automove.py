@@ -1,7 +1,5 @@
 """Tests for the slab automover (memcached's rebalancer, hybrid-aware)."""
 
-import pytest
-
 from repro.server.hybrid import HybridSlabManager
 from repro.sim import Simulator
 from repro.storage.device import BlockDevice

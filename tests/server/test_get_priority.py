@@ -1,9 +1,6 @@
 """Tests for GET-priority scheduling (extension beyond the paper)."""
 
-import pytest
-
 from repro import build_cluster, profiles
-from repro.core import metrics
 from repro.storage.params import PageCacheParams
 from repro.units import KB, MB
 

@@ -1,7 +1,5 @@
 """Tests for the intrusive LRU list."""
 
-import pytest
-
 from repro.server.item import Item
 from repro.server.lru import LRUList
 

@@ -1,7 +1,5 @@
 """Tests for the server runtime: workers, credits, early acks, stats."""
 
-import pytest
-
 from repro.net.fabric import Fabric
 from repro.net.transport import connect_rdma
 from repro.server.protocol import (

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sim import Simulator, SimulationError
-from repro.sim.events import Event
 
 
 def test_clock_starts_at_zero():

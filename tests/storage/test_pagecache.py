@@ -1,7 +1,5 @@
 """Tests for the page cache: residency, write-back, throttling."""
 
-import pytest
-
 from repro.sim import Simulator
 from repro.storage.device import BlockDevice
 from repro.storage.pagecache import PageCache, _cluster_runs

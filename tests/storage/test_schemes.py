@@ -5,7 +5,7 @@ import pytest
 from repro.sim import Simulator
 from repro.storage.device import BlockDevice
 from repro.storage.pagecache import PageCache
-from repro.storage.params import DEFAULT_PAGE_CACHE, PageCacheParams, SATA_SSD
+from repro.storage.params import PageCacheParams, SATA_SSD
 from repro.storage.schemes import CachedIO, DirectIO, MmapIO, make_scheme
 from repro.units import KB, MB
 
