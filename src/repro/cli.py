@@ -19,11 +19,12 @@ from typing import List, Optional
 
 from repro.core.cluster import ClusterSpec
 from repro.core.profiles import ALL_PROFILES
+from repro.faults import FaultPlan, parse_time
 from repro.harness import figures
 from repro.harness.report import ascii_table, fmt_pct, fmt_us, obs_report
 from repro.harness.runner import run_ops, run_workload, setup_cluster
 from repro.storage.params import NVME_SSD, SATA_SSD
-from repro.units import KB, MB
+from repro.units import KB, MB, MS
 from repro.workloads.generator import WorkloadSpec
 from repro.workloads.ycsb import CORE_WORKLOADS, generate_ycsb_ops
 
@@ -43,6 +44,24 @@ def _add_cluster_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--device", default="sata", choices=sorted(DEVICES))
     p.add_argument("--async-flush", action="store_true",
                    help="enable asynchronous SSD flushes (future work)")
+    p.add_argument("--router", default="modulo",
+                   choices=("modulo", "ketama"),
+                   help="key->server routing (ketama: consistent hashing, "
+                        "needed for clean failover)")
+    p.add_argument("--fault", action="append", metavar="KIND:k=v,...",
+                   help="inject a fault, repeatable; e.g. "
+                        "crash:server=1,at=5ms,duration=20ms — kinds: "
+                        "crash, partition, link, ssd; options: server, at, "
+                        "duration, factor, wipe (times take us/ms/s)")
+    p.add_argument("--request-timeout", default=None, metavar="TIME",
+                   help="client completion timeout (e.g. 5ms); turns on "
+                        "retry/ejection/failover. Defaults to 5ms when "
+                        "--fault is given, else off")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="reissues after the first timeout (default 2)")
+    p.add_argument("--eject-duration", default=None, metavar="TIME",
+                   help="re-probe an ejected server after this long "
+                        "(default: never)")
 
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
@@ -75,9 +94,26 @@ def _workload_spec(args) -> WorkloadSpec:
     )
 
 
+def _fault_plan(args) -> Optional[FaultPlan]:
+    specs = getattr(args, "fault", None)
+    if not specs:
+        return None
+    return FaultPlan.parse(specs)
+
+
+def _request_timeout(args) -> Optional[float]:
+    raw = getattr(args, "request_timeout", None)
+    if raw is not None:
+        return parse_time(raw)
+    if getattr(args, "fault", None):
+        return 5 * MS  # faults without a timeout would hang the run
+    return None
+
+
 def _build(args, spec: WorkloadSpec, observe: bool = False,
            trace: bool = False):
     profile = ALL_PROFILES[args.profile]
+    eject = getattr(args, "eject_duration", None)
     cluster_spec = ClusterSpec(
         num_servers=args.servers,
         num_clients=args.clients,
@@ -85,6 +121,10 @@ def _build(args, spec: WorkloadSpec, observe: bool = False,
         ssd_limit=args.ssd_limit_mb * MB,
         device=DEVICES[args.device],
         async_flush=args.async_flush,
+        router=getattr(args, "router", "modulo"),
+        request_timeout=_request_timeout(args),
+        max_retries=getattr(args, "max_retries", 2),
+        eject_duration=parse_time(eject) if eject is not None else None,
         observe=observe,
         trace=trace,
     )
@@ -121,7 +161,7 @@ def cmd_list_profiles(_args) -> int:
 def cmd_run(args) -> int:
     spec = _workload_spec(args)
     cluster = _build(args, spec)
-    result = run_workload(cluster, spec)
+    result = run_workload(cluster, spec, fault_plan=_fault_plan(args))
     _print_summary(
         f"{ALL_PROFILES[args.profile].label} — {args.ops} ops x "
         f"{args.clients} client(s), {args.value_kb} KB values, "
@@ -133,7 +173,7 @@ def cmd_stats(args) -> int:
     """Run a workload with live metrics on; print the registry."""
     spec = _workload_spec(args)
     cluster = _build(args, spec, observe=True)
-    result = run_workload(cluster, spec)
+    result = run_workload(cluster, spec, fault_plan=_fault_plan(args))
     _print_summary(
         f"{ALL_PROFILES[args.profile].label} — observed run", result)
     print()
@@ -150,7 +190,7 @@ def cmd_trace(args) -> int:
     """Run a workload with span tracing on; write a Chrome trace."""
     spec = _workload_spec(args)
     cluster = _build(args, spec, observe=True, trace=True)
-    result = run_workload(cluster, spec)
+    result = run_workload(cluster, spec, fault_plan=_fault_plan(args))
     _print_summary(
         f"{ALL_PROFILES[args.profile].label} — traced run", result)
     from repro.obs.export import chrome_trace
@@ -177,7 +217,7 @@ def cmd_ycsb(args) -> int:
                                  args.value_kb * KB, seed=args.seed,
                                  client_index=i)
                for i in range(args.clients)]
-    result = run_ops(cluster, streams)
+    result = run_ops(cluster, streams, fault_plan=_fault_plan(args))
     _print_summary(
         f"YCSB-{workload.name} on {ALL_PROFILES[args.profile].label}",
         result)

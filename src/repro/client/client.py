@@ -28,13 +28,14 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.client.backend import BackendDatabase
 from repro.client.buffers import BufferPool
-from repro.client.hashing import KetamaRouter, ModuloRouter
+from repro.client.hashing import make_router
 from repro.client.request import MemcachedReq, OpRecord
 from repro.net.transport import Endpoint
 from repro.obs.api import NULL_OBS, Observability
 from repro.server.protocol import (
     HIT,
     MISS,
+    SERVER_DOWN,
     BufferAck,
     DeleteRequest,
     GetRequest,
@@ -74,6 +75,22 @@ class ClientConfig:
     #: pool (Section IV's motivation for the b-variants). Off by
     #: default: the paper's runs use warmed registration caches.
     model_registration: bool = False
+    # -- fault tolerance (None/defaults preserve pre-fault behaviour) ------
+    #: Per-request completion timeout in seconds. ``None`` disables all
+    #: fault handling: a silent server blocks the caller forever (the
+    #: pre-fault-tolerance behaviour, and the fastest path).
+    request_timeout: Optional[float] = None
+    #: Reissues after the first timeout before giving up on the op.
+    max_retries: int = 2
+    #: First retry backoff; doubles (``backoff_multiplier``) per retry.
+    retry_backoff: float = 200 * US
+    backoff_multiplier: float = 2.0
+    #: Consecutive timeouts on one connection before the server is
+    #: ejected from the routing ring (0 disables ejection).
+    failure_threshold: int = 2
+    #: Seconds after which an ejected server is probed again (``None``
+    #: ejects forever — use when there is no restart story).
+    eject_duration: Optional[float] = None
 
 
 @dataclass
@@ -83,6 +100,12 @@ class ServerConn:
     index: int
     endpoint: Endpoint
     server: Optional[MemcachedServer]  # None => remote credits unavailable
+    # -- client-side health view (driven by completion timeouts only) ------
+    healthy: bool = True
+    consecutive_timeouts: int = 0
+    #: Sim time at which an ejected server becomes routable again
+    #: (``None`` while healthy, or ejected forever).
+    ejected_until: Optional[float] = None
 
 
 @dataclass
@@ -117,6 +140,9 @@ class MemcachedClient:
         self._outstanding: Dict[int, MemcachedReq] = {}
         self._job_meta: Dict[int, tuple] = {}
         self._recorded_ids: set[int] = set()
+        #: Background backend fetches driven by ``test()`` on a MISS
+        #: (req_id -> the fetch :class:`~repro.sim.events.Process`).
+        self._miss_fetches: Dict[int, object] = {}
         #: Registered-buffer pool (active when model_registration).
         self.buffer_pool = BufferPool()
         self._next_req_id = 0
@@ -134,23 +160,57 @@ class MemcachedClient:
         self._m_blocked = reg.counter("client_blocked_seconds", **labels)
         reg.gauge("client_window",
                   fn=lambda: len(self._outstanding), **labels)
+        # fault-tolerance counters (zero on a healthy cluster)
+        self._m_timeouts = reg.counter("client_timeouts", **labels)
+        self._m_retries = reg.counter("client_retries", **labels)
+        self._m_ejections = reg.counter("client_ejections", **labels)
+        self._m_failovers = reg.counter("client_failovers", **labels)
+        self._m_server_down = reg.counter("client_server_down", **labels)
         self._op_spans: Dict[int, object] = {}
 
     # -- wiring ------------------------------------------------------------
 
     def add_server(self, endpoint: Endpoint,
                    server: Optional[MemcachedServer] = None) -> None:
-        self._conns.append(ServerConn(len(self._conns), endpoint, server))
+        conn = ServerConn(len(self._conns), endpoint, server)
+        self._conns.append(conn)
         self._router = None  # rebuilt on next use
+        self.obs.registry.gauge(
+            "client_server_health",
+            fn=lambda c=conn: 1.0 if self._conn_alive(c) else 0.0,
+            client=self.name, server=str(conn.index))
 
-    def _route(self, key: bytes) -> ServerConn:
+    def _conn_alive(self, conn: ServerConn) -> bool:
+        """Client-side view only; never peeks at true server state."""
+        if conn.healthy:
+            return True
+        return (conn.ejected_until is not None
+                and self.sim.now >= conn.ejected_until)
+
+    def _restore_expired_ejections(self) -> None:
+        for conn in self._conns:
+            if (not conn.healthy and conn.ejected_until is not None
+                    and self.sim.now >= conn.ejected_until):
+                # Probe window: the server is routable again; a fresh
+                # timeout streak re-ejects it.
+                conn.healthy = True
+                conn.consecutive_timeouts = 0
+                conn.ejected_until = None
+
+    def _route(self, key: bytes) -> Optional[ServerConn]:
+        """Pick the connection for a key, routing around ejected servers
+        (dead-server rehash). Returns None when every server is ejected."""
         if not self._conns:
             raise RuntimeError(f"{self.name}: no servers configured")
         if self._router is None:
-            n = len(self._conns)
-            self._router = (KetamaRouter(n) if self.config.router == "ketama"
-                            else ModuloRouter(n))
-        return self._conns[self._router.server_for(key)]
+            self._router = make_router(self.config.router, len(self._conns))
+        self._restore_expired_ejections()
+        if all(c.healthy for c in self._conns):
+            return self._conns[self._router.server_for(key)]
+        alive = {c.index for c in self._conns if c.healthy}
+        if not alive:
+            return None
+        return self._conns[self._router.server_for(key, alive)]
 
     def _ensure_started(self) -> None:
         if self._started:
@@ -167,7 +227,7 @@ class MemcachedClient:
         """Blocking ``memcached_set``. Generator; returns the request."""
         req = yield from self._issue("set", "set", key, value_length,
                                      flags, expiration)
-        yield from self._block_until_complete(req)
+        yield from self._recover(req)
         self._finalize(req, record=_record)
         return req
 
@@ -176,7 +236,7 @@ class MemcachedClient:
         """``memcached_add``: store only if the key is absent."""
         req = yield from self._issue("set", "add", key, value_length,
                                      flags, expiration, mode="add")
-        yield from self._block_until_complete(req)
+        yield from self._recover(req)
         self._finalize(req)
         return req
 
@@ -185,7 +245,7 @@ class MemcachedClient:
         """``memcached_replace``: store only if the key exists."""
         req = yield from self._issue("set", "replace", key, value_length,
                                      flags, expiration, mode="replace")
-        yield from self._block_until_complete(req)
+        yield from self._recover(req)
         self._finalize(req)
         return req
 
@@ -196,7 +256,7 @@ class MemcachedClient:
         req = yield from self._issue("set", "cas", key, value_length,
                                      flags, expiration, mode="cas",
                                      cas_token=cas_token)
-        yield from self._block_until_complete(req)
+        yield from self._recover(req)
         self._finalize(req)
         return req
 
@@ -208,7 +268,7 @@ class MemcachedClient:
         repopulates the cache, as web-scale deployments do.
         """
         req = yield from self._issue("get", "get", key, 0, 0, 0.0)
-        yield from self._block_until_complete(req)
+        yield from self._recover(req)
         yield from self._handle_miss(req)
         self._finalize(req)
         return req
@@ -225,6 +285,7 @@ class MemcachedClient:
         t0 = self.sim.now
         yield self.sim.timeout(self.config.api_overhead)
         reqs: List[MemcachedReq] = []
+        down: List[MemcachedReq] = []
         batches: Dict[int, _MgetJob] = {}
         for key in keys:
             conn = self._route(key)
@@ -232,12 +293,16 @@ class MemcachedClient:
                                0, "mget")
             self._next_req_id += 1
             req.t_issue = t0
-            req.server_index = conn.index
             if self.t_first_issue is None:
                 self.t_first_issue = t0
             self._outstanding[req.req_id] = req
             self._op_begin(req)
             reqs.append(req)
+            if conn is None:  # every server ejected: fail fast
+                req.server_index = -1
+                down.append(req)
+                continue
+            req.server_index = conn.index
             batch = batches.setdefault(conn.index, _MgetJob([], conn))
             batch.reqs.append(req)
         for batch in batches.values():
@@ -245,12 +310,11 @@ class MemcachedClient:
         self._account_many(reqs, self.sim.now - t0)
         for req in reqs:
             req.t_api_return = self.sim.now
+        for req in down:
+            self._fail_server_down(req)
         # Blocking fetch loop (like memcached_fetch after mget).
         for req in reqs:
-            if not req.complete.processed:
-                t1 = self.sim.now
-                yield req.complete
-                self._account_many([req], self.sim.now - t1)
+            yield from self._recover(req)
             yield from self._handle_miss(req)
             self._finalize(req)
         return reqs
@@ -278,23 +342,34 @@ class MemcachedClient:
         t0 = self.sim.now
         yield self.sim.timeout(self.config.api_overhead)
         self._engine_queue.put(_EngineJob(req, conn))
-        yield req.complete
+        timeout = self.config.request_timeout
+        if timeout is None:
+            yield req.complete
+        else:
+            # stats targets one explicit server: no failover, no retry.
+            yield self.sim.any_of([req.complete, self.sim.timeout(timeout)])
+            if not req.complete.triggered:
+                self._m_timeouts.inc()
+                self._note_timeout(req)
+                self._fail_server_down(req)
         self._op_end(req)
         self._account_block(req, self.sim.now - t0)
         self._recorded_ids.add(req.req_id)  # not a data op; never record
+        if req.response is None:
+            return {}
         return dict(req.response.stats_payload or {})
 
     def delete(self, key: bytes):
         """Blocking delete (completeness; not profiled by the paper)."""
         req = yield from self._issue("delete", "delete", key, 0, 0, 0.0)
-        yield from self._block_until_complete(req)
+        yield from self._recover(req)
         self._finalize(req)
         return req
 
     def touch(self, key: bytes, expiration: float):
         """``memcached_touch``: refresh an item's TTL without a refetch."""
         req = yield from self._issue("touch", "touch", key, 0, 0, expiration)
-        yield from self._block_until_complete(req)
+        yield from self._recover(req)
         self._finalize(req)
         return req
 
@@ -331,7 +406,14 @@ class MemcachedClient:
         req = yield from self._issue("set", "bset", key, value_length,
                                      flags, expiration)
         t0 = self.sim.now
-        yield req.buffer_safe
+        timeout = self.config.request_timeout
+        if timeout is None:
+            yield req.buffer_safe
+        else:
+            # A dead early-ack server never sends its BufferAck; bound
+            # the wait so the caller can reach wait()'s recovery path.
+            yield self.sim.any_of([req.buffer_safe,
+                                   self.sim.timeout(timeout)])
         self._account_block(req, self.sim.now - t0)
         return req
 
@@ -340,7 +422,12 @@ class MemcachedClient:
         self._require_nonblocking("bget")
         req = yield from self._issue("get", "bget", key, 0, 0, 0.0)
         t0 = self.sim.now
-        yield req.buffer_safe
+        timeout = self.config.request_timeout
+        if timeout is None:
+            yield req.buffer_safe
+        else:
+            yield self.sim.any_of([req.buffer_safe,
+                                   self.sim.timeout(timeout)])
         self._account_block(req, self.sim.now - t0)
         return req
 
@@ -359,7 +446,7 @@ class MemcachedClient:
             self._account_block(req, self.sim.now - t0)
             if not req.complete.triggered:
                 return req  # timed out; op still in flight
-        yield from self._block_until_complete(req)
+        yield from self._recover(req)
         yield from self._handle_miss(req)
         self._finalize(req)
         return req
@@ -368,11 +455,29 @@ class MemcachedClient:
         """``memcached_test``: non-blocking completion poll.
 
         Plain function (no simulated time): mirrors the real API, which
-        only inspects the request's completion flag.
+        only inspects the request's completion flag. A completed GET
+        miss starts its backend fetch + cache repopulation in the
+        background (the poll itself stays zero-time); ``test`` keeps
+        returning False until that fetch finishes, then finalizes the
+        operation like ``wait`` would.
         """
-        if req.done and req.status is not None and req.status != MISS:
-            self._finalize(req)
-        return req.done
+        if not req.done:
+            return False
+        if req.req_id in self._recorded_ids:
+            return True
+        if (req.op == "get" and self.backend is not None
+                and req.status in (MISS, SERVER_DOWN)
+                and not req.stages.get("miss_penalty")):
+            done = self._miss_fetches.get(req.req_id)
+            if done is None:
+                done = self.sim.event()
+                self._miss_fetches[req.req_id] = done
+                self.sim.spawn(self._background_miss(req, done),
+                               name=f"{self.name}-miss{req.req_id}")
+            if not done.triggered:
+                return False  # backend fetch still in flight
+        self._finalize(req)
+        return True
 
     def wait_all(self, reqs: Sequence[MemcachedReq]):
         """Wait on many requests (the bursty-I/O pattern of Listing 2)."""
@@ -381,10 +486,14 @@ class MemcachedClient:
         return list(reqs)
 
     def quiesce(self):
-        """Wait until every outstanding request of this client completed."""
-        while self._outstanding:
-            pending = list(self._outstanding.values())
-            yield from self.wait(pending[0])
+        """Wait until every outstanding request of this client completed
+        (including background miss fetches started by ``test``)."""
+        while self._outstanding or self._miss_fetches:
+            if self._outstanding:
+                pending = list(self._outstanding.values())
+                yield from self.wait(pending[0])
+            else:
+                yield next(iter(self._miss_fetches.values()))
 
     # -- issue path --------------------------------------------------------------
 
@@ -404,11 +513,17 @@ class MemcachedClient:
         if self.t_first_issue is None:
             self.t_first_issue = self.sim.now
         conn = self._route(key)
-        req.server_index = conn.index
         self._outstanding[req.req_id] = req
         self._op_begin(req)
         t0 = self.sim.now
         yield self.sim.timeout(self.config.api_overhead)
+        if conn is None:  # every server ejected: fail fast
+            req.server_index = -1
+            self._account_block(req, self.sim.now - t0)
+            req.t_api_return = self.sim.now
+            self._fail_server_down(req)
+            return req
+        req.server_index = conn.index
         self._engine_queue.put(_EngineJob(req, conn))
         self._account_block(req, self.sim.now - t0)
         req.t_api_return = self.sim.now
@@ -421,21 +536,146 @@ class MemcachedClient:
             yield req.complete
             self._account_block(req, self.sim.now - t0)
 
-    def _handle_miss(self, req: MemcachedReq):
-        """Backend fetch + cache repopulation after a GET miss."""
-        if req.op != "get" or req.status != MISS or self.backend is None:
+    # -- failure detection & recovery --------------------------------------
+
+    def _recover(self, req: MemcachedReq):
+        """Drive ``req`` to completion, detecting silent server failures.
+
+        With ``request_timeout`` unset this is exactly
+        ``_block_until_complete`` (the pre-fault behaviour). Otherwise
+        each wait is bounded: a timeout counts against the target server
+        (ejection after ``failure_threshold`` consecutive timeouts), the
+        operation is reissued after exponential backoff — rerouted
+        around ejected servers — and after ``max_retries`` reissues it
+        completes with status ``SERVER_DOWN``. Retries give Sets
+        at-least-once semantics: a server that processed the request but
+        died before responding applies it again on reissue.
+        """
+        timeout = self.config.request_timeout
+        if timeout is None:
+            yield from self._block_until_complete(req)
+            return
+        attempt = 0
+        while not req.complete.triggered:
+            t0 = self.sim.now
+            yield self.sim.any_of([req.complete, self.sim.timeout(timeout)])
+            self._account_block(req, self.sim.now - t0)
+            if req.complete.triggered:
+                break
+            self._m_timeouts.inc()
+            self._note_timeout(req)
+            if attempt >= self.config.max_retries:
+                self._fail_server_down(req)
+                return
+            attempt += 1
+            backoff = (self.config.retry_backoff
+                       * self.config.backoff_multiplier ** (attempt - 1))
+            t0 = self.sim.now
+            yield self.sim.any_of([req.complete, self.sim.timeout(backoff)])
+            self._account_block(req, self.sim.now - t0)
+            if req.complete.triggered:
+                break
+            if not self._reissue(req):
+                self._fail_server_down(req)
+                return
+            self._m_retries.inc()
+        self._note_success(req)
+
+    def _note_timeout(self, req: MemcachedReq) -> None:
+        """A completion timeout elapsed against ``req``'s target server."""
+        if not 0 <= req.server_index < len(self._conns):
+            return
+        conn = self._conns[req.server_index]
+        conn.consecutive_timeouts += 1
+        threshold = self.config.failure_threshold
+        if threshold and conn.healthy and \
+                conn.consecutive_timeouts >= threshold:
+            conn.healthy = False
+            conn.ejected_until = (
+                None if self.config.eject_duration is None
+                else self.sim.now + self.config.eject_duration)
+            self._m_ejections.inc()
+
+    def _note_success(self, req: MemcachedReq) -> None:
+        if req.status == SERVER_DOWN:  # completed by giving up, not by a
+            return                     # response: no health signal
+        if 0 <= req.server_index < len(self._conns):
+            self._conns[req.server_index].consecutive_timeouts = 0
+
+    def _reissue(self, req: MemcachedReq) -> bool:
+        """Re-queue ``req`` on the engine, rerouting around ejected
+        servers. Returns False when no live server remains."""
+        conn = self._route(req.key)
+        if conn is None:
+            return False
+        if conn.index != req.server_index:
+            self._m_failovers.inc()
+        req.server_index = conn.index
+        self._engine_queue.put(_EngineJob(req, conn))
+        return True
+
+    def _fail_server_down(self, req: MemcachedReq) -> None:
+        """Give up on ``req``: complete it with status ``SERVER_DOWN``.
+
+        Any late response is dropped by the pump (the request is no
+        longer outstanding)."""
+        self._outstanding.pop(req.req_id, None)
+        self._job_meta.pop(req.req_id, None)
+        req.status = SERVER_DOWN
+        req.t_complete = self.sim.now
+        self._m_server_down.inc()
+        if not req.complete.triggered:
+            req.complete.succeed(None)
+        if not req.buffer_safe.triggered:
+            req.buffer_safe.succeed()
+
+    # -- miss path ---------------------------------------------------------
+
+    def _background_miss(self, req: MemcachedReq, done):
+        """Backend fetch driven by ``test()`` — runs off the caller's
+        critical path, so it never counts as blocked time."""
+        try:
+            yield from self._miss_fetch(req, account=False)
+        finally:
+            self._miss_fetches.pop(req.req_id, None)
+            done.succeed()
+            self._finalize(req)
+
+    def _handle_miss(self, req: MemcachedReq, account: bool = True):
+        """Backend fetch + cache repopulation after a failed GET."""
+        if req.op != "get" or self.backend is None:
+            return
+        inflight = self._miss_fetches.get(req.req_id)
+        if inflight is not None:
+            # test() already started the fetch in the background; join it.
+            t0 = self.sim.now
+            yield inflight
+            if account:
+                self._account_block(req, self.sim.now - t0)
+            return
+        yield from self._miss_fetch(req, account)
+
+    def _miss_fetch(self, req: MemcachedReq, account: bool):
+        """The fetch itself. A MISS repopulates the cache; a SERVER_DOWN
+        get pays only the backend fetch (the fallback read web tiers
+        take when a shard is unreachable) — its key still routes to the
+        dead server, so repopulating would be wasted work.
+        """
+        if req.status not in (MISS, SERVER_DOWN):
             return
         if req.stages.get("miss_penalty"):
             return  # already handled
         t0 = self.sim.now
         value_length = yield from self.backend.fetch(req.key)
         req.stages["miss_penalty"] = self.sim.now - t0
-        self._account_block(req, self.sim.now - t0)
-        if value_length > 0:
+        if account:
+            self._account_block(req, self.sim.now - t0)
+        if value_length > 0 and req.status == MISS:
             # Repopulate so future lookups hit (not recorded as a user op).
             t1 = self.sim.now
             yield from self.set(req.key, value_length, _record=False)
-            self._account_block(req, self.sim.now - t1)
+            if account:
+                self._account_block(req, self.sim.now - t1)
         req.value_length = value_length
         req.t_complete = self.sim.now
 
@@ -462,6 +702,7 @@ class MemcachedClient:
         if req.req_id in self._recorded_ids:
             return
         self._recorded_ids.add(req.req_id)
+        self._job_meta.pop(req.req_id, None)
         self._op_end(req)
         if record and self.config.record_ops and req.status is not None:
             self.records.append(OpRecord.from_req(req))
@@ -478,7 +719,9 @@ class MemcachedClient:
                 self._engine_mget(job.reqs, job.conn)
                 continue
             req, conn = job.req, job.conn
-            flags, expiration, mode, cas_token = self._job_meta.pop(
+            # get, not pop: a retry reissues the same request and needs
+            # the meta again; _finalize/_fail_server_down clean it up.
+            flags, expiration, mode, cas_token = self._job_meta.get(
                 req.req_id, (0, 0.0, "set", 0))
             if self.config.model_registration and req.op in ("set", "get"):
                 cost = self._acquire_buffer(req)
@@ -573,11 +816,21 @@ class MemcachedClient:
 
     @staticmethod
     def _arm(target, source) -> None:
-        """Trigger ``target`` when ``source`` (an event) is processed."""
+        """Trigger ``target`` when ``source`` (an event) is processed.
+
+        ``target`` may already be triggered when the operation was
+        failed over or declared SERVER_DOWN while the first attempt's
+        message was still in flight."""
         if source.processed:
-            target.succeed()
+            if not target.triggered:
+                target.succeed()
             return
-        source.callbacks.append(lambda _ev: target.succeed())
+
+        def _fire(_ev):
+            if not target.triggered:
+                target.succeed()
+
+        source.callbacks.append(_fire)
 
     # -- response pump ---------------------------------------------------------------
 
@@ -593,7 +846,11 @@ class MemcachedClient:
                 continue
             response: Response = delivery.payload
             req = self._outstanding.pop(response.req_id, None)
-            if req is None:  # pragma: no cover - defensive
+            if req is None:
+                # Late response for an op already declared SERVER_DOWN,
+                # or the duplicate answer of a retried request.
+                continue
+            if req.complete.triggered:  # pragma: no cover - defensive
                 continue
             req.response = response
             req.status = response.status

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import List
+from typing import AbstractSet, List, Optional
 
 
 def one_at_a_time(key: bytes) -> int:
@@ -21,15 +21,30 @@ def one_at_a_time(key: bytes) -> int:
 
 
 class ModuloRouter:
-    """``hash(key) % n`` — libmemcached's default distribution."""
+    """``hash(key) % n`` — libmemcached's default distribution.
+
+    With ``alive`` (a set of live server indices), a key whose primary
+    owner is dead rehashes deterministically to the next live index —
+    libmemcached's ``AUTO_EJECT_HOSTS`` + rehash behaviour.
+    """
 
     def __init__(self, num_servers: int):
         if num_servers < 1:
             raise ValueError("need at least one server")
         self.num_servers = num_servers
 
-    def server_for(self, key: bytes) -> int:
-        return one_at_a_time(key) % self.num_servers
+    def server_for(self, key: bytes,
+                   alive: Optional[AbstractSet[int]] = None) -> int:
+        idx = one_at_a_time(key) % self.num_servers
+        if alive is None or idx in alive:
+            return idx
+        if not alive:
+            raise ValueError("no live servers")
+        for step in range(1, self.num_servers):
+            candidate = (idx + step) % self.num_servers
+            if candidate in alive:
+                return candidate
+        raise ValueError("no live servers")  # pragma: no cover
 
 
 class KetamaRouter:
@@ -53,9 +68,30 @@ class KetamaRouter:
         self._points = [p for p, _ in ring]
         self._owners = [o for _, o in ring]
 
-    def server_for(self, key: bytes) -> int:
+    def server_for(self, key: bytes,
+                   alive: Optional[AbstractSet[int]] = None) -> int:
         point = int.from_bytes(hashlib.md5(key).digest()[:4], "little")
         i = bisect.bisect(self._points, point)
         if i == len(self._points):
             i = 0
-        return self._owners[i]
+        if alive is None:
+            return self._owners[i]
+        if not alive:
+            raise ValueError("no live servers")
+        # Dead-server rehash: walk the ring clockwise past dead owners,
+        # so each dead server's keys spread over its ring successors.
+        for step in range(len(self._owners)):
+            owner = self._owners[(i + step) % len(self._owners)]
+            if owner in alive:
+                return owner
+        raise ValueError("no live servers")  # pragma: no cover
+
+
+def make_router(name: str, num_servers: int):
+    """Router factory shared by clients and cluster preload, so data is
+    always placed exactly where the clients will look for it."""
+    if name == "ketama":
+        return KetamaRouter(num_servers)
+    if name == "modulo":
+        return ModuloRouter(num_servers)
+    raise ValueError(f"unknown router {name!r}")

@@ -15,7 +15,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.client.backend import BackendDatabase
 from repro.client.client import ClientConfig, MemcachedClient
-from repro.client.hashing import ModuloRouter
+from repro.client.hashing import make_router
 from repro.core.profiles import DesignProfile
 from repro.net.fabric import Fabric
 from repro.net.params import FDR_IPOIB, FDR_RDMA, LinkParams
@@ -63,6 +63,18 @@ class ClusterSpec:
     #: Schedule GETs ahead of SETs in the server worker queue.
     get_priority: bool = False
     record_ops: bool = True
+    #: Client request router: "modulo" (libmemcached default) or
+    #: "ketama" (consistent hashing; required for clean failover).
+    router: str = "modulo"
+    # -- client fault tolerance (None keeps the pre-fault fast path) -------
+    #: Per-request completion timeout (seconds); enables timeout/retry/
+    #: ejection/failover on every client.
+    request_timeout: Optional[float] = None
+    max_retries: int = 2
+    retry_backoff: float = 200e-6
+    failure_threshold: int = 2
+    #: Re-probe an ejected server after this many seconds (None: never).
+    eject_duration: Optional[float] = None
     #: Live metrics registry + gauge sampler (see :mod:`repro.obs`).
     observe: bool = False
     #: Sim-time span tracing (Chrome ``trace_event`` export).
@@ -91,18 +103,28 @@ class Cluster:
     def run(self, until=None):
         return self.sim.run(until=until)
 
+    def server_node(self, index: int):
+        """The fabric node hosting server ``index``."""
+        return self.fabric.node(f"snode{index}")
+
     # -- experiment setup ----------------------------------------------------
 
     def preload(self, pairs: Sequence[Tuple[bytes, int]]) -> int:
         """Load key-value pairs into the servers, routed exactly as the
         clients will route their requests (zero simulated time)."""
-        router = ModuloRouter(len(self.servers))
+        router_name = (self.clients[0].config.router if self.clients
+                       else self.spec.router)
+        router = make_router(router_name, len(self.servers))
         n = 0
         for key, value_length in pairs:
             self.servers[router.server_for(key)].manager.preload(
                 key, value_length)
             n += 1
         return n
+
+    def inject_faults(self, plan) -> None:
+        """Arm a :class:`repro.faults.FaultPlan` on this cluster."""
+        plan.inject(self)
 
     def reset_metrics(self) -> None:
         for c in self.clients:
@@ -176,7 +198,13 @@ def build_cluster(profile: DesignProfile,
         servers.append(server)
 
     client_cfg = ClientConfig(nonblocking_allowed=profile.nonblocking,
-                              record_ops=spec.record_ops)
+                              record_ops=spec.record_ops,
+                              router=spec.router,
+                              request_timeout=spec.request_timeout,
+                              max_retries=spec.max_retries,
+                              retry_backoff=spec.retry_backoff,
+                              failure_threshold=spec.failure_threshold,
+                              eject_duration=spec.eject_duration)
     n_nodes = spec.client_nodes or spec.num_clients
     clients = []
     for i in range(spec.num_clients):

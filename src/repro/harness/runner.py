@@ -108,13 +108,21 @@ def _drive_nonblocking(client, ops: Sequence[Op], api: str, window: int):
 def run_ops(cluster: Cluster, per_client_ops: Sequence[Sequence[Op]],
             api: Optional[str] = None,
             window: int = DEFAULT_WINDOW,
-            mget_batch: int = 0) -> RunResult:
-    """Run explicit op streams (one per client) to completion."""
+            mget_batch: int = 0,
+            fault_plan=None) -> RunResult:
+    """Run explicit op streams (one per client) to completion.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) is armed right
+    before the drivers start, so its event times are relative to the
+    measured run's start.
+    """
     api = api or cluster.profile.api
     if api not in (BLOCKING, NONB_B, NONB_I):
         raise ValueError(f"unknown api {api!r}")
     cluster.reset_metrics()
     sim = cluster.sim
+    if fault_plan is not None:
+        cluster.inject_faults(fault_plan)
     drivers = []
     for client, ops in zip(cluster.clients, per_client_ops):
         if api == BLOCKING:
@@ -140,7 +148,8 @@ def run_workload(cluster: Cluster, spec: WorkloadSpec,
                  api: Optional[str] = None,
                  window: int = DEFAULT_WINDOW,
                  mget_batch: int = 0,
-                 warmup_ops: int = 0) -> RunResult:
+                 warmup_ops: int = 0,
+                 fault_plan=None) -> RunResult:
     """Generate per-client op streams from ``spec`` and run them.
 
     ``spec.num_ops`` is the per-client operation count; each client gets
@@ -164,4 +173,4 @@ def run_workload(cluster: Cluster, spec: WorkloadSpec,
     streams = [generate_ops(spec, client_index=i)
                for i in range(len(cluster.clients))]
     return run_ops(cluster, streams, api=api, window=window,
-                   mget_batch=mget_batch)
+                   mget_batch=mget_batch, fault_plan=fault_plan)

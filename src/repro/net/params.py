@@ -48,6 +48,17 @@ class LinkParams:
         segments = -(-nbytes // self.mtu)
         return nbytes / self.bandwidth + segments * self.per_segment_overhead
 
+    def degraded(self, factor: float) -> "LinkParams":
+        """A copy of this link running ``factor``x worse (fault
+        injection): latency multiplied, bandwidth divided."""
+        if factor <= 0:
+            raise ValueError(f"degrade factor must be positive, got {factor}")
+        import dataclasses
+
+        return dataclasses.replace(
+            self, name=self.name, latency=self.latency * factor,
+            bandwidth=self.bandwidth / factor)
+
 
 #: Native RDMA verbs over 56 Gbps FDR InfiniBand.
 FDR_RDMA = LinkParams(

@@ -295,6 +295,18 @@ class HybridSlabManager:
         self._remove_item(item)
         return True
 
+    def wipe(self) -> int:
+        """Drop every item in zero simulated time (cold restart after a
+        crash: stock memcached loses its DRAM contents, and the SSD slab
+        layout is not recovered either). Chunks, pages, and SSD slots are
+        released through the regular removal paths so the allocator and
+        slot accounting stay consistent. Returns the items dropped."""
+        items = list(self.table.values())
+        for item in items:
+            self._remove_item(item)
+        self.table.clear()
+        return len(items)
+
     def _remove_item(self, item: Item, keep_table: bool = False) -> None:
         if not keep_table:
             self.table.pop(item.key, None)

@@ -24,6 +24,10 @@ MISS = "MISS"
 DELETED = "DELETED"
 NOT_FOUND = "NOT_FOUND"
 ERROR = "ERROR"
+#: Client-side verdict: the operation's server timed out past the retry
+#: budget and no live replacement could serve it (fail-fast, never sent
+#: by a server).
+SERVER_DOWN = "SERVER_DOWN"
 
 
 @dataclass

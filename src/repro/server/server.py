@@ -44,9 +44,15 @@ from repro.server.protocol import (
     ValueArrival,
 )
 from repro.sim import PriorityStore, Resource, Simulator, Store
+from repro.sim.errors import SimulationError
 from repro.storage.device import BlockDevice
 from repro.storage.params import DeviceParams, PageCacheParams
 from repro.units import GB, KB, MB, US
+
+#: Queue sentinel that makes a worker re-check liveness (crash teardown).
+_POISON = object()
+#: Rendezvous sentinel: the awaited SET value was dropped by a fault.
+_DROPPED = object()
 
 
 @dataclass(frozen=True)
@@ -158,6 +164,16 @@ class MemcachedServer:
         self._value_events: Dict[int, object] = {}
         self._started = False
         self._busy_workers = 0
+        #: Fail-stop state: a crashed server drops everything until
+        #: :meth:`restart`.
+        self.alive = True
+        #: Network partition state: an unreachable server neither
+        #: receives nor delivers messages until :meth:`heal`.
+        self.reachable = True
+        self.crashes = 0
+        self.restarts = 0
+        #: Bumped on every crash; workers from older generations exit.
+        self._generation = 0
         # live metrics (no-ops when observability is disabled)
         reg = self.obs.registry
         labels = dict(server=name)
@@ -171,6 +187,11 @@ class MemcachedServer:
         reg.gauge("workers_busy", fn=lambda: self._busy_workers, **labels)
         reg.gauge("server_credits_in_use",
                   fn=lambda: self.credits.in_use, **labels)
+        reg.gauge("server_alive",
+                  fn=lambda: 1.0 if (self.alive and self.reachable) else 0.0,
+                  **labels)
+        self._m_crashes = reg.counter("server_crashes", **labels)
+        self._m_dropped_rx = reg.counter("server_rx_dropped", **labels)
 
     # -- wiring -----------------------------------------------------------
 
@@ -182,14 +203,107 @@ class MemcachedServer:
         if self._started:
             return
         self._started = True
+        gen = self._generation
         for i in range(self.config.worker_threads):
-            self.sim.spawn(self._worker(i), name=f"{self.name}-worker{i}")
+            self.sim.spawn(self._worker(i, gen),
+                           name=f"{self.name}-worker{i}.g{gen}")
+
+    # -- fault injection (fail-stop crash / network partition) ----------------
+
+    def crash(self) -> None:
+        """Fail-stop: drop queued and in-flight work, stop the worker
+        pool, and make sure nothing can block on this server's resources.
+
+        The NIC keeps draining deliveries (the rx pumps stay up) but
+        every message is discarded, so clients observe silence — their
+        completion timeouts, not errors, detect the failure.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        self._m_crashes.inc()
+        self._generation += 1
+        self._queue.clear()
+        self._purge_value_waits()
+        # Wake parked workers so they exit and the pool tears down.
+        for _ in range(self.config.worker_threads):
+            self._queue.put(_POISON)
+        self._open_credits()
+        self._started = False
+
+    def restart(self, wipe: bool = False) -> None:
+        """Bring a crashed server back with a fresh worker pool.
+
+        With ``wipe`` the cache restarts cold (stock memcached loses
+        DRAM contents); without it the contents survive, modeling a
+        persistent-memory-backed store (cf. Choi et al., PAPERS.md).
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.restarts += 1
+        self._generation += 1
+        self.credits = Resource(self.sim, capacity=self.config.recv_credits)
+        self._value_events.clear()
+        if wipe:
+            self.manager.wipe()
+        self.start()
+
+    def partition(self) -> None:
+        """Enter a full network partition (link blackhole): requests,
+        values, and responses are all dropped until :meth:`heal`."""
+        if not self.reachable:
+            return
+        self.reachable = False
+        self._purge_value_waits()
+        self._open_credits()
+
+    def heal(self) -> None:
+        """Leave the partition; dropped SET values are purged so workers
+        parked on their rendezvous abort and return to the queue."""
+        if self.reachable:
+            return
+        self.reachable = True
+        self._purge_value_waits()
+        self.credits = Resource(self.sim, capacity=self.config.recv_credits)
+
+    def _purge_value_waits(self) -> None:
+        """Abort every pending SET-value rendezvous with a sentinel."""
+        for ev in list(self._value_events.values()):
+            if not ev.triggered:
+                ev.succeed(_DROPPED)
+        self._value_events.clear()
+
+    def _open_credits(self) -> None:
+        """Replace the credit pool with an effectively unbounded one and
+        grant everything queued: no client communication engine may sit
+        parked forever on a dead/unreachable server's flow control (its
+        values are dropped on arrival anyway)."""
+        old = self.credits
+        self.credits = Resource(self.sim, capacity=1 << 30)
+        old.grant_all_waiting()
+
+    def _release_credit(self, credit) -> None:
+        if credit is None:
+            return
+        try:
+            credit.resource.release(credit)
+        except SimulationError:  # pragma: no cover - defensive
+            # The pool was torn down by a crash while this worker held
+            # the credit; there is nothing left to release into.
+            pass
 
     # -- receive path ---------------------------------------------------------
 
     def _rx_pump(self, endpoint: Endpoint):
         while True:
             delivery = yield endpoint.recv()
+            if not (self.alive and self.reachable):
+                # Crashed or partitioned: the frame vanishes. No CPU is
+                # charged — nobody is listening.
+                self._m_dropped_rx.inc()
+                continue
             payload = delivery.payload
             if isinstance(payload, ValueArrival):
                 # req_ids are unique per client connection only; key the
@@ -211,12 +325,13 @@ class MemcachedServer:
         key = (id(endpoint), req_id)
         ev = self._value_events.setdefault(key, self.sim.event())
         arrival = yield ev
-        del self._value_events[key]
+        # pop, not del: a fault purge may have already dropped the key.
+        self._value_events.pop(key, None)
         return arrival
 
     # -- worker threads ---------------------------------------------------------
 
-    def _worker(self, wid: int = 0):
+    def _worker(self, wid: int = 0, gen: int = 0):
         m_busy = self.obs.registry.counter(
             "worker_busy_seconds", server=self.name, worker=str(wid))
         self.obs.registry.gauge(
@@ -225,7 +340,16 @@ class MemcachedServer:
             server=self.name, worker=str(wid))
         tid = f"{self.name}-w{wid}"
         while True:
-            delivery, endpoint = yield self._queue.get()
+            got = yield self._queue.get()
+            if got is _POISON:
+                if gen != self._generation or not self.alive:
+                    return  # crash teardown: this worker's pool is gone
+                continue
+            if gen != self._generation:
+                # Superseded by a restart: hand the work to the new pool.
+                self._queue.put(got)
+                return
+            delivery, endpoint = got
             start = self.sim.now
             self._busy_workers += 1
             request = delivery.payload
@@ -262,6 +386,11 @@ class MemcachedServer:
         credit = None
         if not request.inline_value:
             arrival = yield from self._await_value(endpoint, request.req_id)
+            if arrival is _DROPPED or not self.alive:
+                # The value was lost to a crash/partition while we waited
+                # (or the server died under us): abandon the SET. The
+                # client's completion timeout handles the rest.
+                return
             credit = arrival.credit
         # Copy the value out of the receive buffer (staging on the
         # optimized server, directly toward the chunk otherwise).
@@ -273,10 +402,11 @@ class MemcachedServer:
             # buffers are reusable (what bset blocks on — Section V-B1).
             if credit.granted_at is not None:
                 self._m_credit_hold.observe(self.sim.now - credit.granted_at)
-            self.credits.release(credit)
+            self._release_credit(credit)
             credit = None
-            ack = BufferAck(req_id=request.req_id)
-            endpoint.send(ack, ack.header_bytes, one_sided=True)
+            if self.reachable:
+                ack = BufferAck(req_id=request.req_id)
+                endpoint.send(ack, ack.header_bytes, one_sided=True)
 
         t0 = self.sim.now
         yield self.sim.timeout(costs.slab_alloc_cpu)
@@ -293,7 +423,7 @@ class MemcachedServer:
         if credit is not None:
             if credit.granted_at is not None:
                 self._m_credit_hold.observe(self.sim.now - credit.granted_at)
-            self.credits.release(credit)
+            self._release_credit(credit)
         self.stats.sets += 1
         self._m_sets.inc()
         for k, v in stages.items():
@@ -397,6 +527,8 @@ class MemcachedServer:
     def _handle_stats(self, request: StatsRequest, endpoint: Endpoint):
         """memcached's ``stats``: ship a counter snapshot to the client."""
         yield self.sim.timeout(self.config.costs.response_prep)
+        if not (self.alive and self.reachable):
+            return
         snapshot = self.stats_snapshot()
         response = Response(req_id=request.req_id, op="stats", status="OK",
                             stats_payload=snapshot, sent_at=self.sim.now,
@@ -445,7 +577,11 @@ class MemcachedServer:
     def _respond(self, endpoint: Endpoint, request: Request, status: str,
                  value_length: int, stages: Dict[str, float],
                  cas_token: int = 0):
+        if not self.alive:
+            return  # crashed mid-request: the response never forms
         yield self.sim.timeout(self.config.costs.response_prep)
+        if not (self.alive and self.reachable):
+            return  # died or partitioned during prep: response dropped
         response = Response(req_id=request.req_id, op=request.op,
                             status=status, value_length=value_length,
                             stages=dict(stages), sent_at=self.sim.now,

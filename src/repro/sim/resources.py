@@ -88,6 +88,22 @@ class Resource:
         except ValueError as err:
             raise SimulationError("request is not queued") from err
 
+    def grant_all_waiting(self) -> int:
+        """Grant every queued request immediately, ignoring capacity.
+
+        Fault-path escape hatch: when the resource's owner dies, parked
+        requesters must not wait forever on slots nobody will release.
+        Returns the number of requests granted.
+        """
+        n = 0
+        while self._waiting:
+            nxt = self._waiting.popleft()
+            self._holders.add(nxt)
+            nxt.granted_at = self.sim.now
+            nxt.succeed()
+            n += 1
+        return n
+
     def acquire(self):
         """Generator helper: ``req = yield from res.acquire()``."""
         req = self.request()
@@ -127,6 +143,12 @@ class PriorityStore:
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    def clear(self) -> int:
+        """Drop all buffered items; returns how many were dropped."""
+        n = len(self._heap)
+        self._heap.clear()
+        return n
 
     def put(self, item: Any, priority: float = 0.0) -> StorePut:
         ev = StorePut(self.sim, item)
@@ -168,6 +190,18 @@ class Store:
 
     def __len__(self) -> int:
         return len(self.items)
+
+    def clear(self) -> int:
+        """Drop all buffered items; returns how many were dropped.
+
+        Queued putters are admitted afterwards (their items become the
+        new buffer contents); waiting getters stay parked.
+        """
+        n = len(self.items)
+        self.items.clear()
+        if n:
+            self._dispatch()
+        return n
 
     def put(self, item: Any) -> StorePut:
         ev = StorePut(self.sim, item)

@@ -51,6 +51,21 @@ class DeviceParams:
             return 0
         return -(-nbytes // self.sector) * self.sector
 
+    def degraded(self, factor: float) -> "DeviceParams":
+        """A copy of this device running ``factor``x slower (fault
+        injection: firmware GC storms, failing flash): latencies
+        multiplied, bandwidths divided."""
+        if factor <= 0:
+            raise ValueError(f"degrade factor must be positive, got {factor}")
+        import dataclasses
+
+        return dataclasses.replace(
+            self,
+            read_latency=self.read_latency * factor,
+            write_latency=self.write_latency * factor,
+            read_bandwidth=self.read_bandwidth / factor,
+            write_bandwidth=self.write_bandwidth / factor)
+
 
 #: Local SATA SSD of the paper's Cluster A (SDSC Comet) nodes.
 #: NCQ gives queued requests latency overlap (parallelism 8 ~ effective

@@ -1,0 +1,96 @@
+"""Unit tests for FaultPlan construction: parsing, seeding, validation."""
+
+import pytest
+
+from repro.faults import (
+    CRASH,
+    LINK_DEGRADE,
+    PARTITION,
+    SSD_SLOWDOWN,
+    FaultEvent,
+    FaultPlan,
+    parse_time,
+)
+
+
+class TestParseTime:
+    def test_suffixes(self):
+        assert parse_time("5ms") == pytest.approx(5e-3)
+        assert parse_time("200us") == pytest.approx(200e-6)
+        assert parse_time("1.5s") == pytest.approx(1.5)
+
+    def test_bare_number_is_seconds(self):
+        assert parse_time("0.01") == pytest.approx(0.01)
+
+
+class TestParse:
+    def test_crash_spec(self):
+        plan = FaultPlan.parse(["crash:server=1,at=5ms,duration=20ms"])
+        (ev,) = plan.events
+        assert ev.kind == CRASH
+        assert ev.server == 1
+        assert ev.at == pytest.approx(5e-3)
+        assert ev.duration == pytest.approx(20e-3)
+        assert ev.wipe is True
+
+    def test_aliases_and_defaults(self):
+        plan = FaultPlan.parse(["ssd:factor=20", "link:server=2,at=1ms",
+                                "blackhole:duration=3ms"])
+        kinds = [e.kind for e in plan.events]
+        assert kinds == [SSD_SLOWDOWN, LINK_DEGRADE, PARTITION]
+        assert plan.events[0].server == 0
+        assert plan.events[0].at == 0.0
+        assert plan.events[0].factor == 20.0
+
+    def test_wipe_flag(self):
+        plan = FaultPlan.parse(["crash:wipe=false,duration=1ms"])
+        assert plan.events[0].wipe is False
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse(["meteor:server=0"])
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault option"):
+            FaultPlan.parse(["crash:sever=1"])
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.parse([])
+        assert FaultPlan.parse(["crash:at=1ms"])
+
+
+class TestValidation:
+    def test_negative_time(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            FaultEvent(kind=CRASH, server=0, at=-1.0)
+
+    def test_nonpositive_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent(kind=PARTITION, server=0, at=0.0, duration=0.0)
+
+    def test_nonpositive_factor(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultEvent(kind=SSD_SLOWDOWN, server=0, at=0.0, factor=0.0)
+
+
+class TestRandom:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.random(seed=42, num_servers=4, horizon=0.1,
+                             num_faults=5)
+        b = FaultPlan.random(seed=42, num_servers=4, horizon=0.1,
+                             num_faults=5)
+        assert a.events == b.events
+
+    def test_different_seed_differs(self):
+        a = FaultPlan.random(seed=1, num_servers=4, horizon=0.1,
+                             num_faults=5)
+        b = FaultPlan.random(seed=2, num_servers=4, horizon=0.1,
+                             num_faults=5)
+        assert a.events != b.events
+
+    def test_events_within_bounds(self):
+        plan = FaultPlan.random(seed=3, num_servers=3, horizon=1.0,
+                                num_faults=8)
+        for ev in plan.events:
+            assert 0 <= ev.server < 3
+            assert 0.0 <= ev.at <= 0.8
