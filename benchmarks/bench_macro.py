@@ -1,0 +1,59 @@
+"""Macro benchmark: a full 4-server cluster running a YCSB workload.
+
+Where ``bench_engine.py`` times the substrate's primitives in isolation,
+this times the whole stack — RDMA verbs, hybrid slab manager, SSD model,
+non-blocking client windowing — under a realistic key-value workload,
+and reports the engine's *events per wall-clock second* alongside wall
+time. Events/sec is the number that caps how large a cluster and
+workload the paper's figures can be reproduced at; track it across PRs.
+"""
+
+import pytest
+
+from repro.core.cluster import ClusterSpec
+from repro.core.profiles import H_RDMA_OPT_NONB_I
+from repro.harness.runner import run_ops, setup_cluster
+from repro.units import KB, MB
+from repro.workloads.generator import WorkloadSpec
+from repro.workloads.ycsb import CORE_WORKLOADS, generate_ycsb_ops
+
+NUM_SERVERS = 4
+NUM_CLIENTS = 4
+OPS_PER_CLIENT = 500
+NUM_KEYS = 2048
+VALUE_LEN = 8 * KB
+
+
+def _ycsb_cluster_run():
+    spec = WorkloadSpec(num_ops=OPS_PER_CLIENT, num_keys=NUM_KEYS,
+                        value_length=VALUE_LEN, seed=42)
+    cluster_spec = ClusterSpec(num_servers=NUM_SERVERS,
+                               num_clients=NUM_CLIENTS,
+                               server_mem=16 * MB, ssd_limit=64 * MB)
+    cluster = setup_cluster(H_RDMA_OPT_NONB_I, spec,
+                            cluster_spec=cluster_spec)
+    workload = CORE_WORKLOADS["A"]
+    streams = [generate_ycsb_ops(workload, OPS_PER_CLIENT, NUM_KEYS,
+                                 VALUE_LEN, seed=42, client_index=i)
+               for i in range(NUM_CLIENTS)]
+    result = run_ops(cluster, streams)
+    return result, cluster
+
+
+def test_macro_ycsb_cluster(benchmark):
+    """4 servers x 4 clients, YCSB-A, hybrid non-blocking profile."""
+
+    def run():
+        result, cluster = _ycsb_cluster_run()
+        return len(result.records), cluster.sim.events_processed
+
+    records, events = benchmark(run)
+    assert records == NUM_CLIENTS * OPS_PER_CLIENT
+    assert events > 0
+    stats = benchmark.stats.stats
+    benchmark.extra_info["events_per_run"] = events
+    benchmark.extra_info["events_per_sec_mean"] = events / stats.mean
+    benchmark.extra_info["events_per_sec_best"] = events / stats.min
+    print(f"\n  {events} events/run; "
+          f"{events / stats.min:,.0f} events/sec (best), "
+          f"{events / stats.mean:,.0f} events/sec (mean)")

@@ -161,7 +161,18 @@ def cmd_list_profiles(_args) -> int:
 def cmd_run(args) -> int:
     spec = _workload_spec(args)
     cluster = _build(args, spec)
-    result = run_workload(cluster, spec, fault_plan=_fault_plan(args))
+    if args.cprofile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = run_workload(cluster, spec, fault_plan=_fault_plan(args))
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+    else:
+        result = run_workload(cluster, spec, fault_plan=_fault_plan(args))
     _print_summary(
         f"{ALL_PROFILES[args.profile].label} — {args.ops} ops x "
         f"{args.clients} client(s), {args.value_kb} KB values, "
@@ -282,6 +293,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one custom workload")
     _add_cluster_args(run_p)
     _add_workload_args(run_p)
+    # --profile is taken by the design-profile selector, so the wall-clock
+    # profiler gets the unambiguous spelling.
+    run_p.add_argument("--cprofile", action="store_true",
+                       help="dump cProfile top-25 cumulative to stderr")
     run_p.set_defaults(func=cmd_run)
 
     stats_p = sub.add_parser(

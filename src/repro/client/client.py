@@ -47,7 +47,7 @@ from repro.server.protocol import (
     ValueArrival,
 )
 from repro.server.server import MemcachedServer
-from repro.sim import Simulator, Store
+from repro.sim import Mailbox, Simulator
 from repro.units import US
 
 
@@ -136,7 +136,7 @@ class MemcachedClient:
         self.obs = obs or NULL_OBS
         self._conns: List[ServerConn] = []
         self._router = None
-        self._engine_queue: Store = Store(sim)
+        self._engine_queue: Mailbox = Mailbox(sim)
         self._outstanding: Dict[int, MemcachedReq] = {}
         self._job_meta: Dict[int, tuple] = {}
         self._recorded_ids: set[int] = set()

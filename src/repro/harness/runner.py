@@ -39,13 +39,16 @@ class RunResult:
 def setup_cluster(profile: DesignProfile, spec: WorkloadSpec,
                   preload: bool = True,
                   cluster_spec: Optional[ClusterSpec] = None,
+                  sim=None,
                   **spec_overrides) -> Cluster:
     """Build a cluster, wire backend value sizes, optionally preload.
 
     The backend returns the workload's value size for any key, so miss
-    repopulation keeps the dataset shape intact.
+    repopulation keeps the dataset shape intact. ``sim`` injects a
+    pre-built :class:`~repro.sim.Simulator` (e.g. one with
+    ``fast_lane=False`` for determinism A/B checks).
     """
-    cluster = build_cluster(profile, spec=cluster_spec,
+    cluster = build_cluster(profile, spec=cluster_spec, sim=sim,
                             value_length_for=spec.value_length_for,
                             **spec_overrides)
     if preload:

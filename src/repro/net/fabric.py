@@ -20,7 +20,8 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.net.params import LinkParams
 from repro.obs.api import NULL_OBS, Observability
-from repro.sim import Event, Resource, Simulator
+from repro.obs.tracer import NULL_SPAN
+from repro.sim import Event, Resource, Simulator, Timeout
 
 
 @dataclass
@@ -71,35 +72,56 @@ class NIC:
 
     def transmit(self, dst: "NIC", nbytes: int, payload: Any = None,
                  one_sided: bool = False, recv_cpu: float = 0.0) -> Message:
-        """Start an asynchronous transfer; returns the in-flight Message."""
+        """Start an asynchronous transfer; returns the in-flight Message.
+
+        The transfer is a callback chain rather than a spawned process:
+        tx grant -> serialize busy-time -> on_wire -> wire latency ->
+        delivered. One message used to cost a generator, a Process, and
+        an Initialize event on top of the model's own events; the chain
+        keeps only the model's events. The tx slot is requested here,
+        synchronously, which preserves FIFO grant order (spawn order and
+        call order were already identical).
+        """
         msg = Message(src=self, dst=dst, nbytes=nbytes, payload=payload,
                       one_sided=one_sided, recv_cpu=recv_cpu)
-        msg.on_wire = self.sim.event()
-        msg.delivered = self.sim.event()
-        self.sim.spawn(self._transfer(msg), name=f"xfer-{self.node.name}")
+        sim = self.sim
+        msg.on_wire = Event(sim)
+        msg.delivered = Event(sim)
+        t_queued = sim.now
+        req = self.tx.request()
+        req.callbacks.append(
+            lambda _ev: self._tx_granted(msg, req, t_queued))
         return msg
 
-    def _transfer(self, msg: Message):
-        t_queued = self.sim.now
-        req = self.tx.request()
-        yield req
-        self._m_tx_wait.observe(self.sim.now - t_queued)
-        span = self.obs.tracer.begin(
-            "tx", tid=f"{self.node.name}/{self.params.name}", pid="net",
-            cat="net", bytes=msg.nbytes)
-        try:
-            busy = self.params.cpu_send + self.params.serialize_time(msg.nbytes)
-            if busy > 0:
-                yield self.sim.timeout(busy)
-        finally:
-            self.tx.release(req)
-            span.end()
+    def _tx_granted(self, msg: Message, req, t_queued: float) -> None:
+        sim = self.sim
+        self._m_tx_wait.observe(sim.now - t_queued)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            span = tracer.begin(
+                "tx", tid=f"{self.node.name}/{self.params.name}", pid="net",
+                cat="net", bytes=msg.nbytes)
+        else:
+            span = NULL_SPAN
+        busy = self.params.cpu_send + self.params.serialize_time(msg.nbytes)
+        if busy > 0:
+            Timeout(sim, busy).callbacks.append(
+                lambda _ev: self._tx_done(msg, req, span))
+        else:
+            self._tx_done(msg, req, span)
+
+    def _tx_done(self, msg: Message, req, span) -> None:
+        self.tx.release(req)
+        span.end()
         self.bytes_sent += msg.nbytes
         self.messages_sent += 1
         self._m_bytes.inc(msg.nbytes)
         self._m_msgs.inc()
         msg.on_wire.succeed(msg)
-        yield self.sim.timeout(self.params.latency)
+        Timeout(self.sim, self.params.latency).callbacks.append(
+            lambda _ev: self._delivered(msg))
+
+    def _delivered(self, msg: Message) -> None:
         msg.delivered.succeed(msg)
         if msg.dst.deliver is not None:
             msg.dst.deliver(msg)

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.net.fabric import Message, NIC
-from repro.sim import Simulator, Store
+from repro.sim import Mailbox, Simulator
 
 
 @dataclass
@@ -43,7 +43,8 @@ class IPoIBEndpoint:
     def __init__(self, sim: Simulator, nic: NIC):
         self.sim = sim
         self.nic = nic
-        self.inbox: Store = Store(sim)
+        # Mailbox, not Store: delivery never blocks and never filters.
+        self.inbox: Mailbox = Mailbox(sim)
         self.peer: "IPoIBEndpoint" = None  # type: ignore[assignment]
 
     @property

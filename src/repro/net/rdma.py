@@ -27,7 +27,7 @@ from typing import Any, Callable, Deque, Optional
 
 from repro.net.fabric import Message, NIC
 from repro.obs.api import NULL_OBS, Observability
-from repro.sim import Simulator, Store
+from repro.sim import Event, Simulator
 from repro.sim.errors import SimulationError
 
 #: Size of a send/read request header on the wire (bytes).
@@ -53,41 +53,62 @@ _cq_ids = count()
 
 
 class CompletionQueue:
-    """FIFO of work completions; pollable by the application."""
+    """FIFO of work completions; pollable by the application.
+
+    Implemented directly on two deques (ready completions, parked
+    pollers) rather than a :class:`~repro.sim.Store`: CQ traffic is one
+    push+poll per verb, and the store's per-put event was a third of the
+    polling hot path.
+    """
 
     def __init__(self, sim: Simulator, name: Optional[str] = None,
                  obs: Optional[Observability] = None):
         self.sim = sim
-        self._store = Store(sim)
+        self._completions: Deque[WorkCompletion] = deque()
+        self._waiters: Deque[Event] = deque()
         self.name = name or f"cq{next(_cq_ids)}"
         self.obs = obs or NULL_OBS
         reg = self.obs.registry
         self._m_wait = reg.histogram("cq_wait_seconds", cq=self.name)
-        reg.gauge("cq_backlog", fn=lambda: len(self._store), cq=self.name)
+        reg.gauge("cq_backlog", fn=lambda: len(self._completions), cq=self.name)
 
     def push(self, wc: WorkCompletion) -> None:
         wc.pushed_at = self.sim.now
-        self._store.put(wc)
+        waiters = self._waiters
+        if waiters:
+            # A poller is already parked: its measured wait is
+            # push-to-poll, which is zero by definition here.
+            if self.obs.registry.enabled:
+                self._m_wait.observe(0.0)
+            waiters.popleft().succeed(wc)
+        else:
+            self._completions.append(wc)
 
     def wait(self):
         """Event yielding the next completion (blocks the poller)."""
-        ev = self._store.get()
-        if self.obs.registry.enabled:
-            ev.callbacks.append(
-                lambda e: self._m_wait.observe(self.sim.now - e.value.pushed_at))
+        ev = Event(self.sim)
+        completions = self._completions
+        if completions:
+            wc = completions.popleft()
+            if self.obs.registry.enabled:
+                self._m_wait.observe(self.sim.now - wc.pushed_at)
+            ev._ok = True
+            ev._value = wc
+            self.sim._schedule_now(ev)
+        else:
+            self._waiters.append(ev)
         return ev
 
     def try_poll(self) -> Optional[WorkCompletion]:
         """Non-blocking poll; None when the CQ is empty."""
-        if self._store.items:
-            ev = self._store.get()
-            # Store.get on a non-empty store triggers synchronously.
-            self._m_wait.observe(self.sim.now - ev.value.pushed_at)
-            return ev.value
+        if self._completions:
+            wc = self._completions.popleft()
+            self._m_wait.observe(self.sim.now - wc.pushed_at)
+            return wc
         return None
 
     def __len__(self) -> int:
-        return len(self._store)
+        return len(self._completions)
 
 
 @dataclass

@@ -27,14 +27,14 @@ from typing import Any, Tuple
 from repro.net.fabric import Message, Node
 from repro.net.ipoib import Delivery, IPoIBConnection
 from repro.net.params import FDR_IPOIB, FDR_RDMA, LinkParams
-from repro.sim import Simulator, Store
+from repro.sim import Mailbox, Simulator
 
 
 class Endpoint:
     """Abstract one side of a connection. Concrete: RDMA or IPoIB."""
 
     sim: Simulator
-    inbox: Store
+    inbox: Mailbox
     params: LinkParams
 
     def send(self, payload: Any, nbytes: int, one_sided: bool = False) -> Message:
@@ -76,7 +76,9 @@ class RdmaEndpoint(Endpoint):
     def __init__(self, sim: Simulator, nic):
         self.sim = sim
         self.nic = nic
-        self.inbox = Store(sim)
+        # Mailbox, not Store: delivery never blocks and never filters,
+        # so the put-side event a Store would allocate is dead weight.
+        self.inbox = Mailbox(sim)
         self.params = nic.params
         self.peer: "RdmaEndpoint" = None  # type: ignore[assignment]
 

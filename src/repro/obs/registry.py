@@ -35,19 +35,25 @@ class Counter:
     """Monotonically increasing accumulator (count or seconds)."""
 
     kind = "counter"
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_key")
 
     def __init__(self, name: str, labels: Dict[str, str]):
         self.name = name
         self.labels = labels
         self.value: float = 0.0
+        self._key: Optional[str] = None
 
     def inc(self, amount: float = 1.0) -> None:
         self.value += amount
 
     @property
     def key(self) -> str:
-        return render_key(self.name, self.labels)
+        # Labels are immutable after creation, so the rendered key is
+        # computed once — exports and snapshots hit it repeatedly.
+        key = self._key
+        if key is None:
+            key = self._key = render_key(self.name, self.labels)
+        return key
 
 
 class Gauge:
@@ -58,7 +64,7 @@ class Gauge:
     """
 
     kind = "gauge"
-    __slots__ = ("name", "labels", "fn", "_value")
+    __slots__ = ("name", "labels", "fn", "_value", "_key")
 
     def __init__(self, name: str, labels: Dict[str, str],
                  fn: Optional[Callable[[], float]] = None):
@@ -66,6 +72,7 @@ class Gauge:
         self.labels = labels
         self.fn = fn
         self._value: float = 0.0
+        self._key: Optional[str] = None
 
     def set(self, value: float) -> None:
         self._value = value
@@ -77,7 +84,10 @@ class Gauge:
 
     @property
     def key(self) -> str:
-        return render_key(self.name, self.labels)
+        key = self._key
+        if key is None:
+            key = self._key = render_key(self.name, self.labels)
+        return key
 
 
 class Histogram:
@@ -90,7 +100,7 @@ class Histogram:
 
     kind = "histogram"
     __slots__ = ("name", "labels", "bounds", "counts", "count", "total",
-                 "min", "max")
+                 "min", "max", "_key")
 
     DEFAULT_LO = 1e-7
     DEFAULT_HI = 10.0
@@ -107,6 +117,7 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = 0.0
+        self._key: Optional[str] = None
 
     def observe(self, value: float) -> None:
         self.counts[bisect_left(self.bounds, value)] += 1
@@ -149,7 +160,10 @@ class Histogram:
 
     @property
     def key(self) -> str:
-        return render_key(self.name, self.labels)
+        key = self._key
+        if key is None:
+            key = self._key = render_key(self.name, self.labels)
+        return key
 
 
 class MetricsRegistry:

@@ -338,9 +338,10 @@ class HybridSlabManager:
         """Generator: free at least one chunk of ``cls``."""
         self._note_pressure(cls)
         if not self.hybrid:
+            # Pure-RAM eviction is instantaneous: no yield, so the
+            # enclosing `yield from` costs no scheduling round.
             if not self._steal_empty_page(cls):
                 self._evict_for(cls, info)
-            yield self.sim.timeout(0)
             return
         req = self._flush_lock.request()
         yield req
@@ -478,7 +479,7 @@ class HybridSlabManager:
         span = self.obs.tracer.begin("slab_flush", tid=f"{self.owner}-slabs",
                                      pid="server", cat="flush", async_=True,
                                      scheme=scheme_name)
-        slot = yield from self._acquire_slot(scheme_name)
+        slot = self._acquire_slot(scheme_name)
         victims = list(page.items.items())
         for idx, item in victims:
             from_cls.lru.remove(item)
@@ -518,8 +519,8 @@ class HybridSlabManager:
         finally:
             self._flush_buffers.release(buf)
 
-    def _acquire_slot(self, scheme_name: str):
-        """Generator: get a free disk slot, dropping the oldest if full."""
+    def _acquire_slot(self, scheme_name: str) -> DiskSlot:
+        """Get a free disk slot, dropping the oldest if full."""
         if not self._free_slots:
             oldest = min(self._live_slots.values(), key=lambda s: s.seq)
             for item in list(oldest.items):
@@ -534,7 +535,6 @@ class HybridSlabManager:
                         scheme_name, self._slot_seq)
         self._slot_seq += 1
         self._live_slots[slot_id] = slot
-        yield self.sim.timeout(0)
         return slot
 
     def _evict_for(self, cls: SlabClass, info: StoreInfo) -> None:

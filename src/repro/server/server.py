@@ -26,6 +26,7 @@ from typing import Dict, Optional
 
 from repro.net.transport import Endpoint
 from repro.obs.api import NULL_OBS, Observability
+from repro.obs.tracer import NULL_SPAN
 from repro.server.hybrid import HybridSlabManager
 from repro.server.protocol import (
     DELETED,
@@ -339,6 +340,10 @@ class MemcachedServer:
             fn=lambda: m_busy.value / self.sim.now if self.sim.now > 0 else 0.0,
             server=self.name, worker=str(wid))
         tid = f"{self.name}-w{wid}"
+        # Loop-invariant bindings: tracer and parse cost are fixed for a
+        # worker generation, and this loop runs once per request.
+        tracer = self.obs.tracer
+        parse_cost = self.config.costs.parse
         while True:
             got = yield self._queue.get()
             if got is _POISON:
@@ -353,11 +358,14 @@ class MemcachedServer:
             start = self.sim.now
             self._busy_workers += 1
             request = delivery.payload
-            span = self.obs.tracer.begin(request.op, tid=tid, pid="server",
-                                         cat="request", req_id=request.req_id)
+            if tracer.enabled:
+                span = tracer.begin(request.op, tid=tid, pid="server",
+                                    cat="request", req_id=request.req_id)
+            else:
+                span = NULL_SPAN
             if delivery.recv_cpu:
                 yield self.sim.timeout(delivery.recv_cpu)
-            yield self.sim.timeout(self.config.costs.parse)
+            yield self.sim.timeout(parse_cost)
             if isinstance(request, SetRequest):
                 yield from self._handle_set(request, endpoint)
             elif isinstance(request, MultiGetRequest):

@@ -12,7 +12,7 @@ events, so every run is exactly reproducible.
 from repro.sim.engine import Simulator
 from repro.sim.errors import Interrupt, SimulationError
 from repro.sim.events import AllOf, AnyOf, Condition, Event, Process, Timeout
-from repro.sim.resources import PriorityStore, Resource, Store
+from repro.sim.resources import Mailbox, PriorityStore, Resource, Store
 
 __all__ = [
     "Simulator",
@@ -25,6 +25,7 @@ __all__ = [
     "Resource",
     "Store",
     "PriorityStore",
+    "Mailbox",
     "Interrupt",
     "SimulationError",
 ]

@@ -8,12 +8,22 @@ Lifecycle of an :class:`Event`:
    :class:`Timeout`).
 3. *processed* — popped from the queue; callbacks run, waiting processes
    resume.
+
+This module is the innermost loop of every simulation: ``succeed``,
+``_process``, and ``Process._resume`` run once (or more) per event, so
+they trade a little repetition for fewer attribute lookups and Python
+frames — triggering writes the slots inline and hands the event straight
+to ``Simulator._schedule_now`` (the same-time fast lane), process spawn
+skips span allocation when tracing is off, and ``AllOf``/``AnyOf``
+override ``_check`` to avoid the generic per-child evaluate indirection.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs.tracer import NULL_SPAN
 from repro.sim.errors import Interrupt, SimulationError
 
 _PENDING = object()
@@ -51,41 +61,55 @@ class Event:
 
     @property
     def ok(self) -> bool:
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimulationError("event value not yet available")
         return bool(self._ok)
 
     @property
     def value(self) -> Any:
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimulationError("event value not yet available")
         return self._value
 
     # -- triggering ------------------------------------------------------
 
     def succeed(self, value: Any = None) -> "Event":
-        self._trigger(True, value)
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule_now(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
         if not isinstance(exc, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exc!r}")
-        self._trigger(False, exc)
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exc
+        self.sim._schedule_now(self)
         return self
 
     def _trigger(self, ok: bool, value: Any) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = ok
         self._value = value
-        self.sim._post(self, delay=0.0)
+        self.sim._schedule_now(self)
 
     # -- processing (called by the simulator) -----------------------------
 
     def _process(self) -> None:
-        callbacks, self.callbacks = self.callbacks, None
-        for cb in callbacks:
-            cb(self)
+        callbacks = self.callbacks
+        self.callbacks = None
+        # The overwhelming case is exactly one waiter (a parked process):
+        # hand off without iterator setup.
+        if len(callbacks) == 1:
+            callbacks[0](self)
+        else:
+            for cb in callbacks:
+                cb(self)
         if not self._ok and not self.defused:
             # A failure nobody handled: surface it from Simulator.run().
             self.sim._unhandled.append(self._value)
@@ -101,13 +125,24 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, sim, delay: float, value: Any = None):
+        # Flattened Event.__init__ — timeouts are created once per yield
+        # in every process loop, so the extra super() frame shows up.
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
+        self.sim = sim
+        self.callbacks = []
         self._ok = True
         self._value = value
-        sim._post(self, delay=delay)
+        self.defused = False
+        self.delay = delay
+        # Inlined Simulator._post: the scheduling decision is two float
+        # ops, cheaper than the call frame it replaces.
+        now = sim._now
+        when = now + delay
+        if when == now and sim.fast_lane:
+            sim._lane.append(self)
+        else:
+            heappush(sim._queue, (when, next(sim._counter), self))
 
 
 class Initialize(Event):
@@ -116,12 +151,15 @@ class Initialize(Event):
     __slots__ = ("process",)
 
     def __init__(self, sim, process: "Process"):
-        super().__init__(sim)
-        self.process = process
+        # Flattened Event.__init__ — one Initialize per spawn, and spawn
+        # is on the per-request path in the client and server loops.
+        self.sim = sim
+        self.callbacks = [process._on_event]
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
-        sim._post(self, delay=0.0)
+        self.defused = False
+        self.process = process
+        sim._schedule_now(self)
 
 
 class Process(Event):
@@ -132,20 +170,29 @@ class Process(Event):
     succeeds the process event with value ``x``.
     """
 
-    __slots__ = ("_gen", "_target", "name", "_span")
+    __slots__ = ("_gen", "_send", "_on_event", "_target", "name", "_span")
 
     def __init__(self, sim, gen: Generator, name: Optional[str] = None):
         if not hasattr(gen, "send"):
             raise SimulationError(f"spawn() needs a generator, got {gen!r}")
         super().__init__(sim)
         self._gen = gen
+        # Bind the two callables the resume loop needs once per process
+        # instead of allocating a fresh bound method on every yield.
+        self._send = gen.send
+        self._on_event = self._resume
         #: The event this process is currently waiting on (None when ready).
         self._target: Optional[Event] = None
         self.name = name or getattr(gen, "__name__", "process")
-        #: Spawn-to-finish span (no-op unless the simulator's tracer is
-        #: enabled); async because process lifetimes overlap arbitrarily.
-        self._span = sim.tracer.begin(self.name, tid="processes", pid="sim",
+        #: Spawn-to-finish span; async because process lifetimes overlap
+        #: arbitrarily. The shared no-op span when tracing is off, so the
+        #: (very hot) spawn path allocates nothing for it.
+        tracer = sim.tracer
+        if tracer.enabled:
+            self._span = tracer.begin(self.name, tid="processes", pid="sim",
                                       cat="process", async_=True)
+        else:
+            self._span = NULL_SPAN
         Initialize(sim, self)
 
     @property
@@ -154,44 +201,58 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("cannot interrupt a finished process")
-        if self.sim._active_process is self:
+        sim = self.sim
+        if sim._active_process is self:
             raise SimulationError("a process cannot interrupt itself")
         # Detach from whatever it is waiting on, then resume with the error.
         target = self._target
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._on_event)
             except ValueError:
                 pass
-        wake = Event(self.sim)
-        wake.callbacks.append(self._resume)
-        wake.fail(Interrupt(cause))
+        # Hand-rolled wake.fail(Interrupt(cause)) + defuse: the wake event
+        # is pre-defused and freshly created, so the state checks in
+        # fail() are dead weight here.
+        wake = Event(sim)
+        wake._ok = False
+        wake._value = Interrupt(cause)
         wake.defused = True
+        wake.callbacks.append(self._on_event)
+        sim._schedule_now(wake)
 
     def _resume(self, event: Event) -> None:
         self._target = None
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
+        send = self._send
         try:
             while True:
                 if event._ok:
-                    target = self._gen.send(event._value)
+                    target = send(event._value)
                 else:
                     event.defused = True
                     target = self._gen.throw(event._value)
-                if not isinstance(target, Event):
+                # Duck-typed event check: anything without a .sim is not an
+                # Event, and this trades the per-yield isinstance() for an
+                # AttributeError only on the (programming-error) slow path.
+                try:
+                    if target.sim is not sim:
+                        raise SimulationError(
+                            "event belongs to a different simulator")
+                except AttributeError:
                     self._gen.close()
                     raise SimulationError(
                         f"process {self.name!r} yielded non-event {target!r}"
-                    )
-                if target.sim is not self.sim:
-                    raise SimulationError("event belongs to a different simulator")
-                if target.processed:
-                    # Already done: loop around and feed its value right in.
+                    ) from None
+                callbacks = target.callbacks
+                if callbacks is None:
+                    # Already processed: loop around and feed its value in.
                     event = target
                     continue
-                target.callbacks.append(self._resume)
+                callbacks.append(self._on_event)
                 self._target = target
                 return
         except StopIteration as stop:
@@ -201,7 +262,7 @@ class Process(Event):
             self._span.end(failed=True)
             self.fail(exc)
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
 
 
 class Condition(Event):
@@ -209,11 +270,13 @@ class Condition(Event):
 
     ``evaluate(events, done_count)`` decides completion. The condition's
     value is an ordered dict mapping each *triggered* child to its value.
+    :class:`AllOf`/:class:`AnyOf` override :meth:`_check` directly and
+    never consult ``evaluate``.
     """
 
     __slots__ = ("events", "_done", "_evaluate")
 
-    def __init__(self, sim, events: Iterable[Event], evaluate):
+    def __init__(self, sim, events: Iterable[Event], evaluate=None):
         super().__init__(sim)
         self.events = tuple(events)
         self._done = 0
@@ -224,19 +287,21 @@ class Condition(Event):
         if not self.events:
             self.succeed({})
             return
+        check = self._check
         for ev in self.events:
-            if ev.processed:
-                self._check(ev)
+            if ev.callbacks is None:
+                check(ev)
             else:
-                ev.callbacks.append(self._check)
+                ev.callbacks.append(check)
 
     def _collect_values(self) -> dict:
         # Only *processed* children count: a Timeout carries its value from
         # creation, but it has not "happened" until the queue pops it.
-        return {ev: ev._value for ev in self.events if ev.processed and ev._ok}
+        return {ev: ev._value for ev in self.events
+                if ev.callbacks is None and ev._ok}
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         if not event._ok:
             event.defused = True
@@ -252,8 +317,16 @@ class AllOf(Condition):
 
     __slots__ = ()
 
-    def __init__(self, sim, events: Iterable[Event]):
-        super().__init__(sim, events, lambda evs, n: n == len(evs))
+    def _check(self, event: Event) -> None:
+        if self._value is not _PENDING:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._done == len(self.events):
+            self.succeed(self._collect_values())
 
 
 class AnyOf(Condition):
@@ -261,5 +334,12 @@ class AnyOf(Condition):
 
     __slots__ = ()
 
-    def __init__(self, sim, events: Iterable[Event]):
-        super().__init__(sim, events, lambda evs, n: n >= 1 and len(evs) > 0)
+    def _check(self, event: Event) -> None:
+        if self._value is not _PENDING:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._done += 1
+        self.succeed(self._collect_values())

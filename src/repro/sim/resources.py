@@ -21,7 +21,7 @@ from typing import Any, Callable, Deque, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.errors import SimulationError
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, Event
 
 
 class Request(Event):
@@ -115,7 +115,13 @@ class StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, sim: Simulator, item: Any):
-        super().__init__(sim)
+        # Flattened Event.__init__: store traffic allocates one of these
+        # per put, squarely on the request hot path.
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self.defused = False
         self.item = item
 
 
@@ -123,7 +129,12 @@ class StoreGet(Event):
     __slots__ = ("filter",)
 
     def __init__(self, sim: Simulator, filter: Optional[Callable[[Any], bool]] = None):
-        super().__init__(sim)
+        # Flattened Event.__init__ (see StorePut).
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self.defused = False
         self.filter = filter
 
 
@@ -216,26 +227,90 @@ class Store:
         return ev
 
     def _dispatch(self) -> None:
-        progress = True
-        while progress:
+        items = self.items
+        putters = self._putters
+        getters = self._getters
+        capacity = self.capacity
+        while True:
             progress = False
             # Admit queued puts while there is room.
-            while self._putters and len(self.items) < self.capacity:
-                put = self._putters.popleft()
-                self.items.append(put.item)
+            while putters and len(items) < capacity:
+                put = putters.popleft()
+                items.append(put.item)
                 put.succeed()
                 progress = True
-            # Serve getters against buffered items.
-            for get in list(self._getters):
-                match_idx = None
-                for idx, item in enumerate(self.items):
-                    if get.filter is None or get.filter(item):
-                        match_idx = idx
-                        break
-                if match_idx is None:
-                    continue
-                item = self.items[match_idx]
-                del self.items[match_idx]
-                self._getters.remove(get)
-                get.succeed(item)
+            # Unfiltered getters at the queue front (the overwhelming
+            # case) are served without copying the getter queue or
+            # scanning the buffer.
+            while getters and items and getters[0].filter is None:
+                getters.popleft().succeed(items.popleft())
                 progress = True
+            # Anything left means a filtered getter heads the queue:
+            # fall back to the full match scan, preserving FIFO getter
+            # order and first-match item selection.
+            if getters and items:
+                for get in list(getters):
+                    f = get.filter
+                    match_idx = None
+                    for idx, item in enumerate(items):
+                        if f is None or f(item):
+                            match_idx = idx
+                            break
+                    if match_idx is None:
+                        continue
+                    item = items[match_idx]
+                    del items[match_idx]
+                    getters.remove(get)
+                    get.succeed(item)
+                    progress = True
+            if not progress:
+                return
+
+
+class Mailbox:
+    """Unbounded, unfiltered FIFO handoff with no per-put event.
+
+    The degenerate :class:`Store` — infinite capacity, no getter filters —
+    covers most inter-component queues (endpoint inboxes, completion
+    delivery), and for those the ``StorePut`` event per item is pure
+    overhead: the putter never blocks, so nobody ever waits on it.
+    ``put`` returns nothing (do **not** yield it); it wakes the oldest
+    parked getter directly or buffers the item. ``get`` returns an event
+    exactly like ``Store.get()``.
+    """
+
+    __slots__ = ("sim", "items", "_getters")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def clear(self) -> int:
+        """Drop all buffered items; returns how many were dropped."""
+        n = len(self.items)
+        self.items.clear()
+        return n
+
+    def put(self, item: Any) -> None:
+        getters = self._getters
+        if getters:
+            getters.popleft().succeed(item)
+        else:
+            self.items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        items = self.items
+        if items:
+            # Inlined ev.succeed(): the event is fresh, so the
+            # double-trigger check cannot fire.
+            ev._ok = True
+            ev._value = items.popleft()
+            self.sim._schedule_now(ev)
+        else:
+            self._getters.append(ev)
+        return ev

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.obs.api import NULL_OBS, Observability
+from repro.obs.tracer import NULL_SPAN
 from repro.sim import Resource, Simulator
 from repro.sim.errors import SimulationError
 from repro.storage.params import DeviceParams
@@ -81,9 +82,13 @@ class BlockDevice:
             raise SimulationError(f"negative I/O size {nbytes}")
         t_start = self.sim.now
         # Async span: up to ``parallelism`` I/Os overlap on one device.
-        span = self.obs.tracer.begin("write" if write else "read",
-                                     tid=self.name, pid="storage", cat="io",
-                                     async_=True, bytes=nbytes)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            span = tracer.begin("write" if write else "read",
+                                tid=self.name, pid="storage", cat="io",
+                                async_=True, bytes=nbytes)
+        else:
+            span = NULL_SPAN
         slot = self._slots.request()
         yield slot
         try:
