@@ -17,7 +17,7 @@ from repro.harness.figures import (
     _scaled_pagecache,
 )
 from repro.harness.report import ascii_table, fmt_us
-from repro.harness.runner import run_workload, setup_cluster
+from repro.harness.runner import RunConfig
 from repro.units import KB
 from repro.workloads.generator import WorkloadSpec
 
@@ -41,9 +41,9 @@ def run_variant(profile=H_RDMA_OPT_NONB_I, spec=None, window=64,
                      ssd_limit=BASE_SSD_LIMIT // BENCH_SCALE,
                      pagecache=_scaled_pagecache(BENCH_SCALE))
     overrides.update(cluster_overrides)
-    cluster = setup_cluster(profile, spec, cluster_spec=ClusterSpec(
-        num_servers=1, num_clients=1, **overrides))
-    result = run_workload(cluster, spec, window=window)
+    result = RunConfig(profile=profile, workload=spec, window=window,
+                       cluster=ClusterSpec(
+                           num_servers=1, num_clients=1, **overrides)).run()
     return metrics.effective_latency(result.records)
 
 
@@ -155,12 +155,15 @@ def test_ablate_registration_cost(benchmark):
             server_mem=BASE_SERVER_MEM // BENCH_SCALE,
             ssd_limit=BASE_SSD_LIMIT // BENCH_SCALE,
             pagecache=_scaled_pagecache(BENCH_SCALE))
-        cluster = setup_cluster(profile, spec, cluster_spec=ClusterSpec(
-            num_servers=1, num_clients=1, **cluster_overrides))
+        cfg = RunConfig(profile=profile, workload=spec, api=api,
+                        cluster=ClusterSpec(
+                            num_servers=1, num_clients=1,
+                            **cluster_overrides))
+        cluster = cfg.build()
         client = cluster.clients[0]
         client.config = ClientConfig(nonblocking_allowed=True,
                                      model_registration=True)
-        result = run_workload(cluster, spec, api=api)
+        result = cfg.run(cluster=cluster)
         return (metrics.effective_latency(result.records),
                 client.buffer_pool.stats)
 

@@ -12,7 +12,7 @@ import pytest
 
 from repro.core.cluster import ClusterSpec
 from repro.core.profiles import H_RDMA_OPT_NONB_I
-from repro.harness.runner import run_ops, setup_cluster
+from repro.harness.runner import RunConfig
 from repro.units import KB, MB
 from repro.workloads.generator import WorkloadSpec
 from repro.workloads.ycsb import CORE_WORKLOADS, generate_ycsb_ops
@@ -30,13 +30,14 @@ def _ycsb_cluster_run():
     cluster_spec = ClusterSpec(num_servers=NUM_SERVERS,
                                num_clients=NUM_CLIENTS,
                                server_mem=16 * MB, ssd_limit=64 * MB)
-    cluster = setup_cluster(H_RDMA_OPT_NONB_I, spec,
-                            cluster_spec=cluster_spec)
+    cfg = RunConfig(profile=H_RDMA_OPT_NONB_I, workload=spec,
+                    cluster=cluster_spec)
+    cluster = cfg.build()
     workload = CORE_WORKLOADS["A"]
     streams = [generate_ycsb_ops(workload, OPS_PER_CLIENT, NUM_KEYS,
                                  VALUE_LEN, seed=42, client_index=i)
                for i in range(NUM_CLIENTS)]
-    result = run_ops(cluster, streams)
+    result = cfg.run_streams(streams, cluster=cluster)
     return result, cluster
 
 

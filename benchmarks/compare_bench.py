@@ -1,0 +1,98 @@
+"""Diff a pytest-benchmark JSON run against the committed baselines.
+
+Usage::
+
+    python benchmarks/compare_bench.py bench-results.json [BENCH_engine.json]
+
+Prints a GitHub-flavoured markdown table comparing each benchmark's
+wall-clock (and, for the macro cluster benchmark, events/sec) against
+the ``after`` figures recorded in ``BENCH_engine.json``. Meant for the
+non-gating CI bench job's ``$GITHUB_STEP_SUMMARY``: absolute numbers
+vary with runner hardware, so the deltas are informational, never a
+build failure — the script always exits 0 when both files parse.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Relative slowdown beyond which a row gets flagged (informational).
+FLAG_THRESHOLD = 0.05
+
+
+def _baseline_entries(baseline: dict) -> dict:
+    """Flatten the committed baseline: name -> {min_s, mean_s, ...}."""
+    out = {}
+    for section in ("benchmarks", "macro"):
+        for name, entry in baseline.get(section, {}).items():
+            after = entry.get("after", entry)
+            out[name] = dict(after)
+            for k in ("events_per_run", "events_per_sec_best",
+                      "events_per_sec_mean"):
+                if k in entry:
+                    out[name][k] = entry[k]
+    return out
+
+
+def _fmt_delta(ratio: float) -> str:
+    """+4.2% means slower than baseline; -4.2% faster."""
+    pct = (ratio - 1.0) * 100.0
+    flag = " ⚠" if pct > FLAG_THRESHOLD * 100.0 else ""
+    return f"{pct:+.1f}%{flag}"
+
+
+def compare(results: dict, baseline: dict) -> str:
+    """Render the comparison as a markdown table."""
+    base = _baseline_entries(baseline)
+    lines = [
+        "### Benchmark comparison vs committed baseline",
+        "",
+        "| benchmark | min (s) | baseline min (s) | Δ min | events/sec "
+        "(best) | baseline | Δ |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for bench in results.get("benchmarks", []):
+        name = bench["name"].split("[")[0]
+        stats = bench["stats"]
+        ref = base.get(name)
+        if ref is None:
+            lines.append(f"| `{name}` | {stats['min']:.4f} | — (new) "
+                         "| — | — | — | — |")
+            continue
+        d_min = _fmt_delta(stats["min"] / ref["min_s"])
+        eps = bench.get("extra_info", {}).get("events_per_sec_best")
+        ref_eps = ref.get("events_per_sec_best")
+        if eps and ref_eps:
+            # Throughput: below-baseline is the slowdown direction.
+            d_eps = _fmt_delta(ref_eps / eps)
+            eps_cells = f"{eps:,.0f} | {ref_eps:,.0f} | {d_eps}"
+        else:
+            eps_cells = "— | — | —"
+        lines.append(f"| `{name}` | {stats['min']:.4f} | "
+                     f"{ref['min_s']:.4f} | {d_min} | {eps_cells} |")
+    lines += [
+        "",
+        "Positive Δ = slower than the committed baseline (⚠ beyond "
+        f"{FLAG_THRESHOLD:.0%}). Baselines were recorded on a different "
+        "machine; treat cross-runner deltas as trends, not regressions.",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    results_path = Path(argv[0])
+    baseline_path = Path(argv[1]) if len(argv) == 2 else (
+        Path(__file__).resolve().parent.parent / "BENCH_engine.json")
+    results = json.loads(results_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    print(compare(results, baseline))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -22,7 +22,7 @@ from repro.core.profiles import ALL_PROFILES
 from repro.faults import FaultPlan, parse_time
 from repro.harness import figures
 from repro.harness.report import ascii_table, fmt_pct, fmt_us, obs_report
-from repro.harness.runner import run_ops, run_workload, setup_cluster
+from repro.harness.runner import RunConfig
 from repro.storage.params import NVME_SSD, SATA_SSD
 from repro.units import KB, MB, MS
 from repro.workloads.generator import WorkloadSpec
@@ -62,6 +62,14 @@ def _add_cluster_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--eject-duration", default=None, metavar="TIME",
                    help="re-probe an ejected server after this long "
                         "(default: never)")
+    p.add_argument("--replication", type=int, default=1, metavar="R",
+                   help="copies of each key (primary + R-1 successors); "
+                        "1 disables replication")
+    p.add_argument("--write-mode", default="sync",
+                   choices=("sync", "async"),
+                   help="sync: writes ack after every replica; async: "
+                        "after the primary alone (replicas propagate in "
+                        "the background)")
 
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
@@ -111,7 +119,7 @@ def _request_timeout(args) -> Optional[float]:
 
 
 def _build(args, spec: WorkloadSpec, observe: bool = False,
-           trace: bool = False):
+           trace: bool = False) -> RunConfig:
     profile = ALL_PROFILES[args.profile]
     eject = getattr(args, "eject_duration", None)
     cluster_spec = ClusterSpec(
@@ -125,10 +133,13 @@ def _build(args, spec: WorkloadSpec, observe: bool = False,
         request_timeout=_request_timeout(args),
         max_retries=getattr(args, "max_retries", 2),
         eject_duration=parse_time(eject) if eject is not None else None,
+        replication_factor=getattr(args, "replication", 1),
+        write_mode=getattr(args, "write_mode", "sync"),
         observe=observe,
         trace=trace,
     )
-    return setup_cluster(profile, spec, cluster_spec=cluster_spec)
+    return RunConfig(profile=profile, workload=spec, cluster=cluster_spec,
+                     fault_plan=_fault_plan(args))
 
 
 def _print_summary(title: str, result) -> None:
@@ -160,19 +171,19 @@ def cmd_list_profiles(_args) -> int:
 
 def cmd_run(args) -> int:
     spec = _workload_spec(args)
-    cluster = _build(args, spec)
+    cfg = _build(args, spec)
     if args.cprofile:
         import cProfile
         import pstats
 
         profiler = cProfile.Profile()
         profiler.enable()
-        result = run_workload(cluster, spec, fault_plan=_fault_plan(args))
+        result = cfg.run()
         profiler.disable()
         stats = pstats.Stats(profiler, stream=sys.stderr)
         stats.sort_stats("cumulative").print_stats(25)
     else:
-        result = run_workload(cluster, spec, fault_plan=_fault_plan(args))
+        result = cfg.run()
     _print_summary(
         f"{ALL_PROFILES[args.profile].label} — {args.ops} ops x "
         f"{args.clients} client(s), {args.value_kb} KB values, "
@@ -183,8 +194,9 @@ def cmd_run(args) -> int:
 def cmd_stats(args) -> int:
     """Run a workload with live metrics on; print the registry."""
     spec = _workload_spec(args)
-    cluster = _build(args, spec, observe=True)
-    result = run_workload(cluster, spec, fault_plan=_fault_plan(args))
+    cfg = _build(args, spec, observe=True)
+    cluster = cfg.build()
+    result = cfg.run(cluster=cluster)
     _print_summary(
         f"{ALL_PROFILES[args.profile].label} — observed run", result)
     print()
@@ -200,8 +212,9 @@ def cmd_stats(args) -> int:
 def cmd_trace(args) -> int:
     """Run a workload with span tracing on; write a Chrome trace."""
     spec = _workload_spec(args)
-    cluster = _build(args, spec, observe=True, trace=True)
-    result = run_workload(cluster, spec, fault_plan=_fault_plan(args))
+    cfg = _build(args, spec, observe=True, trace=True)
+    cluster = cfg.build()
+    result = cfg.run(cluster=cluster)
     _print_summary(
         f"{ALL_PROFILES[args.profile].label} — traced run", result)
     from repro.obs.export import chrome_trace
@@ -223,12 +236,12 @@ def cmd_ycsb(args) -> int:
                                 // (args.value_kb * KB))
     spec = WorkloadSpec(num_ops=args.ops, num_keys=num_keys,
                         value_length=args.value_kb * KB, seed=args.seed)
-    cluster = _build(args, spec)
+    cfg = _build(args, spec)
     streams = [generate_ycsb_ops(workload, args.ops, num_keys,
                                  args.value_kb * KB, seed=args.seed,
                                  client_index=i)
                for i in range(args.clients)]
-    result = run_ops(cluster, streams, fault_plan=_fault_plan(args))
+    result = cfg.run_streams(streams)
     _print_summary(
         f"YCSB-{workload.name} on {ALL_PROFILES[args.profile].label}",
         result)

@@ -21,13 +21,16 @@ paper API             this package
 ====================  =====================================================
 
 All methods are generators; call them with ``yield from`` inside a
-simulation process.
+simulation process. Whatever the entry point, a completed request's
+outcome is read uniformly via ``req.result()`` (a :class:`ReqResult`
+with status/value-length/latency). The full public reference lives in
+``docs/api.md``.
 """
 
 from repro.client.backend import BackendDatabase
 from repro.client.client import ClientConfig, MemcachedClient, UnsupportedOperation
 from repro.client.hashing import KetamaRouter, ModuloRouter, one_at_a_time
-from repro.client.request import MemcachedReq, OpRecord
+from repro.client.request import MemcachedReq, OpRecord, ReqResult
 
 __all__ = [
     "MemcachedClient",
@@ -35,6 +38,7 @@ __all__ = [
     "UnsupportedOperation",
     "MemcachedReq",
     "OpRecord",
+    "ReqResult",
     "BackendDatabase",
     "ModuloRouter",
     "KetamaRouter",

@@ -91,6 +91,15 @@ class ClientConfig:
     #: Seconds after which an ejected server is probed again (``None``
     #: ejects forever — use when there is no restart story).
     eject_duration: Optional[float] = None
+    # -- replication (R=1 preserves single-copy behaviour) ------------------
+    #: Copies of each key: the primary plus R-1 ring/probe successors
+    #: (see ``replicas_for`` on the routers). 1 disables replication.
+    replication_factor: int = 1
+    #: "sync": a write acks only after every replica applied it (waits
+    #: bounded by ``request_timeout`` so a dead replica cannot wedge the
+    #: caller); "async": ack after the primary alone, replica copies
+    #: propagate through the engine in the background.
+    write_mode: str = "sync"
 
 
 @dataclass
@@ -139,6 +148,16 @@ class MemcachedClient:
         self._engine_queue: Mailbox = Mailbox(sim)
         self._outstanding: Dict[int, MemcachedReq] = {}
         self._job_meta: Dict[int, tuple] = {}
+        if self.config.write_mode not in ("sync", "async"):
+            raise ValueError(
+                f"write_mode must be 'sync' or 'async', "
+                f"got {self.config.write_mode!r}")
+        self._replication = max(1, self.config.replication_factor)
+        self._sync_writes = self.config.write_mode == "sync"
+        #: Sync-mode replica copies awaiting ack (parent req_id -> subs).
+        self._replica_subs: Dict[int, List[MemcachedReq]] = {}
+        #: In-flight replica propagations per server index (the lag gauge).
+        self._replica_outstanding: Dict[int, int] = {}
         self._recorded_ids: set[int] = set()
         #: Background backend fetches driven by ``test()`` on a MISS
         #: (req_id -> the fetch :class:`~repro.sim.events.Process`).
@@ -166,6 +185,9 @@ class MemcachedClient:
         self._m_ejections = reg.counter("client_ejections", **labels)
         self._m_failovers = reg.counter("client_failovers", **labels)
         self._m_server_down = reg.counter("client_server_down", **labels)
+        # replication counters (zero at R=1)
+        self._m_replica_reads = reg.counter("client_replica_reads", **labels)
+        self._m_replica_writes = reg.counter("replica_propagations", **labels)
         self._op_spans: Dict[int, object] = {}
 
     # -- wiring ------------------------------------------------------------
@@ -179,6 +201,12 @@ class MemcachedClient:
             "client_server_health",
             fn=lambda c=conn: 1.0 if self._conn_alive(c) else 0.0,
             client=self.name, server=str(conn.index))
+        if self._replication > 1:
+            self.obs.registry.gauge(
+                "client_replica_lag",
+                fn=lambda c=conn: float(
+                    self._replica_outstanding.get(c.index, 0)),
+                client=self.name, server=str(conn.index))
 
     def _conn_alive(self, conn: ServerConn) -> bool:
         """Client-side view only; never peeks at true server state."""
@@ -212,6 +240,30 @@ class MemcachedClient:
             return None
         return self._conns[self._router.server_for(key, alive)]
 
+    def _replica_conns(self, key: bytes) -> List[ServerConn]:
+        """Preference-ordered replica connections for ``key`` (primary
+        first), skipping ejected servers. Empty when all are ejected."""
+        if self._router is None:
+            self._router = make_router(self.config.router, len(self._conns))
+        self._restore_expired_ejections()
+        alive = None
+        if not all(c.healthy for c in self._conns):
+            alive = {c.index for c in self._conns if c.healthy}
+            if not alive:
+                return []
+        n = min(self._replication, len(self._conns))
+        return [self._conns[i]
+                for i in self._router.replicas_for(key, n, alive)]
+
+    def _note_replica_read(self, key: bytes, conn: ServerConn) -> None:
+        """Count a GET served by a non-primary member of the key's
+        replica set — read failover landing on a copy of the data."""
+        if conn.index == self._router.server_for(key):
+            return
+        n = min(self._replication, len(self._conns))
+        if conn.index in self._router.replicas_for(key, n):
+            self._m_replica_reads.inc()
+
     def _ensure_started(self) -> None:
         if self._started:
             return
@@ -228,6 +280,8 @@ class MemcachedClient:
         req = yield from self._issue("set", "set", key, value_length,
                                      flags, expiration)
         yield from self._recover(req)
+        if self._replica_subs:
+            yield from self._await_replica_acks(req)
         self._finalize(req, record=_record)
         return req
 
@@ -237,6 +291,8 @@ class MemcachedClient:
         req = yield from self._issue("set", "add", key, value_length,
                                      flags, expiration, mode="add")
         yield from self._recover(req)
+        if self._replica_subs:
+            yield from self._await_replica_acks(req)
         self._finalize(req)
         return req
 
@@ -246,6 +302,8 @@ class MemcachedClient:
         req = yield from self._issue("set", "replace", key, value_length,
                                      flags, expiration, mode="replace")
         yield from self._recover(req)
+        if self._replica_subs:
+            yield from self._await_replica_acks(req)
         self._finalize(req)
         return req
 
@@ -257,6 +315,8 @@ class MemcachedClient:
                                      flags, expiration, mode="cas",
                                      cas_token=cas_token)
         yield from self._recover(req)
+        if self._replica_subs:
+            yield from self._await_replica_acks(req)
         self._finalize(req)
         return req
 
@@ -303,6 +363,8 @@ class MemcachedClient:
                 down.append(req)
                 continue
             req.server_index = conn.index
+            if self._replication > 1:
+                self._note_replica_read(key, conn)
             batch = batches.setdefault(conn.index, _MgetJob([], conn))
             batch.reqs.append(req)
         for batch in batches.values():
@@ -439,6 +501,12 @@ class MemcachedClient:
         operation itself continues in the background and a later wait
         can pick it up, like libmemcached's poll timeout.
         """
+        if req.api == "replica":
+            # Async-mode replica propagation drained via quiesce/wait:
+            # bounded completion, no retries — the data lives on the
+            # other replicas and resync repairs this one on restart.
+            yield from self._await_replica(req)
+            return req
         if timeout is not None and not req.complete.triggered:
             t0 = self.sim.now
             yield self.sim.any_of([req.complete,
@@ -447,6 +515,8 @@ class MemcachedClient:
             if not req.complete.triggered:
                 return req  # timed out; op still in flight
         yield from self._recover(req)
+        if self._replica_subs:
+            yield from self._await_replica_acks(req)
         yield from self._handle_miss(req)
         self._finalize(req)
         return req
@@ -528,6 +598,13 @@ class MemcachedClient:
         self._account_block(req, self.sim.now - t0)
         req.t_api_return = self.sim.now
         self._job_meta[req.req_id] = (flags, expiration, mode, cas_token)
+        if self._replication > 1:
+            if op == "set":
+                subs = self._fan_out(req, conn, flags, expiration, mode)
+                if self._sync_writes and subs:
+                    self._replica_subs[req.req_id] = subs
+            elif op == "get":
+                self._note_replica_read(req.key, conn)
         return req
 
     def _block_until_complete(self, req: MemcachedReq):
@@ -535,6 +612,87 @@ class MemcachedClient:
             t0 = self.sim.now
             yield req.complete
             self._account_block(req, self.sim.now - t0)
+
+    # -- replication (write fan-out + replica acks) -------------------------
+
+    def _fan_out(self, req: MemcachedReq, primary: ServerConn,
+                 flags: int, expiration: float,
+                 mode: str) -> List[MemcachedReq]:
+        """Queue replica copies of a write on the engine.
+
+        CAS tokens are per-server, so replica copies of a ``cas`` write
+        downgrade to unconditional sets — the primary alone validates
+        the token. Replica sub-requests are not user operations: they
+        carry ``api="replica"``, never produce records, and always
+        travel inline (no receive-buffer credits; see ``_engine_set``).
+        """
+        subs: List[MemcachedReq] = []
+        rmode = "set" if mode == "cas" else mode
+        for conn in self._replica_conns(req.key):
+            if conn.index == primary.index:
+                continue
+            sub = MemcachedReq(self.sim, self._next_req_id, "set", req.key,
+                               req.value_length, "replica")
+            self._next_req_id += 1
+            sub.t_issue = self.sim.now
+            sub.server_index = conn.index
+            self._outstanding[sub.req_id] = sub
+            self._job_meta[sub.req_id] = (flags, expiration, rmode, 0)
+            self._replica_outstanding[conn.index] = (
+                self._replica_outstanding.get(conn.index, 0) + 1)
+            sub.complete.callbacks.append(
+                lambda _ev, s=sub, c=conn: self._replica_done(s, c))
+            self._engine_queue.put(_EngineJob(sub, conn))
+            self._m_replica_writes.inc()
+            subs.append(sub)
+        return subs
+
+    def _replica_done(self, sub: MemcachedReq, conn: ServerConn) -> None:
+        """Completion hook for one replica copy (ack or give-up)."""
+        self._replica_outstanding[conn.index] = max(
+            0, self._replica_outstanding.get(conn.index, 0) - 1)
+        self._job_meta.pop(sub.req_id, None)
+        self._recorded_ids.add(sub.req_id)
+        if sub.status != SERVER_DOWN:
+            conn.consecutive_timeouts = 0
+
+    def _await_replica(self, req: MemcachedReq, account: bool = True):
+        """Bounded completion wait for one replica copy: no retries, no
+        rerouting. A copy that times out completes as ``SERVER_DOWN``
+        (the timeout still feeds the target's ejection streak); the
+        write stays durable on the surviving replicas and anti-entropy
+        resync repairs this one when the server rejoins."""
+        if req.complete.triggered:
+            return
+        timeout = self.config.request_timeout
+        t0 = self.sim.now
+        if timeout is None:
+            yield req.complete
+        else:
+            yield self.sim.any_of([req.complete, self.sim.timeout(timeout)])
+        if account:
+            self._account_block(req, self.sim.now - t0)
+        if not req.complete.triggered:
+            self._m_timeouts.inc()
+            self._note_timeout(req)
+            self._outstanding.pop(req.req_id, None)
+            req.status = SERVER_DOWN
+            req.t_complete = self.sim.now
+            req.complete.succeed(None)
+            if not req.buffer_safe.triggered:
+                req.buffer_safe.succeed()
+
+    def _await_replica_acks(self, req: MemcachedReq):
+        """Sync write mode: hold the caller until every replica copy of
+        ``req`` acked (or gave up — a dead replica must not wedge the
+        write)."""
+        subs = self._replica_subs.pop(req.req_id, None)
+        if not subs:
+            return
+        t0 = self.sim.now
+        for sub in subs:
+            yield from self._await_replica(sub, account=False)
+        self._account_block(req, self.sim.now - t0)
 
     # -- failure detection & recovery --------------------------------------
 
@@ -604,12 +762,25 @@ class MemcachedClient:
 
     def _reissue(self, req: MemcachedReq) -> bool:
         """Re-queue ``req`` on the engine, rerouting around ejected
-        servers. Returns False when no live server remains."""
-        conn = self._route(req.key)
+        servers. Returns False when no live server remains.
+
+        With replication, a retried GET prefers the next replica over
+        hammering the server that just timed out — read failover kicks
+        in on the first retry, before the ejection threshold trips."""
+        conn = None
+        if self._replication > 1 and req.op == "get":
+            for c in self._replica_conns(req.key):
+                if c.index != req.server_index:
+                    conn = c
+                    break
+        if conn is None:
+            conn = self._route(req.key)
         if conn is None:
             return False
         if conn.index != req.server_index:
             self._m_failovers.inc()
+            if self._replication > 1 and req.op == "get":
+                self._note_replica_read(req.key, conn)
         req.server_index = conn.index
         self._engine_queue.put(_EngineJob(req, conn))
         return True
@@ -703,6 +874,8 @@ class MemcachedClient:
             return
         self._recorded_ids.add(req.req_id)
         self._job_meta.pop(req.req_id, None)
+        if req.api == "replica":
+            return  # propagation copies are not user-visible operations
         self._op_end(req)
         if record and self.config.record_ops and req.status is not None:
             self.records.append(OpRecord.from_req(req))
@@ -748,7 +921,8 @@ class MemcachedClient:
                     flags: int, expiration: float, mode: str = "set",
                     cas_token: int = 0):
         ep = conn.endpoint
-        if ep.supports_one_sided and conn.server is not None:
+        replica = req.api == "replica"
+        if not replica and ep.supports_one_sided and conn.server is not None:
             header = SetRequest(req_id=req.req_id, op="set", key=req.key,
                                 value_length=req.value_length, flags=flags,
                                 expiration=expiration, mode=mode,
@@ -768,11 +942,14 @@ class MemcachedClient:
             # Optimized runtime: the server's BufferAck (Section V-B1)
             # triggers buffer_safe via the response pump.
         else:
-            # Stream transport: header and value in one message.
+            # Stream transport — and every replica propagation: header
+            # and value in one message, so the apply path never competes
+            # for the receive-buffer credits user traffic flows through.
             header = SetRequest(req_id=req.req_id, op="set", key=req.key,
                                 value_length=req.value_length, flags=flags,
                                 expiration=expiration, mode=mode,
-                                cas_token=cas_token, inline_value=True)
+                                cas_token=cas_token, inline_value=True,
+                                replica=replica)
             msg = ep.send(header, header.header_bytes + req.value_length)
             self._arm(req.buffer_safe, msg.on_wire)
 

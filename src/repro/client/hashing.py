@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import AbstractSet, List, Optional
+from typing import AbstractSet, List, Optional, Sequence
 
 
 def one_at_a_time(key: bytes) -> int:
@@ -46,6 +46,33 @@ class ModuloRouter:
                 return candidate
         raise ValueError("no live servers")  # pragma: no cover
 
+    def replicas_for(self, key: bytes, n: int,
+                     alive: Optional[AbstractSet[int]] = None
+                     ) -> Sequence[int]:
+        """Replica set for ``key``: the primary plus up to ``n - 1``
+        distinct successor indices, skipping dead servers.
+
+        The list is in preference order — ``[0]`` is where reads go
+        first and always matches :meth:`server_for` under the same
+        ``alive`` view, so replication composes with the dead-server
+        rehash instead of fighting it. May return fewer than ``n``
+        entries when too few servers are alive; raises when none are.
+        """
+        if n < 1:
+            raise ValueError("need at least one replica")
+        start = one_at_a_time(key) % self.num_servers
+        out: List[int] = []
+        for step in range(self.num_servers):
+            candidate = (start + step) % self.num_servers
+            if alive is not None and candidate not in alive:
+                continue
+            out.append(candidate)
+            if len(out) == n:
+                break
+        if not out:
+            raise ValueError("no live servers")
+        return out
+
 
 class KetamaRouter:
     """Consistent hashing on a 160-point-per-server ring (ketama)."""
@@ -85,6 +112,40 @@ class KetamaRouter:
             if owner in alive:
                 return owner
         raise ValueError("no live servers")  # pragma: no cover
+
+    def replicas_for(self, key: bytes, n: int,
+                     alive: Optional[AbstractSet[int]] = None
+                     ) -> Sequence[int]:
+        """Replica set for ``key``: the first ``n`` distinct live owners
+        met walking the ring clockwise from the key's point.
+
+        Ring-successor replication: the second replica is exactly where
+        the dead-server rehash of :meth:`server_for` sends a key when
+        its primary dies, so failover reads land on a server that holds
+        the data. ``[0]`` always matches ``server_for`` under the same
+        ``alive`` view.
+        """
+        if n < 1:
+            raise ValueError("need at least one replica")
+        point = int.from_bytes(hashlib.md5(key).digest()[:4], "little")
+        i = bisect.bisect(self._points, point)
+        if i == len(self._points):
+            i = 0
+        out: List[int] = []
+        seen = set()
+        for step in range(len(self._owners)):
+            owner = self._owners[(i + step) % len(self._owners)]
+            if owner in seen:
+                continue
+            seen.add(owner)
+            if alive is not None and owner not in alive:
+                continue
+            out.append(owner)
+            if len(out) == n:
+                break
+        if not out:
+            raise ValueError("no live servers")
+        return out
 
 
 def make_router(name: str, num_servers: int):

@@ -9,6 +9,37 @@ from repro.server.protocol import Response
 from repro.sim import Event, Simulator
 
 
+@dataclass(frozen=True)
+class ReqResult:
+    """Uniform completion view of one operation.
+
+    ``wait`` returns the request, ``wait_all`` a list, ``test`` a bool —
+    but the outcome of any of them is read the same way: call
+    ``req.result()`` once the operation is done. ``ok`` folds the
+    status zoo down to "did the data operation succeed".
+    """
+
+    op: str
+    api: str
+    status: str
+    value_length: int
+    latency: float
+    blocked_time: float
+    cas_token: int = 0
+    server_index: int = -1
+
+    #: Statuses that mean the operation did what was asked.
+    _OK = frozenset({"STORED", "HIT", "DELETED", "TOUCHED"})
+
+    @property
+    def ok(self) -> bool:
+        return self.status in self._OK
+
+    @property
+    def pending(self) -> bool:
+        return self.status == "PENDING"
+
+
 class MemcachedReq:
     """Handle for one outstanding (possibly non-blocking) operation.
 
@@ -70,6 +101,27 @@ class MemcachedReq:
         if life <= 0:
             return 0.0
         return max(0.0, 1.0 - self.blocked_time / life)
+
+    def result(self) -> ReqResult:
+        """Uniform outcome view (see :class:`ReqResult`).
+
+        Safe to call at any time: an operation still in flight reports
+        status ``"PENDING"`` with a zero latency, so callers can treat
+        the return values of ``wait``, ``wait_all``, and polled requests
+        identically.
+        """
+        if not self.done:
+            return ReqResult(op=self.op, api=self.api, status="PENDING",
+                             value_length=self.value_length, latency=0.0,
+                             blocked_time=self.blocked_time,
+                             cas_token=self.cas_token,
+                             server_index=self.server_index)
+        return ReqResult(op=self.op, api=self.api, status=self.status or "?",
+                         value_length=self.value_length,
+                         latency=self.latency,
+                         blocked_time=self.blocked_time,
+                         cas_token=self.cas_token,
+                         server_index=self.server_index)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = self.status or ("pending" if not self.done else "done")

@@ -75,6 +75,13 @@ class ClusterSpec:
     failure_threshold: int = 2
     #: Re-probe an ejected server after this many seconds (None: never).
     eject_duration: Optional[float] = None
+    # -- replication (R=1 keeps single-copy behaviour and cost) -------------
+    #: Copies of each key (primary + R-1 ring/probe successors). Must be
+    #: in ``[1, num_servers]``.
+    replication_factor: int = 1
+    #: "sync": writes ack after every replica; "async": after the
+    #: primary alone, replicas propagate in the background.
+    write_mode: str = "sync"
     #: Live metrics registry + gauge sampler (see :mod:`repro.obs`).
     observe: bool = False
     #: Sim-time span tracing (Chrome ``trace_event`` export).
@@ -103,32 +110,98 @@ class Cluster:
     def run(self, until=None):
         return self.sim.run(until=until)
 
+    @property
+    def replication_factor(self) -> int:
+        return max(1, self.spec.replication_factor)
+
     def server_node(self, index: int):
         """The fabric node hosting server ``index``."""
         return self.fabric.node(f"snode{index}")
 
     # -- experiment setup ----------------------------------------------------
 
-    def preload(self, pairs: Sequence[Tuple[bytes, int]]) -> int:
-        """Load key-value pairs into the servers, routed exactly as the
-        clients will route their requests (zero simulated time)."""
+    def _client_router(self):
+        """A router configured exactly as the clients route requests."""
         router_name = (self.clients[0].config.router if self.clients
                        else self.spec.router)
-        router = make_router(router_name, len(self.servers))
+        return make_router(router_name, len(self.servers))
+
+    def preload(self, pairs: Sequence[Tuple[bytes, int]]) -> int:
+        """Load key-value pairs into the servers, routed exactly as the
+        clients will route their requests (zero simulated time). With
+        replication, every replica of a key is preloaded."""
+        router = self._client_router()
+        r = min(self.replication_factor, len(self.servers))
         n = 0
-        for key, value_length in pairs:
-            self.servers[router.server_for(key)].manager.preload(
-                key, value_length)
-            n += 1
+        if r > 1:
+            for key, value_length in pairs:
+                for idx in router.replicas_for(key, r):
+                    self.servers[idx].manager.preload(key, value_length)
+                n += 1
+        else:
+            for key, value_length in pairs:
+                self.servers[router.server_for(key)].manager.preload(
+                    key, value_length)
+                n += 1
         return n
 
     def inject_faults(self, plan) -> None:
         """Arm a :class:`repro.faults.FaultPlan` on this cluster."""
         plan.inject(self)
 
-    def reset_metrics(self) -> None:
+    # -- replication repair --------------------------------------------------
+
+    def restart_server(self, index: int, wipe: bool = False) -> int:
+        """Restart a crashed server and — with replication — resync it
+        from the live replicas before it takes traffic again. Returns
+        the number of items copied in."""
+        self.servers[index].restart(wipe=wipe)
+        return self.resync_server(index)
+
+    def resync_server(self, index: int) -> int:
+        """Anti-entropy catch-up for a rejoined server (zero sim time).
+
+        Walks every live peer's table and re-materializes the items the
+        rejoined server is a replica of but lost (crash wipe) or missed
+        (writes propagated while it was down/partitioned). Modeled as an
+        out-of-band bulk transfer — the same idealization ``preload``
+        makes for experiment setup. No-op at R=1."""
+        r = min(self.replication_factor, len(self.servers))
+        if r <= 1:
+            return 0
+        target = self.servers[index]
+        if not (target.alive and target.reachable):
+            return 0
+        router = self._client_router()
+        table = target.manager.table
+        copied = 0
+        for donor in self.servers:
+            if donor is target or not (donor.alive and donor.reachable):
+                continue
+            for key, value_length in donor.manager.live_items():
+                if key in table:
+                    continue
+                if index not in router.replicas_for(key, r):
+                    continue
+                target.manager.preload(key, value_length)
+                copied += 1
+        if copied:
+            self.obs.registry.counter(
+                "resync_items", server=str(index)).inc(copied)
+        return copied
+
+    def reset_metrics(self, registry: bool = False) -> None:
+        """Zero run-scoped counters on clients AND servers, so
+        back-to-back runs on one cluster don't bleed into each other.
+        ``registry=True`` also zeroes the obs registry's series in
+        place (off by default: registry totals stay cumulative for
+        whole-process exports)."""
         for c in self.clients:
             c.reset_metrics()
+        for s in self.servers:
+            s.reset_metrics()
+        if registry:
+            self.obs.registry.reset()
 
     # -- metric access ---------------------------------------------------------
 
@@ -157,6 +230,13 @@ def build_cluster(profile: DesignProfile,
         spec = ClusterSpec(**spec_overrides)
     elif spec_overrides:
         raise TypeError("pass either spec or keyword overrides, not both")
+    if not 1 <= spec.replication_factor <= spec.num_servers:
+        raise ValueError(
+            f"replication_factor must be in [1, num_servers="
+            f"{spec.num_servers}], got {spec.replication_factor}")
+    if spec.write_mode not in ("sync", "async"):
+        raise ValueError(
+            f"write_mode must be 'sync' or 'async', got {spec.write_mode!r}")
     sim = sim or Simulator()
     if spec.observe or spec.trace:
         interval = spec.sample_interval
@@ -204,7 +284,9 @@ def build_cluster(profile: DesignProfile,
                               max_retries=spec.max_retries,
                               retry_backoff=spec.retry_backoff,
                               failure_threshold=spec.failure_threshold,
-                              eject_duration=spec.eject_duration)
+                              eject_duration=spec.eject_duration,
+                              replication_factor=spec.replication_factor,
+                              write_mode=spec.write_mode)
     n_nodes = spec.client_nodes or spec.num_clients
     clients = []
     for i in range(spec.num_clients):

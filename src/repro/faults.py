@@ -183,12 +183,16 @@ class FaultPlan:
             server.crash()
             if event.duration is not None:
                 yield sim.timeout(event.duration)
-                server.restart(wipe=event.wipe)
+                # Restart + anti-entropy resync from live replicas (the
+                # resync is a no-op at replication_factor=1).
+                cluster.restart_server(event.server, wipe=event.wipe)
         elif event.kind == PARTITION:
             server.partition()
             if event.duration is not None:
                 yield sim.timeout(event.duration)
                 server.heal()
+                # Catch up on writes that propagated past the blackhole.
+                cluster.resync_server(event.server)
         elif event.kind == LINK_DEGRADE:
             node = cluster.server_node(event.server)
             saved = [(nic, nic.params) for nic in node._nics.values()]

@@ -11,6 +11,13 @@
   EXPERIMENTS.md.
 """
 
-from repro.harness.runner import RunResult, run_ops, run_workload, setup_cluster
+from repro.harness.runner import (
+    RunConfig,
+    RunResult,
+    run_ops,
+    run_workload,
+    setup_cluster,
+)
 
-__all__ = ["RunResult", "run_workload", "run_ops", "setup_cluster"]
+__all__ = ["RunConfig", "RunResult", "run_workload", "run_ops",
+           "setup_cluster"]

@@ -29,7 +29,7 @@ from repro.core.profiles import (
     DesignProfile,
     feature_matrix,
 )
-from repro.harness.runner import run_workload, setup_cluster
+from repro.harness.runner import RunConfig
 from repro.sim import Simulator
 from repro.storage.device import BlockDevice
 from repro.storage.pagecache import PageCache
@@ -90,15 +90,16 @@ def latency_experiment(profile: DesignProfile, fit: bool, *, scale: int = 16,
                        seed: int = 1) -> Dict[str, object]:
     """One cell of Figures 1/2/6: a single client against one server."""
     spec = _spec_for(fit, scale, ops, value, read_fraction, seed)
-    cluster = setup_cluster(
-        profile, spec,
-        num_servers=1, num_clients=1,
-        server_mem=BASE_SERVER_MEM // scale,
-        ssd_limit=BASE_SSD_LIMIT // scale,
-        device=device,
-        pagecache=_scaled_pagecache(scale),
-    )
-    result = run_workload(cluster, spec, api=api)
+    cfg = RunConfig(
+        profile=profile, workload=spec, api=api,
+        spec_overrides=dict(
+            num_servers=1, num_clients=1,
+            server_mem=BASE_SERVER_MEM // scale,
+            ssd_limit=BASE_SSD_LIMIT // scale,
+            device=device,
+            pagecache=_scaled_pagecache(scale),
+        ))
+    result = cfg.run()
     breakdown = metrics.stage_breakdown(result.records)
     effective = metrics.effective_latency(result.records)
     mean = metrics.mean_latency(result.records)
@@ -207,14 +208,15 @@ def fig7a(scale: int = 16, ops: int = 1200) -> List[Dict[str, object]]:
         for label, profile, api in cases:
             spec = _spec_for(False, scale, ops, BASE_VALUE,
                              read_fraction, seed=1)
-            cluster = setup_cluster(
-                profile, spec,
-                num_servers=1, num_clients=1,
-                server_mem=BASE_SERVER_MEM // scale,
-                ssd_limit=BASE_SSD_LIMIT // scale,
-                pagecache=_scaled_pagecache(scale),
-            )
-            result = run_workload(cluster, spec, api=api)
+            cfg = RunConfig(
+                profile=profile, workload=spec, api=api,
+                spec_overrides=dict(
+                    num_servers=1, num_clients=1,
+                    server_mem=BASE_SERVER_MEM // scale,
+                    ssd_limit=BASE_SSD_LIMIT // scale,
+                    pagecache=_scaled_pagecache(scale),
+                ))
+            result = cfg.run()
             sets = metrics.filter_records(result.records, op="set")
             gets = metrics.filter_records(result.records, op="get")
             overlap_all = metrics.overlap_percent(result.records)
@@ -287,9 +289,9 @@ def fig7c(scale: int = 16, num_clients: int = 24, client_nodes: int = 8,
         ("H-RDMA-Opt-NonB-i", H_RDMA_OPT_NONB_I, None),
     ]
     for label, profile, api in cases:
-        cluster = setup_cluster(
-            profile, spec,
-            cluster_spec=ClusterSpec(
+        cfg = RunConfig(
+            profile=profile, workload=spec, api=api,
+            cluster=ClusterSpec(
                 num_servers=num_servers,
                 num_clients=num_clients,
                 client_nodes=client_nodes,
@@ -297,7 +299,7 @@ def fig7c(scale: int = 16, num_clients: int = 24, client_nodes: int = 8,
                 ssd_limit=4 * agg_mem // num_servers,
                 pagecache=_scaled_pagecache(scale * num_servers),
             ))
-        result = run_workload(cluster, spec, api=api)
+        result = cfg.run()
         rows.append({
             "design": label,
             "throughput": metrics.throughput(result.records),
@@ -360,15 +362,15 @@ def fig8b(scale: int = 16,
                     ("H-RDMA-Opt-NonB-i", H_RDMA_OPT_NONB_I, True)):
                 spec = WorkloadSpec(num_ops=1, num_keys=8,
                                     value_length=chunk_size)
-                cluster = setup_cluster(
-                    profile, spec, preload=False,
-                    cluster_spec=ClusterSpec(
+                cluster = RunConfig(
+                    profile=profile, workload=spec, preload=False,
+                    cluster=ClusterSpec(
                         num_servers=num_servers, num_clients=1,
                         server_mem=agg_mem // num_servers,
                         ssd_limit=2 * total_bytes // num_servers,
                         device=device,
                         pagecache=_scaled_pagecache(scale * num_servers),
-                    ))
+                    )).build()
                 client = cluster.clients[0]
                 sim = cluster.sim
                 block_times: List[float] = []

@@ -1,7 +1,16 @@
-"""Drive generated workloads against a cluster and collect metrics."""
+"""Drive generated workloads against a cluster and collect metrics.
+
+The one-stop entry point is :class:`RunConfig`: declare the profile,
+workload, cluster sizing, and run knobs in one dataclass, then
+``build()`` a cluster and ``run()`` it. The original free functions
+(``setup_cluster``/``run_ops``/``run_workload``) survive as thin
+deprecation shims over it.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -36,24 +45,156 @@ class RunResult:
         return len(self.records)
 
 
+@dataclass
+class RunConfig:
+    """Everything one experiment run needs, declared in one place.
+
+    Replaces the kwarg sprawl that used to be spread over
+    ``setup_cluster``/``run_ops``/``run_workload``::
+
+        cfg = RunConfig(profile=H_RDMA_OPT_NONB_I,
+                        workload=WorkloadSpec(num_ops=500),
+                        cluster=ClusterSpec(num_servers=4, num_clients=2),
+                        warmup_ops=100)
+        result = cfg.run()
+
+    ``build()`` and ``run()`` are separable: build once, then drive the
+    same cluster repeatedly (``run(cluster=...)`` / ``run_streams``).
+    """
+
+    profile: DesignProfile
+    #: Workload shape; optional for pure-topology builds, required to
+    #: ``run()``.
+    workload: Optional[WorkloadSpec] = None
+    #: Full cluster sizing; mutually exclusive with ``spec_overrides``.
+    cluster: Optional[ClusterSpec] = None
+    #: Preload the dataset into the servers (replica-aware) on build.
+    preload: bool = True
+    #: Inject a pre-built :class:`~repro.sim.Simulator` (e.g. one with
+    #: ``fast_lane=False`` for determinism A/B checks).
+    sim: Optional[object] = None
+    #: Client API to drive (defaults to the profile's native API).
+    api: Optional[str] = None
+    #: Outstanding-request cap for non-blocking drivers.
+    window: int = DEFAULT_WINDOW
+    #: Coalesce runs of consecutive GETs into mget batches (blocking).
+    mget_batch: int = 0
+    #: Per-client discarded warm-up operations before the measured run.
+    warmup_ops: int = 0
+    #: :class:`repro.faults.FaultPlan` armed when the measured drivers
+    #: start (never during warmup).
+    fault_plan: Optional[object] = None
+    #: Keyword overrides applied to a default :class:`ClusterSpec`
+    #: (e.g. ``{"num_servers": 4}``) when ``cluster`` is not given.
+    spec_overrides: Dict[str, object] = field(default_factory=dict)
+
+    # -- build -------------------------------------------------------------
+
+    def build(self) -> Cluster:
+        """Build the cluster, wire backend value sizes, preload.
+
+        The backend returns the workload's value size for any key, so
+        miss repopulation keeps the dataset shape intact.
+        """
+        value_length_for = (self.workload.value_length_for
+                            if self.workload is not None else None)
+        cluster = build_cluster(self.profile, spec=self.cluster,
+                                sim=self.sim,
+                                value_length_for=value_length_for,
+                                **self.spec_overrides)
+        if self.preload and self.workload is not None:
+            cluster.preload(make_dataset(self.workload))
+        return cluster
+
+    # -- run ---------------------------------------------------------------
+
+    def run(self, cluster: Optional[Cluster] = None) -> RunResult:
+        """Generate per-client op streams from ``workload`` and run them.
+
+        ``workload.num_ops`` is the per-client operation count; each
+        client gets a decorrelated stream (seeded by its index). With
+        ``warmup_ops``, each client first runs that many extra
+        (differently-seeded) operations whose records are discarded, so
+        the measured stream sees steady-state LRU/page-cache/slab state
+        rather than the preload layout.
+        """
+        if self.workload is None:
+            raise ValueError("RunConfig.run() needs a workload")
+        if cluster is None:
+            cluster = self.build()
+        if self.warmup_ops > 0:
+            # Same spec seed => same hot-key scramble; the stream offset
+            # decorrelates the warmup draws from the measured draws.
+            warm_spec = dataclasses.replace(self.workload,
+                                            num_ops=self.warmup_ops)
+            warm_streams = [generate_ops(warm_spec, client_index=i,
+                                         stream_offset=0xABCD)
+                            for i in range(len(cluster.clients))]
+            self._run_streams(cluster, warm_streams, fault_plan=None)
+        streams = [generate_ops(self.workload, client_index=i)
+                   for i in range(len(cluster.clients))]
+        return self._run_streams(cluster, streams,
+                                 fault_plan=self.fault_plan)
+
+    def run_streams(self, per_client_ops: Sequence[Sequence[Op]],
+                    cluster: Optional[Cluster] = None) -> RunResult:
+        """Run explicit op streams (one per client) to completion.
+
+        ``fault_plan`` is armed right before the drivers start, so its
+        event times are relative to the measured run's start.
+        """
+        if cluster is None:
+            cluster = self.build()
+        return self._run_streams(cluster, per_client_ops,
+                                 fault_plan=self.fault_plan)
+
+    def _run_streams(self, cluster: Cluster,
+                     per_client_ops: Sequence[Sequence[Op]],
+                     fault_plan) -> RunResult:
+        api = self.api or cluster.profile.api
+        if api not in (BLOCKING, NONB_B, NONB_I):
+            raise ValueError(f"unknown api {api!r}")
+        cluster.reset_metrics()
+        sim = cluster.sim
+        if fault_plan is not None:
+            cluster.inject_faults(fault_plan)
+        drivers = []
+        for client, ops in zip(cluster.clients, per_client_ops):
+            if api == BLOCKING:
+                gen = _drive_blocking(client, ops,
+                                      mget_batch=self.mget_batch)
+            else:
+                gen = _drive_nonblocking(client, ops, api, self.window)
+            drivers.append(sim.spawn(gen, name=f"driver-{client.name}"))
+        done = sim.all_of(drivers)
+        sim.run(until=done)
+        records = cluster.all_records()
+        span = 0.0
+        if records:
+            span = (max(r.t_complete for r in records)
+                    - min(r.t_issue for r in records))
+        result = RunResult(profile_key=cluster.profile.key, api=api,
+                           records=records, span=span,
+                           obs=cluster.obs if cluster.obs.enabled else None)
+        result.summary = metrics.summarize(records)
+        return result
+
+
+# -- deprecation shims (the pre-RunConfig free functions) -------------------
+
+
 def setup_cluster(profile: DesignProfile, spec: WorkloadSpec,
                   preload: bool = True,
                   cluster_spec: Optional[ClusterSpec] = None,
                   sim=None,
                   **spec_overrides) -> Cluster:
-    """Build a cluster, wire backend value sizes, optionally preload.
-
-    The backend returns the workload's value size for any key, so miss
-    repopulation keeps the dataset shape intact. ``sim`` injects a
-    pre-built :class:`~repro.sim.Simulator` (e.g. one with
-    ``fast_lane=False`` for determinism A/B checks).
-    """
-    cluster = build_cluster(profile, spec=cluster_spec, sim=sim,
-                            value_length_for=spec.value_length_for,
-                            **spec_overrides)
-    if preload:
-        cluster.preload(make_dataset(spec))
-    return cluster
+    """Deprecated: use ``RunConfig(...).build()``."""
+    warnings.warn(
+        "setup_cluster is deprecated; use RunConfig(...).build()",
+        DeprecationWarning, stacklevel=2)
+    return RunConfig(profile=profile, workload=spec, preload=preload,
+                     cluster=cluster_spec, sim=sim,
+                     spec_overrides=dict(spec_overrides)).build()
 
 
 def _drive_blocking(client, ops: Sequence[Op], mget_batch: int = 0):
@@ -85,6 +226,9 @@ def _drive_blocking(client, ops: Sequence[Op], mget_batch: int = 0):
         else:
             yield from client.set(op.key, op.value_length)
     yield from flush_reads()
+    # Drain background work (async replica propagation); a no-op — zero
+    # sim events — when nothing is outstanding.
+    yield from client.quiesce()
 
 
 def _drive_nonblocking(client, ops: Sequence[Op], api: str, window: int):
@@ -106,6 +250,9 @@ def _drive_nonblocking(client, ops: Sequence[Op], api: str, window: int):
         inflight.append(req)
     while inflight:
         yield from client.wait(inflight.popleft())
+    # Drain background work (async replica propagation); a no-op — zero
+    # sim events — when nothing is outstanding.
+    yield from client.quiesce()
 
 
 def run_ops(cluster: Cluster, per_client_ops: Sequence[Sequence[Op]],
@@ -113,38 +260,13 @@ def run_ops(cluster: Cluster, per_client_ops: Sequence[Sequence[Op]],
             window: int = DEFAULT_WINDOW,
             mget_batch: int = 0,
             fault_plan=None) -> RunResult:
-    """Run explicit op streams (one per client) to completion.
-
-    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) is armed right
-    before the drivers start, so its event times are relative to the
-    measured run's start.
-    """
-    api = api or cluster.profile.api
-    if api not in (BLOCKING, NONB_B, NONB_I):
-        raise ValueError(f"unknown api {api!r}")
-    cluster.reset_metrics()
-    sim = cluster.sim
-    if fault_plan is not None:
-        cluster.inject_faults(fault_plan)
-    drivers = []
-    for client, ops in zip(cluster.clients, per_client_ops):
-        if api == BLOCKING:
-            gen = _drive_blocking(client, ops, mget_batch=mget_batch)
-        else:
-            gen = _drive_nonblocking(client, ops, api, window)
-        drivers.append(sim.spawn(gen, name=f"driver-{client.name}"))
-    done = sim.all_of(drivers)
-    sim.run(until=done)
-    records = cluster.all_records()
-    span = 0.0
-    if records:
-        span = (max(r.t_complete for r in records)
-                - min(r.t_issue for r in records))
-    result = RunResult(profile_key=cluster.profile.key, api=api,
-                       records=records, span=span,
-                       obs=cluster.obs if cluster.obs.enabled else None)
-    result.summary = metrics.summarize(records)
-    return result
+    """Deprecated: use ``RunConfig(...).run_streams(ops, cluster=...)``."""
+    warnings.warn(
+        "run_ops is deprecated; use RunConfig(...).run_streams()",
+        DeprecationWarning, stacklevel=2)
+    cfg = RunConfig(profile=cluster.profile, api=api, window=window,
+                    mget_batch=mget_batch, fault_plan=fault_plan)
+    return cfg.run_streams(per_client_ops, cluster=cluster)
 
 
 def run_workload(cluster: Cluster, spec: WorkloadSpec,
@@ -153,27 +275,11 @@ def run_workload(cluster: Cluster, spec: WorkloadSpec,
                  mget_batch: int = 0,
                  warmup_ops: int = 0,
                  fault_plan=None) -> RunResult:
-    """Generate per-client op streams from ``spec`` and run them.
-
-    ``spec.num_ops`` is the per-client operation count; each client gets
-    a decorrelated stream (seeded by its index). With ``warmup_ops``,
-    each client first runs that many extra (differently-seeded)
-    operations whose records are discarded, so the measured stream sees
-    steady-state LRU/page-cache/slab state rather than the preload
-    layout.
-    """
-    if warmup_ops > 0:
-        import dataclasses
-
-        # Same spec seed => same hot-key scramble; the stream offset
-        # decorrelates the warmup draws from the measured draws.
-        warm_spec = dataclasses.replace(spec, num_ops=warmup_ops)
-        warm_streams = [generate_ops(warm_spec, client_index=i,
-                                     stream_offset=0xABCD)
-                        for i in range(len(cluster.clients))]
-        run_ops(cluster, warm_streams, api=api, window=window,
-                mget_batch=mget_batch)
-    streams = [generate_ops(spec, client_index=i)
-               for i in range(len(cluster.clients))]
-    return run_ops(cluster, streams, api=api, window=window,
-                   mget_batch=mget_batch, fault_plan=fault_plan)
+    """Deprecated: use ``RunConfig(...).run(cluster=...)``."""
+    warnings.warn(
+        "run_workload is deprecated; use RunConfig(...).run()",
+        DeprecationWarning, stacklevel=2)
+    cfg = RunConfig(profile=cluster.profile, workload=spec, api=api,
+                    window=window, mget_batch=mget_batch,
+                    warmup_ops=warmup_ops, fault_plan=fault_plan)
+    return cfg.run(cluster=cluster)

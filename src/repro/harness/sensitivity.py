@@ -23,7 +23,7 @@ from repro.harness.figures import (
     ZIPF_THETA,
     _scaled_pagecache,
 )
-from repro.harness.runner import run_workload, setup_cluster
+from repro.harness.runner import RunConfig
 from repro.storage.params import SATA_SSD, DeviceParams, PageCacheParams
 from repro.units import KB, MB, US
 from repro.workloads.generator import WorkloadSpec
@@ -40,12 +40,13 @@ def _measure_pair(device: DeviceParams, scale: int, ops: int,
                         distribution="zipf", theta=theta, seed=1)
     out = {}
     for label, profile in (("def", H_RDMA_DEF), ("nonb", H_RDMA_OPT_NONB_I)):
-        cluster = setup_cluster(profile, spec, cluster_spec=ClusterSpec(
-            server_mem=server_mem,
-            ssd_limit=BASE_SSD_LIMIT // scale,
-            device=device,
-            pagecache=pagecache or _scaled_pagecache(scale)))
-        result = run_workload(cluster, spec)
+        result = RunConfig(profile=profile, workload=spec,
+                           cluster=ClusterSpec(
+                               server_mem=server_mem,
+                               ssd_limit=BASE_SSD_LIMIT // scale,
+                               device=device,
+                               pagecache=pagecache
+                               or _scaled_pagecache(scale))).run()
         out[label] = metrics.effective_latency(result.records)
     out["gain"] = out["def"] / out["nonb"]
     return out
@@ -120,12 +121,12 @@ def sweep_network(scale: int = 16, ops: int = 800) -> List[Dict]:
         out = {}
         for label, profile in (("def", H_RDMA_DEF),
                                ("nonb", H_RDMA_OPT_NONB_I)):
-            cluster = setup_cluster(profile, spec, cluster_spec=ClusterSpec(
-                server_mem=server_mem,
-                ssd_limit=BASE_SSD_LIMIT // scale,
-                rdma_params=params,
-                pagecache=_scaled_pagecache(scale)))
-            result = run_workload(cluster, spec)
+            result = RunConfig(profile=profile, workload=spec,
+                               cluster=ClusterSpec(
+                                   server_mem=server_mem,
+                                   ssd_limit=BASE_SSD_LIMIT // scale,
+                                   rdma_params=params,
+                                   pagecache=_scaled_pagecache(scale))).run()
             out[label] = metrics.effective_latency(result.records)
         rows.append({"fabric": name,
                      "def_latency": out["def"],
@@ -156,14 +157,13 @@ def sweep_backend_penalty(penalties_ms: Sequence[float] = (0.1, 0.5, 2.0,
                             distribution="zipf", theta=ZIPF_THETA, seed=1)
         out = {}
         for label, profile in (("inmem", RDMA_MEM), ("hybrid", H_RDMA_DEF)):
-            cluster = setup_cluster(
-                profile, spec,
-                cluster_spec=ClusterSpec(
+            result = RunConfig(
+                profile=profile, workload=spec,
+                cluster=ClusterSpec(
                     server_mem=server_mem,
                     ssd_limit=BASE_SSD_LIMIT // scale,
                     backend_penalty=ms * 1e-3,
-                    pagecache=_scaled_pagecache(scale)))
-            result = run_workload(cluster, spec)
+                    pagecache=_scaled_pagecache(scale))).run()
             out[label] = metrics.effective_latency(result.records)
         rows.append({"penalty_ms": ms,
                      "inmem_latency": out["inmem"],

@@ -46,6 +46,11 @@ class Counter:
     def inc(self, amount: float = 1.0) -> None:
         self.value += amount
 
+    def reset(self) -> None:
+        """Zero in place — components hold references to this object,
+        so the instance must survive a registry reset."""
+        self.value = 0.0
+
     @property
     def key(self) -> str:
         # Labels are immutable after creation, so the rendered key is
@@ -81,6 +86,11 @@ class Gauge:
         if self.fn is not None:
             return float(self.fn())
         return self._value
+
+    def reset(self) -> None:
+        """Zero the explicit value (callback gauges read live state and
+        have nothing to reset)."""
+        self._value = 0.0
 
     @property
     def key(self) -> str:
@@ -127,6 +137,14 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+
+    def reset(self) -> None:
+        """Zero all buckets and aggregates in place (see Counter.reset)."""
+        self.counts = [0] * len(self.counts)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
 
     @property
     def mean(self) -> float:
@@ -247,6 +265,15 @@ class MetricsRegistry:
             out[m.key] = m.value()
         return out
 
+    def reset(self) -> None:
+        """Zero every metric in place.
+
+        The metric *objects* survive: components captured references at
+        construction and keep mutating the same instances, so a reset
+        must never replace them."""
+        for metric in self._metrics.values():
+            metric.reset()
+
 
 # -- disabled path ---------------------------------------------------------
 
@@ -332,6 +359,9 @@ class NullRegistry:
 
     def flatten(self, match=None) -> Dict[str, float]:
         return {}
+
+    def reset(self) -> None:
+        pass
 
 
 NULL_REGISTRY = NullRegistry()

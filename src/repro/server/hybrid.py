@@ -683,6 +683,25 @@ class HybridSlabManager:
             page.free(idx)
         self.allocator.recycle_page(page, to_cls)
 
+    def reset_metrics(self) -> None:
+        """Zero the run-scoped counters; cache contents are untouched."""
+        self.stats = ManagerStats()
+
+    def live_items(self):
+        """Yield ``(key, value_length)`` for every live, unexpired item.
+
+        Read-only walk for anti-entropy resync: no LRU touches, no stat
+        bumps, so donating data to a rejoining replica never perturbs
+        the donor's metrics or recency state.
+        """
+        now = self.sim.now
+        for key, item in self.table.items():
+            if item.location == DEAD:
+                continue
+            if item.expiration and now > item.expiration:
+                continue
+            yield key, item.value_length
+
     # -- occupancy diagnostics --------------------------------------------------
 
     @property

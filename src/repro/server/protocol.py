@@ -55,6 +55,10 @@ class SetRequest(Request):
     #: header (IPoIB streams); False when it arrives separately via an
     #: RDMA write (see :class:`ValueArrival`).
     inline_value: bool = False
+    #: True for replica-propagation copies of a client write. Replica
+    #: SETs always inline their value so the apply path never competes
+    #: for the receive-buffer credits user traffic flows through.
+    replica: bool = False
 
     def __post_init__(self):
         self.op = "set"

@@ -118,6 +118,8 @@ class ServerStats:
     deletes: int = 0
     get_hits: int = 0
     get_misses: int = 0
+    #: Replica-propagation writes applied (not user-visible SETs).
+    replica_applies: int = 0
     stage_time: Dict[str, float] = field(default_factory=dict)
     busy_time: float = 0.0
 
@@ -193,6 +195,8 @@ class MemcachedServer:
                   **labels)
         self._m_crashes = reg.counter("server_crashes", **labels)
         self._m_dropped_rx = reg.counter("server_rx_dropped", **labels)
+        self._m_replica_applies = reg.counter("replica_propagations",
+                                              **labels)
 
     # -- wiring -----------------------------------------------------------
 
@@ -432,8 +436,14 @@ class MemcachedServer:
             if credit.granted_at is not None:
                 self._m_credit_hold.observe(self.sim.now - credit.granted_at)
             self._release_credit(credit)
-        self.stats.sets += 1
-        self._m_sets.inc()
+        if request.replica:
+            # Replica-apply path: same slab work, separate accounting —
+            # user-visible SET counters stay comparable across R values.
+            self.stats.replica_applies += 1
+            self._m_replica_applies.inc()
+        else:
+            self.stats.sets += 1
+            self._m_sets.inc()
         for k, v in stages.items():
             self.stats.add_stage(k, v)
         yield from self._respond(endpoint, request, info.status, 0, stages,
@@ -554,6 +564,7 @@ class MemcachedServer:
             "get_hits": self.stats.get_hits,
             "get_misses": self.stats.get_misses,
             "cmd_delete": self.stats.deletes,
+            "replica_applies": self.stats.replica_applies,
             "curr_items": len(self.manager.table),
             "items_ram": self.manager.items_in_ram,
             "items_ssd": self.manager.items_on_ssd,
@@ -603,6 +614,14 @@ class MemcachedServer:
                              self.config.costs.response_prep)
 
     # -- experiment setup ------------------------------------------------------
+
+    def reset_metrics(self) -> None:
+        """Zero the run-scoped counters (cache contents are untouched),
+        so back-to-back runs on one cluster don't bleed into each other."""
+        self.stats = ServerStats()
+        self.manager.reset_metrics()
+        if self.device is not None:
+            self.device.reset_metrics()
 
     def preload(self, pairs) -> int:
         """Insert ``(key, value_length)`` pairs in zero simulated time."""

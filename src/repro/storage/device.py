@@ -71,6 +71,10 @@ class BlockDevice:
         reg.gauge("device_queue_depth",
                   fn=lambda: self.in_service + self.queue_length, **labels)
 
+    def reset_metrics(self) -> None:
+        """Zero the run-scoped I/O counters (device state is untouched)."""
+        self.stats = DeviceStats()
+
     def read(self, nbytes: int):
         return self.sim.spawn(self._io(nbytes, write=False), name=f"{self.name}-read")
 

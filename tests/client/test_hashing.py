@@ -58,3 +58,61 @@ def test_modulo_instability_on_server_add():
 def test_ketama_deterministic():
     r = KetamaRouter(5)
     assert [r.server_for(b"abc")] * 3 == [r.server_for(b"abc") for _ in range(3)]
+
+
+# -- replica sets (ring-successor replication) ------------------------------
+
+
+@pytest.mark.parametrize("router_cls", [ModuloRouter, KetamaRouter])
+def test_replicas_head_matches_server_for(router_cls):
+    """``replicas_for(key, n)[0]`` is the primary, under any alive view."""
+    router = router_cls(4)
+    keys = [f"key{i}".encode() for i in range(200)]
+    for alive in (None, {0, 1, 2, 3}, {0, 2, 3}, {2}):
+        for k in keys:
+            reps = router.replicas_for(k, 2, alive)
+            assert reps[0] == router.server_for(k, alive)
+
+
+@pytest.mark.parametrize("router_cls", [ModuloRouter, KetamaRouter])
+def test_replicas_distinct_and_capped(router_cls):
+    router = router_cls(4)
+    for i in range(200):
+        reps = router.replicas_for(f"key{i}".encode(), 3)
+        assert len(reps) == 3
+        assert len(set(reps)) == 3
+    # More replicas than live servers: degrade, don't raise.
+    assert len(router.replicas_for(b"k", 3, alive={0, 2})) == 2
+    with pytest.raises(ValueError):
+        router.replicas_for(b"k", 2, alive=set())
+    with pytest.raises(ValueError):
+        router.replicas_for(b"k", 0)
+
+
+def test_failover_read_lands_on_surviving_replica():
+    """When the primary dies, the rehashed read target is exactly the
+    key's second replica — so R=2 failover reads hit warm data."""
+    for router in (KetamaRouter(4), ModuloRouter(4)):
+        for i in range(300):
+            key = f"key{i}".encode()
+            primary, secondary = router.replicas_for(key, 2)
+            alive = {0, 1, 2, 3} - {primary}
+            assert router.server_for(key, alive) == secondary
+
+
+def test_ketama_replica_set_stable_across_heal():
+    """Crash + heal returns every key to its original replica set, and
+    during the outage the surviving replica keeps its role."""
+    router = KetamaRouter(4)
+    keys = [f"key{i}".encode() for i in range(300)]
+    before = {k: tuple(router.replicas_for(k, 2)) for k in keys}
+    alive = {0, 2, 3}  # server 1 down
+    for k in keys:
+        during = router.replicas_for(k, 2, alive)
+        # Survivors keep their replica role; only the dead server's
+        # slot is re-delegated to the next live ring successor.
+        for s in before[k]:
+            if s != 1:
+                assert s in during
+    after = {k: tuple(router.replicas_for(k, 2)) for k in keys}
+    assert after == before

@@ -72,3 +72,88 @@ def test_oprecord_from_req_copies_everything():
     # Mutating the req afterwards must not affect the record.
     req.stages["slab_alloc"] = 9.9
     assert rec.stages["slab_alloc"] == 0.1
+
+
+# -- ReqResult: the uniform completion view ---------------------------------
+
+
+def test_result_pending_before_completion():
+    from repro.client import ReqResult  # public facade export
+
+    _, req = make_req()
+    res = req.result()
+    assert isinstance(res, ReqResult)
+    assert res.pending and not res.ok
+    assert res.status == "PENDING"
+    assert res.latency == 0.0
+
+
+def test_result_after_completion():
+    _, req = make_req(op="set", api="bset", value_length=2048)
+    req.status = "STORED"
+    req.t_issue, req.t_complete = 1.0, 3.0
+    req.blocked_time = 0.5
+    req.server_index = 2
+    req.cas_token = 7
+    req.complete.succeed(None)
+    res = req.result()
+    assert res.ok and not res.pending
+    assert res.op == "set" and res.api == "bset"
+    assert res.latency == pytest.approx(2.0)
+    assert res.blocked_time == pytest.approx(0.5)
+    assert res.server_index == 2 and res.cas_token == 7
+
+
+def test_result_ok_folds_status_zoo():
+    from repro.client.request import ReqResult
+
+    def res(status):
+        return ReqResult(op="x", api="x", status=status, value_length=0,
+                         latency=0.0, blocked_time=0.0)
+
+    assert all(res(s).ok for s in ("STORED", "HIT", "DELETED", "TOUCHED"))
+    assert not any(res(s).ok for s in
+                   ("MISS", "NOT_STORED", "EXISTS", "NOT_FOUND",
+                    "SERVER_DOWN", "PENDING"))
+
+
+def test_result_is_immutable_snapshot():
+    _, req = make_req()
+    req.status = "HIT"
+    req.complete.succeed(None)
+    res = req.result()
+    with pytest.raises(Exception):
+        res.status = "MISS"  # frozen dataclass
+    req.status = "MISS"
+    assert res.status == "HIT"
+
+
+def test_result_uniform_across_apis():
+    """The point of the facade: blocking get, nonb iget, and bget all
+    read back through the same result() shape."""
+    from repro import build_cluster, profiles
+    from repro.units import MB as _MB
+
+    cluster = build_cluster(profiles.H_RDMA_OPT_NONB_I,
+                            server_mem=8 * _MB, ssd_limit=16 * _MB)
+    client = cluster.clients[0]
+    sim = cluster.sim
+    out = {}
+
+    def app(sim):
+        s = yield from client.set(b"k", 1024)
+        g = yield from client.get(b"k")
+        i = yield from client.iget(b"k")
+        yield from client.wait(i)
+        b = yield from client.bget(b"k")
+        yield from client.wait(b)
+        out["results"] = [s.result(), g.result(), i.result(), b.result()]
+
+    sim.run(until=sim.spawn(app(sim)))
+    s, g, i, b = out["results"]
+    assert s.ok and s.status == "STORED"
+    assert g.ok and i.ok and b.ok
+    assert {g.status, i.status, b.status} == {"HIT"}
+    assert g.value_length == i.value_length == b.value_length == 1024
+    for r in (g, i, b):
+        assert r.latency > 0 and r.server_index == 0

@@ -90,3 +90,54 @@ def test_reset_metrics_clears_all_clients():
     assert cluster.all_records()
     cluster.reset_metrics()
     assert not cluster.all_records()
+
+
+def test_reset_metrics_clears_server_counters_too():
+    """Regression: reset_metrics used to reset only the clients, so
+    back-to-back runs on one cluster double-counted server stats."""
+    cluster = build_cluster(profiles.H_RDMA_OPT_NONB_I, server_mem=8 * MB,
+                            ssd_limit=16 * MB)
+    sim, client = cluster.sim, cluster.clients[0]
+
+    def app(sim):
+        yield from client.set(b"k", 1 * KB)
+        yield from client.get(b"k")
+
+    sim.run(until=sim.spawn(app(sim)))
+    server = cluster.servers[0]
+    assert server.stats.sets == 1
+    assert server.manager.stats.stores == 1
+    cluster.reset_metrics()
+    assert server.stats.sets == 0
+    assert server.stats.gets == 0
+    assert server.manager.stats.stores == 0
+    assert server.device.stats.writes == 0
+    # The cache itself is untouched: only run-scoped counters reset.
+    assert len(server.manager.table) == 1
+
+
+def test_reset_metrics_registry_flag():
+    cluster = build_cluster(profiles.RDMA_MEM, server_mem=8 * MB,
+                            observe=True)
+    sim, client = cluster.sim, cluster.clients[0]
+
+    def app(sim):
+        yield from client.set(b"k", 1 * KB)
+
+    sim.run(until=sim.spawn(app(sim)))
+    counters = cluster.obs.snapshot()["counters"]
+    assert any(v > 0 for v in counters.values())
+    cluster.reset_metrics()  # default: registry totals survive
+    assert cluster.obs.snapshot()["counters"] == counters
+    cluster.reset_metrics(registry=True)
+    assert all(v == 0 for v in
+               cluster.obs.snapshot()["counters"].values())
+
+
+def test_preload_replicates():
+    cluster = build_cluster(profiles.RDMA_MEM, num_servers=3,
+                            server_mem=8 * MB, router="ketama",
+                            replication_factor=2)
+    pairs = [(f"key{i}".encode(), 1 * KB) for i in range(50)]
+    assert cluster.preload(pairs) == 50
+    assert cluster.total_items == 100  # two copies of every key

@@ -1,0 +1,141 @@
+"""RunConfig facade + deprecation shims for the old free functions.
+
+The old ``setup_cluster``/``run_ops``/``run_workload`` signatures must
+keep working (one release of grace), warn, and produce byte-identical
+results to the RunConfig spelling they delegate to.
+"""
+
+import pytest
+
+from repro.core.cluster import ClusterSpec
+from repro.core.profiles import H_RDMA_OPT_NONB_I, RDMA_MEM
+from repro.harness.runner import (
+    RunConfig,
+    run_ops,
+    run_workload,
+    setup_cluster,
+)
+from repro.units import KB, MB
+from repro.workloads.generator import Op, WorkloadSpec
+
+
+def small_spec(**kw):
+    defaults = dict(num_ops=60, num_keys=64, value_length=4 * KB,
+                    read_fraction=0.5, seed=2)
+    defaults.update(kw)
+    return WorkloadSpec(**defaults)
+
+
+def fingerprint(result):
+    return [(r.op, r.key_length, r.status, r.t_issue, r.t_complete,
+             r.blocked_time, tuple(sorted(r.stages.items())))
+            for r in result.records]
+
+
+# -- the new facade ---------------------------------------------------------
+
+
+def test_runconfig_build_and_run():
+    cfg = RunConfig(profile=H_RDMA_OPT_NONB_I, workload=small_spec(),
+                    cluster=ClusterSpec(server_mem=8 * MB,
+                                        ssd_limit=16 * MB))
+    result = cfg.run()
+    assert result.ops == 60
+    assert result.api == "nonb-i"
+    assert result.summary["mean_latency"] > 0
+
+
+def test_runconfig_spec_overrides():
+    cfg = RunConfig(profile=RDMA_MEM, workload=small_spec(),
+                    spec_overrides=dict(num_servers=2, server_mem=8 * MB))
+    cluster = cfg.build()
+    assert len(cluster.servers) == 2
+    assert cluster.total_items == 64  # preloaded
+
+
+def test_runconfig_cluster_and_overrides_exclusive():
+    cfg = RunConfig(profile=RDMA_MEM, workload=small_spec(),
+                    cluster=ClusterSpec(),
+                    spec_overrides=dict(num_servers=2))
+    with pytest.raises(TypeError):
+        cfg.build()
+
+
+def test_runconfig_run_requires_workload():
+    with pytest.raises(ValueError):
+        RunConfig(profile=RDMA_MEM).run()
+
+
+def test_runconfig_build_once_run_many():
+    cfg = RunConfig(profile=RDMA_MEM, workload=small_spec(),
+                    spec_overrides=dict(server_mem=8 * MB))
+    cluster = cfg.build()
+    a = cfg.run(cluster=cluster)
+    b = cfg.run(cluster=cluster)
+    assert a.ops == b.ops == 60  # reset_metrics isolated the runs
+
+
+def test_runconfig_warmup_discards_records():
+    cfg = RunConfig(profile=RDMA_MEM, workload=small_spec(),
+                    spec_overrides=dict(server_mem=8 * MB),
+                    warmup_ops=20)
+    result = cfg.run()
+    assert result.ops == 60  # warmup records never surface
+
+
+def test_runconfig_run_streams():
+    cfg = RunConfig(profile=RDMA_MEM,
+                    spec_overrides=dict(server_mem=8 * MB))
+    stream = [Op("set", b"a-key", 2 * KB), Op("get", b"a-key", 0)]
+    result = cfg.run_streams([stream])
+    assert result.ops == 2
+    assert result.records[1].status == "HIT"
+
+
+# -- deprecation shims ------------------------------------------------------
+
+
+def test_shims_warn():
+    spec = small_spec()
+    with pytest.warns(DeprecationWarning, match="setup_cluster is deprecated"):
+        cluster = setup_cluster(RDMA_MEM, spec, server_mem=8 * MB)
+    with pytest.warns(DeprecationWarning, match="run_workload is deprecated"):
+        run_workload(cluster, spec)
+    with pytest.warns(DeprecationWarning, match="run_ops is deprecated"):
+        run_ops(cluster, [[Op("get", b"k", 0)]])
+
+
+def test_shim_matches_runconfig_byte_for_byte():
+    """Old spelling and new spelling replay the identical timeline."""
+    spec = small_spec()
+    cluster_spec = ClusterSpec(num_servers=2, num_clients=2,
+                               server_mem=8 * MB, ssd_limit=16 * MB)
+
+    with pytest.warns(DeprecationWarning):
+        old_cluster = setup_cluster(H_RDMA_OPT_NONB_I, spec,
+                                    cluster_spec=cluster_spec)
+        old = run_workload(old_cluster, spec, warmup_ops=10)
+
+    cfg = RunConfig(profile=H_RDMA_OPT_NONB_I, workload=spec,
+                    cluster=cluster_spec, warmup_ops=10)
+    new = cfg.run()
+
+    assert fingerprint(old) == fingerprint(new)
+    assert old.span == new.span
+    assert old.summary == new.summary
+
+
+def test_shim_run_ops_matches_run_streams():
+    spec = small_spec()
+    stream = [Op("set", b"s-key", 2 * KB), Op("get", b"s-key", 0),
+              Op("get", b"other", 0)]
+
+    with pytest.warns(DeprecationWarning):
+        old_cluster = setup_cluster(RDMA_MEM, spec, server_mem=8 * MB)
+        old = run_ops(old_cluster, [stream], api="blocking")
+
+    cfg = RunConfig(profile=RDMA_MEM, workload=spec, api="blocking",
+                    spec_overrides=dict(server_mem=8 * MB))
+    new = cfg.run_streams([stream])
+
+    assert fingerprint(old) == fingerprint(new)
