@@ -24,12 +24,15 @@ def main() -> None:
 
     def app(sim):
         # --- blocking API (classic libmemcached) -----------------------
+        # Outcomes are read via the uniform ReqResult snapshot.
         req = yield from client.set(b"greeting", 4 * KB)
-        print(f"memcached_set       -> {req.status:8} "
-              f"{req.latency / US:8.1f} us")
-        req = yield from client.get(b"greeting")
-        print(f"memcached_get       -> {req.status:8} "
-              f"{req.latency / US:8.1f} us ({req.value_length} bytes)")
+        res = req.result()
+        print(f"memcached_set       -> {res.status:8} "
+              f"{res.latency / US:8.1f} us")
+        res = (yield from client.get(b"greeting")).result()
+        print(f"memcached_get       -> {res.status:8} "
+              f"{res.latency / US:8.1f} us ({res.value_length} bytes, "
+              f"hit={res.hit})")
 
         # --- non-blocking extensions (Section IV) ----------------------
         # iset returns immediately; buffers must not be reused until a
@@ -45,7 +48,7 @@ def main() -> None:
         # slab management proceed on the server ...
 
         yield from client.wait_all(reqs)
-        done = sum(1 for r in reqs if r.status == "STORED")
+        done = sum(1 for r in reqs if r.result().ok)
         print(f"memcached_wait x{len(reqs)}  -> {done} stored")
 
         # bget guarantees the key buffer is reusable at return.
@@ -53,9 +56,10 @@ def main() -> None:
         print(f"memcached_bget      -> returned with buffer_safe="
               f"{req.buffer_safe.triggered}, done={req.done}")
         yield from client.wait(req)
-        print(f"after wait          -> {req.status}, "
-              f"{req.value_length // KB} KB in {req.latency / US:.1f} us "
-              f"(client blocked {req.blocked_time / US:.1f} us, "
+        res = req.result()
+        print(f"after wait          -> {res.status}, "
+              f"{res.value_length // KB} KB in {res.latency / US:.1f} us "
+              f"(client blocked {res.blocked_time / US:.1f} us, "
               f"overlap {req.overlap_fraction:.0%})")
 
     sim.spawn(app(sim))

@@ -9,6 +9,8 @@ Usage::
     python -m repro reproduce --figure fig6 --scale 16
     python -m repro stats --profile h-rdma-def --ops 1000
     python -m repro trace --out run.trace.json --ops 500
+    python -m repro fuzz --seeds 0:24 --out fuzz-artifacts
+    python -m repro check --seed 7 --replication 2 --fault crash:server=1,at=4ms
 """
 
 from __future__ import annotations
@@ -354,10 +356,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     chk_p = sub.add_parser("check",
                            help="grade the paper's claims against this "
-                                "build (artifact evaluation)")
+                                "build (artifact evaluation), or — with "
+                                "--seed — replay one consistency-fuzz "
+                                "scenario and check its history")
     chk_p.add_argument("--scale", type=int, default=16)
-    chk_p.add_argument("--ops", type=int, default=1200)
+    chk_p.add_argument("--ops", type=int, default=None,
+                       help="claims: ops per run (default 1200); "
+                            "consistency: ops per client (default 120)")
+    _add_consistency_args(chk_p)
     chk_p.set_defaults(func=cmd_check)
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="sweep consistency-fuzz seeds (randomized fault "
+                     "schedules x replication x write mode x router x "
+                     "sim path), check every history, shrink failures "
+                     "to one-line repros")
+    fuzz_p.add_argument("--seeds", default="0:24", metavar="A:B|N,N,...",
+                        help="seed range a:b (half-open) or comma list "
+                             "(default 0:24)")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="skip minimizing failing scenarios")
+    fuzz_p.add_argument("--out", default=None, metavar="DIR",
+                        help="write failing histories (JSONL) and "
+                             "repro lines here")
+    fuzz_p.set_defaults(func=cmd_fuzz)
 
     exp_p = sub.add_parser("export",
                            help="write figure data as JSON for plotting")
@@ -371,10 +393,121 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_consistency_args(p: argparse.ArgumentParser) -> None:
+    """Flags mirroring :class:`repro.consistency.Scenario` — the
+    ``repro check --seed N ...`` repro line the fuzzer prints."""
+    p.add_argument("--seed", type=int, default=None,
+                   help="consistency mode: replay this fuzz scenario "
+                        "(all other flags default to Scenario defaults)")
+    p.add_argument("--servers", type=int, default=3)
+    p.add_argument("--clients", type=int, default=2)
+    p.add_argument("--keys", type=int, default=24)
+    p.add_argument("--value-length", type=int, default=4096)
+    p.add_argument("--replication", type=int, default=2, metavar="R")
+    p.add_argument("--write-mode", default="sync",
+                   choices=("sync", "async"))
+    p.add_argument("--router", default="ketama",
+                   choices=("modulo", "ketama"))
+    p.add_argument("--request-timeout", type=float, default=2e-3,
+                   metavar="SECONDS")
+    p.add_argument("--eject-duration", type=float, default=5e-3,
+                   metavar="SECONDS")
+    p.add_argument("--server-mem-mb", type=int, default=4)
+    p.add_argument("--ssd-limit-mb", type=int, default=32)
+    p.add_argument("--legacy-sim", action="store_true",
+                   help="drive the legacy-heap simulator path")
+    p.add_argument("--fault", action="append", metavar="KIND:k=v,...",
+                   help="fault spec (repeatable), FaultPlan.parse format")
+    p.add_argument("--history-out", default=None, metavar="FILE",
+                   help="also write the recorded history as JSONL")
+
+
+def cmd_check_consistency(args) -> int:
+    from repro.consistency import Scenario, repro_line, run_scenario
+
+    scn = Scenario(
+        seed=args.seed,
+        num_servers=args.servers,
+        num_clients=args.clients,
+        ops_per_client=args.ops if args.ops is not None else 120,
+        num_keys=args.keys,
+        value_length=args.value_length,
+        replication=args.replication,
+        write_mode=args.write_mode,
+        router=args.router,
+        fast_lane=not args.legacy_sim,
+        fault_specs=tuple(args.fault or ()),
+        request_timeout=args.request_timeout,
+        eject_duration=args.eject_duration,
+        server_mem_mb=args.server_mem_mb,
+        ssd_limit_mb=args.ssd_limit_mb,
+    )
+    print(repro_line(scn))
+    report, events, _recorder = run_scenario(scn)
+    if args.history_out:
+        from pathlib import Path
+
+        from repro.consistency import to_jsonl
+
+        Path(args.history_out).write_text(to_jsonl(events))
+        print(f"wrote {args.history_out} ({len(events)} events)")
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  {violation}")
+    return 0 if report.ok else 1
+
+
+def cmd_fuzz(args) -> int:
+    from repro.consistency import fuzz_seeds, to_jsonl
+
+    if ":" in args.seeds:
+        lo, hi = args.seeds.split(":", 1)
+        seeds = list(range(int(lo), int(hi)))
+    else:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+
+    def progress(result) -> None:
+        mark = "ok  " if result.ok else "FAIL"
+        scn = result.scenario
+        faults = ";".join(scn.fault_specs) or "-"
+        print(f"  seed {result.seed:>4} {mark} R={scn.replication} "
+              f"{scn.write_mode}/{scn.router}"
+              f"{'' if scn.fast_lane else '/legacy'} faults={faults} "
+              f"({result.report.ops_checked} ops)")
+
+    print(f"fuzzing {len(seeds)} seed(s)...")
+    results = fuzz_seeds(seeds, shrink_failures=not args.no_shrink,
+                         progress=progress)
+    failures = [r for r in results if not r.ok]
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        lines = []
+        for r in failures:
+            (out / f"seed{r.seed}.history.jsonl").write_text(
+                to_jsonl(r.events))
+            lines.append(r.repro or "")
+        (out / "repro.txt").write_text(
+            "\n".join(lines) + ("\n" if lines else ""))
+        print(f"wrote {len(failures)} failing histories + repro.txt "
+              f"to {out}")
+    print(f"\n{len(results) - len(failures)}/{len(results)} seeds clean")
+    for r in failures:
+        print(f"  seed {r.seed}: {r.report.violations[0]}")
+        if r.repro:
+            print(f"    repro: {r.repro}")
+    return 1 if failures else 0
+
+
 def cmd_check(args) -> int:
+    if getattr(args, "seed", None) is not None:
+        return cmd_check_consistency(args)
     from repro.harness.check import run_checks, summarize_verdicts
 
-    verdicts = run_checks(scale=args.scale, ops=args.ops)
+    verdicts = run_checks(scale=args.scale,
+                          ops=args.ops if args.ops is not None else 1200)
     print(ascii_table([v.row for v in verdicts],
                       title="Paper-claim check "
                             f"(scale={args.scale})"))

@@ -159,6 +159,12 @@ class MemcachedClient:
         #: In-flight replica propagations per server index (the lag gauge).
         self._replica_outstanding: Dict[int, int] = {}
         self._recorded_ids: set[int] = set()
+        #: Opt-in consistency-history hook (see ``repro.consistency``):
+        #: an object with ``on_issue(client, ReqResult, parent=-1)`` and
+        #: ``on_complete(client, ReqResult, user=True, parent=-1)``.
+        #: ``None`` (the default) keeps recording entirely off the hot
+        #: path. Both hooks consume only ``req.result()`` snapshots.
+        self.recorder = None
         #: Background backend fetches driven by ``test()`` on a MISS
         #: (req_id -> the fetch :class:`~repro.sim.events.Process`).
         self._miss_fetches: Dict[int, object] = {}
@@ -353,6 +359,8 @@ class MemcachedClient:
                                0, "mget")
             self._next_req_id += 1
             req.t_issue = t0
+            if self.recorder is not None:
+                self.recorder.on_issue(self.name, req.result())
             if self.t_first_issue is None:
                 self.t_first_issue = t0
             self._outstanding[req.req_id] = req
@@ -422,9 +430,16 @@ class MemcachedClient:
         return dict(req.response.stats_payload or {})
 
     def delete(self, key: bytes):
-        """Blocking delete (completeness; not profiled by the paper)."""
+        """Blocking delete (completeness; not profiled by the paper).
+
+        With replication the delete fans out to every replica like a
+        write does (``sync`` mode holds the ack for the replica
+        removals) — otherwise read failover would resurrect deleted
+        keys from an untouched copy."""
         req = yield from self._issue("delete", "delete", key, 0, 0, 0.0)
         yield from self._recover(req)
+        if self._replica_subs:
+            yield from self._await_replica_acks(req)
         self._finalize(req)
         return req
 
@@ -514,12 +529,22 @@ class MemcachedClient:
             self._account_block(req, self.sim.now - t0)
             if not req.complete.triggered:
                 return req  # timed out; op still in flight
+        yield from self._finish(req)
+        return req
+
+    def _finish(self, req: MemcachedReq):
+        """The completion tail shared by ``wait``/``wait_any``: recovery
+        (timeout/retry/failover), sync replica acks, miss handling,
+        finalize. Replica propagation copies get the bounded
+        ``_await_replica`` wait instead."""
+        if req.api == "replica":
+            yield from self._await_replica(req)
+            return
         yield from self._recover(req)
         if self._replica_subs:
             yield from self._await_replica_acks(req)
         yield from self._handle_miss(req)
         self._finalize(req)
-        return req
 
     def test(self, req: MemcachedReq) -> bool:
         """``memcached_test``: non-blocking completion poll.
@@ -549,10 +574,73 @@ class MemcachedClient:
         self._finalize(req)
         return True
 
-    def wait_all(self, reqs: Sequence[MemcachedReq]):
-        """Wait on many requests (the bursty-I/O pattern of Listing 2)."""
+    def wait_any(self, reqs: Sequence[MemcachedReq],
+                 timeout: Optional[float] = None):
+        """Wait until any one of ``reqs`` completes; returns
+        ``(first_done_req, remaining)``.
+
+        The returned request went through the same recovery / replica-ack
+        / miss-finalization tail as ``wait``. Already-completed requests
+        win immediately, first in input order. With ``timeout`` and
+        nothing completing in time, returns ``(None, reqs)`` — every
+        operation continues in the background, like a timed-out ``wait``.
+
+        When ``request_timeout`` is configured and nothing completes
+        within it, recovery (retry/failover/ejection) is driven for the
+        oldest request, exactly as a plain ``wait`` on it would — so a
+        dead server cannot wedge the caller.
+        """
+        reqs = list(reqs)
+        if not reqs:
+            return None, []
+        deadline = None if timeout is None else self.sim.now + timeout
+        while True:
+            for i, req in enumerate(reqs):
+                if req.complete.triggered:
+                    yield from self._finish(req)
+                    return req, reqs[:i] + reqs[i + 1:]
+            bound = self.config.request_timeout
+            if deadline is not None:
+                left = deadline - self.sim.now
+                if left <= 0:
+                    return None, reqs  # timed out; ops still in flight
+                bound = left if bound is None else min(bound, left)
+            waits = [r.complete for r in reqs]
+            t0 = self.sim.now
+            if bound is None:
+                yield self.sim.any_of(waits)
+            else:
+                yield self.sim.any_of(waits + [self.sim.timeout(bound)])
+            dt = self.sim.now - t0
+            self.total_blocked += dt
+            self._m_blocked.inc(dt)
+            if any(r.complete.triggered for r in reqs):
+                continue
+            if deadline is not None and self.sim.now >= deadline:
+                return None, reqs
+            # request_timeout elapsed with nothing done: fall back to
+            # wait() semantics on the oldest request (bounded recovery).
+            req = reqs[0]
+            yield from self._finish(req)
+            return req, reqs[1:]
+
+    def wait_all(self, reqs: Sequence[MemcachedReq],
+                 timeout: Optional[float] = None):
+        """Wait on many requests (the bursty-I/O pattern of Listing 2).
+
+        ``timeout`` is one budget shared across the whole batch: once it
+        is spent, the remaining requests get a non-blocking sweep (done
+        ones are finalized, pending ones are left in flight for a later
+        ``wait``/``test``). ``None`` preserves the unbounded behaviour.
+        """
+        if timeout is None:
+            for req in reqs:
+                yield from self.wait(req)
+            return list(reqs)
+        deadline = self.sim.now + timeout
         for req in reqs:
-            yield from self.wait(req)
+            yield from self.wait(req,
+                                 timeout=max(0.0, deadline - self.sim.now))
         return list(reqs)
 
     def quiesce(self):
@@ -580,6 +668,8 @@ class MemcachedClient:
                            value_length, api)
         self._next_req_id += 1
         req.t_issue = self.sim.now
+        if self.recorder is not None:
+            self.recorder.on_issue(self.name, req.result())
         if self.t_first_issue is None:
             self.t_first_issue = self.sim.now
         conn = self._route(key)
@@ -599,7 +689,7 @@ class MemcachedClient:
         req.t_api_return = self.sim.now
         self._job_meta[req.req_id] = (flags, expiration, mode, cas_token)
         if self._replication > 1:
-            if op == "set":
+            if op in ("set", "delete"):
                 subs = self._fan_out(req, conn, flags, expiration, mode)
                 if self._sync_writes and subs:
                     self._replica_subs[req.req_id] = subs
@@ -622,37 +712,46 @@ class MemcachedClient:
 
         CAS tokens are per-server, so replica copies of a ``cas`` write
         downgrade to unconditional sets — the primary alone validates
-        the token. Replica sub-requests are not user operations: they
-        carry ``api="replica"``, never produce records, and always
-        travel inline (no receive-buffer credits; see ``_engine_set``).
+        the token. Deletes fan out the same way (a replica removal per
+        copy). Replica sub-requests are not user operations: they carry
+        ``api="replica"``, never produce records, and always travel
+        inline (no receive-buffer credits; see ``_engine_set``).
         """
         subs: List[MemcachedReq] = []
         rmode = "set" if mode == "cas" else mode
         for conn in self._replica_conns(req.key):
             if conn.index == primary.index:
                 continue
-            sub = MemcachedReq(self.sim, self._next_req_id, "set", req.key,
+            sub = MemcachedReq(self.sim, self._next_req_id, req.op, req.key,
                                req.value_length, "replica")
             self._next_req_id += 1
             sub.t_issue = self.sim.now
             sub.server_index = conn.index
+            if self.recorder is not None:
+                self.recorder.on_issue(self.name, sub.result(),
+                                       parent=req.req_id)
             self._outstanding[sub.req_id] = sub
             self._job_meta[sub.req_id] = (flags, expiration, rmode, 0)
             self._replica_outstanding[conn.index] = (
                 self._replica_outstanding.get(conn.index, 0) + 1)
             sub.complete.callbacks.append(
-                lambda _ev, s=sub, c=conn: self._replica_done(s, c))
+                lambda _ev, s=sub, c=conn, p=req.req_id:
+                    self._replica_done(s, c, p))
             self._engine_queue.put(_EngineJob(sub, conn))
             self._m_replica_writes.inc()
             subs.append(sub)
         return subs
 
-    def _replica_done(self, sub: MemcachedReq, conn: ServerConn) -> None:
+    def _replica_done(self, sub: MemcachedReq, conn: ServerConn,
+                      parent: int = -1) -> None:
         """Completion hook for one replica copy (ack or give-up)."""
         self._replica_outstanding[conn.index] = max(
             0, self._replica_outstanding.get(conn.index, 0) - 1)
         self._job_meta.pop(sub.req_id, None)
         self._recorded_ids.add(sub.req_id)
+        if self.recorder is not None:
+            self.recorder.on_complete(self.name, sub.result(), user=False,
+                                      parent=parent)
         if sub.status != SERVER_DOWN:
             conn.consecutive_timeouts = 0
 
@@ -876,6 +975,8 @@ class MemcachedClient:
         self._job_meta.pop(req.req_id, None)
         if req.api == "replica":
             return  # propagation copies are not user-visible operations
+        if self.recorder is not None:
+            self.recorder.on_complete(self.name, req.result(), user=record)
         self._op_end(req)
         if record and self.config.record_ops and req.status is not None:
             self.records.append(OpRecord.from_req(req))
@@ -968,7 +1069,8 @@ class MemcachedClient:
             self._arm(r.buffer_safe, msg.on_wire)
 
     def _engine_delete(self, req: MemcachedReq, conn: ServerConn) -> None:
-        header = DeleteRequest(req_id=req.req_id, op="delete", key=req.key)
+        header = DeleteRequest(req_id=req.req_id, op="delete", key=req.key,
+                               replica=req.api == "replica")
         msg = conn.endpoint.send(header, header.header_bytes)
         self._arm(req.buffer_safe, msg.on_wire)
 
@@ -1031,6 +1133,11 @@ class MemcachedClient:
                 continue
             req.response = response
             req.status = response.status
+            # Attribute the completion to the connection that answered:
+            # after a failover reissue, the response of the *first*
+            # attempt can still arrive, and history/consistency checks
+            # need the server that actually served the op.
+            req.server_index = conn.index
             req.stages.update(response.stages)
             # Network + delivery share of the server's response stage.
             req.stages["server_response"] = (

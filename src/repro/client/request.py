@@ -27,6 +27,10 @@ class ReqResult:
     blocked_time: float
     cas_token: int = 0
     server_index: int = -1
+    key: bytes = b""
+    req_id: int = -1
+    t_issue: float = 0.0
+    t_complete: float = 0.0
 
     #: Statuses that mean the operation did what was asked.
     _OK = frozenset({"STORED", "HIT", "DELETED", "TOUCHED"})
@@ -38,6 +42,11 @@ class ReqResult:
     @property
     def pending(self) -> bool:
         return self.status == "PENDING"
+
+    @property
+    def hit(self) -> bool:
+        """Did a read find the item in the cache (status ``HIT``)."""
+        return self.status == "HIT"
 
 
 class MemcachedReq:
@@ -115,13 +124,17 @@ class MemcachedReq:
                              value_length=self.value_length, latency=0.0,
                              blocked_time=self.blocked_time,
                              cas_token=self.cas_token,
-                             server_index=self.server_index)
+                             server_index=self.server_index,
+                             key=self.key, req_id=self.req_id,
+                             t_issue=self.t_issue, t_complete=0.0)
         return ReqResult(op=self.op, api=self.api, status=self.status or "?",
                          value_length=self.value_length,
                          latency=self.latency,
                          blocked_time=self.blocked_time,
                          cas_token=self.cas_token,
-                         server_index=self.server_index)
+                         server_index=self.server_index,
+                         key=self.key, req_id=self.req_id,
+                         t_issue=self.t_issue, t_complete=self.t_complete)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = self.status or ("pending" if not self.done else "done")

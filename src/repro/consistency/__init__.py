@@ -1,0 +1,28 @@
+"""Client-observed histories, per-key linearizability checking, and
+fault-schedule fuzzing (see ``docs/consistency.md``).
+
+* :mod:`repro.consistency.history` — opt-in recording of every
+  client-visible operation as an invocation/response interval.
+* :mod:`repro.consistency.spec` — the sequential per-(key, server)
+  cache spec (eviction-aware).
+* :mod:`repro.consistency.checker` — cheap always-on invariants plus a
+  Wing–Gong linearization search.
+* :mod:`repro.consistency.fuzz` — randomized fault-schedule scenarios,
+  shrinking, and ``repro check --seed N`` repro lines.
+"""
+
+from repro.consistency.checker import (ConsistencyReport, Violation,
+                                       check_history, check_run)
+from repro.consistency.fuzz import (FuzzResult, Scenario, derive,
+                                    fuzz_seeds, repro_line, run_scenario,
+                                    shrink)
+from repro.consistency.history import (HistoryEvent, HistoryRecorder,
+                                       from_jsonl, record_run, to_jsonl)
+
+__all__ = [
+    "ConsistencyReport", "Violation", "check_history", "check_run",
+    "FuzzResult", "Scenario", "derive", "fuzz_seeds", "repro_line",
+    "run_scenario", "shrink",
+    "HistoryEvent", "HistoryRecorder", "from_jsonl", "record_run",
+    "to_jsonl",
+]

@@ -1,0 +1,452 @@
+"""Per-key linearizability checking over client-observed histories.
+
+Two passes, both per key:
+
+**Invariant pass** (cheap, always on) — token-algebra rules that need
+no search. CAS tokens are per-server monotonic write identifiers, so:
+
+* *attribution*: a ``HIT`` carrying token *c* on server *s* must name an
+  apply of the *same key* (token/key mismatches and value-length
+  mismatches are corruption); tokens with no recorded apply (lost
+  responses of possibly-applied writes, at-least-once retry duplicates,
+  anti-entropy resync) are counted, not flagged.
+* *stale read* — a read must not observe token *c* on *s* when a
+  larger-token apply on *(s, key)* completed before the read was issued.
+* *no resurrection* — once absence was observed on *(s, key)* (acked
+  DELETE, delete->NOT_FOUND, or a MISS), no earlier-applied token may
+  ever be observed there again (re-stores draw fresh tokens).
+* *monotonic reads* — non-overlapping reads on *(s, key)* observe
+  non-decreasing tokens.
+* *sync visibility* (``write_mode="sync"`` only) — after a sync write
+  (or delete) acked, a read issued later on any server the write's
+  replica sub-request **acked** on must not observe an older token —
+  regardless of response timing. This is the rule a
+  replica-apply-reordered-ahead-of-ack mutant trips.
+
+**Wing–Gong pass** (``full=True``) — an exhaustive linearization search
+of each (key, server) sub-history against the sequential cache spec of
+:mod:`repro.consistency.spec`, with adversarial eviction insertion and
+the apply-in-token-order constraint. Events whose effect is
+indeterminate (``SERVER_DOWN``/``PENDING`` writes, unattributable
+reads, replica-sub conditional failures) are excluded — the invariant
+pass carries the conservative rules for those.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.consistency.history import HistoryEvent
+from repro.consistency.spec import ABSENT, SpecOp, step
+
+__all__ = ["Violation", "ConsistencyReport", "check_history", "check_run"]
+
+_ACKED_WRITE = "STORED"
+_ABSENCE_DELETE = ("DELETED", "NOT_FOUND")
+_POSSIBLY_APPLIED = ("SERVER_DOWN", "PENDING")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One consistency violation, anchored to a (key, server) pair."""
+
+    kind: str     # stale-read / resurrection / non-monotonic-read /
+                  # sync-stale-read / sync-resurrection /
+                  # token-key-mismatch / value-mismatch / not-linearizable
+    key: str
+    server: int
+    detail: str
+
+    def __str__(self) -> str:
+        return (f"[{self.kind}] key={self.key!r} server={self.server}: "
+                f"{self.detail}")
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of checking one history."""
+
+    violations: List[Violation] = field(default_factory=list)
+    ops_checked: int = 0
+    keys_checked: int = 0
+    pairs_searched: int = 0
+    #: (key, server) pairs whose search exceeded the node budget or the
+    #: op cap — invariants still ran for them.
+    undecided: List[Tuple[str, int]] = field(default_factory=list)
+    #: HIT tokens with no recorded apply (lost acks, retry duplicates,
+    #: resync) — permitted, but surfaced.
+    unattributed_reads: int = 0
+    #: Writes/deletes whose outcome is unknown (SERVER_DOWN / PENDING).
+    possibly_applied: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        return (f"consistency: {verdict} — {self.ops_checked} ops, "
+                f"{self.keys_checked} keys, {self.pairs_searched} "
+                f"(key,server) searches, {self.unattributed_reads} "
+                f"unattributed reads, {self.possibly_applied} "
+                f"possibly-applied, {len(self.undecided)} undecided")
+
+
+def _label(ev: HistoryEvent) -> str:
+    return f"{ev.client}/{ev.req_id}"
+
+
+def check_history(events: Sequence[HistoryEvent],
+                  initial_tokens: Optional[Dict] = None, *,
+                  write_mode: str = "sync",
+                  faults: bool = False,
+                  full: bool = True,
+                  wg_budget: int = 200_000,
+                  max_wg_ops: int = 48) -> ConsistencyReport:
+    """Check one recorded history; returns a :class:`ConsistencyReport`.
+
+    ``initial_tokens`` is ``HistoryRecorder.initial_tokens``:
+    ``{(server, key): (cas_token, value_length)}`` for preloaded items.
+    ``write_mode`` enables the sync-visibility rule; ``faults=True``
+    says the run had a fault plan, so anti-entropy resync may have
+    re-stored items invisibly to the history (relaxes presence
+    predicates to the UNKNOWN-item spec — see
+    :mod:`repro.consistency.spec`); ``full=False`` skips the Wing–Gong
+    search (invariants only).
+    """
+    initial_tokens = initial_tokens or {}
+    report = ConsistencyReport(ops_checked=len(events))
+
+    # -- index ------------------------------------------------------------
+    by_key: Dict[str, List[HistoryEvent]] = defaultdict(list)
+    #: server -> token -> apply event (tokens are unique per server).
+    applies_by_server: Dict[int, Dict[int, HistoryEvent]] = defaultdict(dict)
+    for ev in events:
+        if ev.op == "stats":
+            continue
+        by_key[ev.key].append(ev)
+        if ev.op == "set" and ev.status == _ACKED_WRITE and ev.server >= 0:
+            applies_by_server[ev.server][ev.cas_token] = ev
+        if (ev.op in ("set", "delete")
+                and ev.status in _POSSIBLY_APPLIED):
+            report.possibly_applied += 1
+
+    report.keys_checked = len(by_key)
+    for key, evs in by_key.items():
+        _check_key(key, evs, initial_tokens, applies_by_server,
+                   write_mode, report)
+        if full:
+            # Presence predicates relax to the UNKNOWN-item spec when an
+            # invisible re-store was possible for this key: a fault plan
+            # (resync) or a possibly-applied write on the key.
+            allow_unknown = faults or any(
+                ev.op in ("set", "delete")
+                and ev.status in _POSSIBLY_APPLIED for ev in evs)
+            _search_key(key, evs, initial_tokens, applies_by_server,
+                        report, wg_budget, max_wg_ops, allow_unknown)
+    return report
+
+
+# -- invariant pass ---------------------------------------------------------
+
+
+def _attribute(ev: HistoryEvent, initial_tokens, applies_by_server):
+    """Resolve a HIT's token to its apply: ``(kind, apply_t_complete,
+    value_length, key)`` — kind 'apply', 'initial', or None."""
+    apply_ev = applies_by_server.get(ev.server, {}).get(ev.cas_token)
+    if apply_ev is not None:
+        return ("apply", apply_ev.t_complete, apply_ev.value_length,
+                apply_ev.key)
+    init = initial_tokens.get((ev.server, ev.key))
+    if init is not None and init[0] == ev.cas_token:
+        return ("initial", float("-inf"), init[1], ev.key)
+    return None
+
+
+def _check_key(key, evs, initial_tokens, applies_by_server, write_mode,
+               report) -> None:
+    viol = report.violations.append
+    # per-server event groups for this key
+    applies: Dict[int, List[HistoryEvent]] = defaultdict(list)
+    hits: Dict[int, List[HistoryEvent]] = defaultdict(list)
+    absence: Dict[int, List[HistoryEvent]] = defaultdict(list)
+    for ev in evs:
+        if ev.server < 0:
+            continue
+        if ev.op == "set" and ev.status == _ACKED_WRITE:
+            applies[ev.server].append(ev)
+        elif ev.op == "get" and ev.status == "HIT":
+            hits[ev.server].append(ev)
+        elif ev.op == "get" and ev.status == "MISS":
+            absence[ev.server].append(ev)
+        elif ev.op == "delete" and ev.status in _ABSENCE_DELETE:
+            absence[ev.server].append(ev)
+
+    for server, reads in hits.items():
+        server_applies = applies.get(server, ())
+        for r in reads:
+            attr = _attribute(r, initial_tokens, applies_by_server)
+            if attr is None:
+                report.unattributed_reads += 1
+            else:
+                _kind, a_end, a_vlen, a_key = attr
+                if a_key != r.key:
+                    viol(Violation(
+                        "token-key-mismatch", key, server,
+                        f"read {_label(r)} observed token {r.cas_token} "
+                        f"written for key {a_key!r}"))
+                elif a_vlen != r.value_length:
+                    viol(Violation(
+                        "value-mismatch", key, server,
+                        f"read {_label(r)} token {r.cas_token}: "
+                        f"value_length {r.value_length} != stored {a_vlen}"))
+                # no resurrection after observed absence
+                for b in absence.get(server, ()):
+                    if a_end < b.t_issue and 0 <= b.t_complete < r.t_issue:
+                        viol(Violation(
+                            "resurrection", key, server,
+                            f"read {_label(r)} observed token "
+                            f"{r.cas_token} (applied before "
+                            f"{b.op}->{b.status} {_label(b)} completed "
+                            f"before the read was issued)"))
+                        break
+            # stale read vs known newer applies on this (server, key)
+            for a in server_applies:
+                if (a.cas_token > r.cas_token
+                        and 0 <= a.t_complete < r.t_issue):
+                    viol(Violation(
+                        "stale-read", key, server,
+                        f"read {_label(r)} (issued {r.t_issue:.9f}) "
+                        f"observed token {r.cas_token} but apply "
+                        f"{_label(a)} token {a.cas_token} completed "
+                        f"earlier at {a.t_complete:.9f}"))
+                    break
+
+        # monotonic reads per (server, key)
+        done = sorted((r for r in reads if r.t_complete >= 0),
+                      key=lambda r: r.t_complete)
+        by_issue = sorted(reads, key=lambda r: r.t_issue)
+        hi = 0
+        max_tok: Optional[Tuple[int, HistoryEvent]] = None
+        for r in by_issue:
+            while hi < len(done) and done[hi].t_complete < r.t_issue:
+                if max_tok is None or done[hi].cas_token > max_tok[0]:
+                    max_tok = (done[hi].cas_token, done[hi])
+                hi += 1
+            if max_tok is not None and r.cas_token < max_tok[0]:
+                viol(Violation(
+                    "non-monotonic-read", key, server,
+                    f"read {_label(r)} observed token {r.cas_token} "
+                    f"after {_label(max_tok[1])} observed "
+                    f"{max_tok[0]}"))
+
+    if write_mode == "sync":
+        _check_sync_visibility(key, evs, initial_tokens, applies_by_server,
+                               report)
+
+
+def _check_sync_visibility(key, evs, initial_tokens, applies_by_server,
+                           report) -> None:
+    """After an acked sync write/delete, reads issued later must see its
+    effect on every server whose replica sub-request acked — the
+    response timing of the sub itself does not matter (a correct sync
+    client acked *after* them; a broken one is what we're hunting)."""
+    subs_by_parent: Dict[int, List[HistoryEvent]] = defaultdict(list)
+    for ev in evs:
+        if ev.api == "replica" and ev.parent >= 0:
+            subs_by_parent[ev.parent].append(ev)
+    reads = [ev for ev in evs if ev.op == "get" and ev.status == "HIT"]
+    for w in evs:
+        if not w.user or w.t_complete < 0:
+            continue
+        if w.op == "set" and w.status == _ACKED_WRITE:
+            floor: Dict[int, int] = {w.server: w.cas_token}
+            for sub in subs_by_parent.get(w.req_id, ()):
+                if sub.status == _ACKED_WRITE:
+                    floor[sub.server] = sub.cas_token
+            for r in reads:
+                tok = floor.get(r.server)
+                if (tok is not None and r.t_issue > w.t_complete
+                        and r.cas_token < tok):
+                    report.violations.append(Violation(
+                        "sync-stale-read", key, r.server,
+                        f"read {_label(r)} issued after sync write "
+                        f"{_label(w)} acked, but observed token "
+                        f"{r.cas_token} < its apply {tok} on this "
+                        f"server"))
+        elif w.op == "delete" and w.status in _ABSENCE_DELETE:
+            removed = {w.server}
+            for sub in subs_by_parent.get(w.req_id, ()):
+                if sub.status in _ABSENCE_DELETE:
+                    removed.add(sub.server)
+            for r in reads:
+                if r.server not in removed or r.t_issue <= w.t_complete:
+                    continue
+                attr = _attribute(r, initial_tokens, applies_by_server)
+                if attr is not None and attr[1] < w.t_issue:
+                    report.violations.append(Violation(
+                        "sync-resurrection", key, r.server,
+                        f"read {_label(r)} issued after sync delete "
+                        f"{_label(w)} acked, but observed token "
+                        f"{r.cas_token} applied before the delete"))
+
+
+# -- Wing–Gong search per (key, server) -------------------------------------
+
+
+def _spec_op(ev: HistoryEvent, initial_tokens,
+             applies_by_server) -> Optional[SpecOp]:
+    """Resolve one event to a SpecOp, or None when indeterminate."""
+    st = ev.status
+    if st in _POSSIBLY_APPLIED:
+        return None
+    mk = lambda kind, token=0: SpecOp(  # noqa: E731
+        kind, token, ev.t_issue, ev.t_complete, _label(ev))
+    if ev.op == "set":
+        if st == _ACKED_WRITE:
+            return mk("apply", ev.cas_token)
+        if ev.api == "replica":
+            return None  # conditional replica outcome: mode unknown
+        if st == "NOT_STORED":
+            if ev.api == "add":
+                return mk("add_fail")
+            if ev.api == "replace":
+                return mk("replace_fail")
+            return None
+        if ev.api == "cas":
+            if st == "EXISTS":
+                return mk("cas_exists")
+            if st == "NOT_FOUND":
+                return mk("cas_nf")
+        return None
+    if ev.op == "get":
+        if st == "HIT":
+            if _attribute(ev, initial_tokens, applies_by_server) is None:
+                return None  # unattributable token: unconstrained
+            return mk("hit", ev.cas_token)
+        if st == "MISS":
+            return mk("miss")
+        return None
+    if ev.op == "delete":
+        if st == "DELETED":
+            return mk("delete")
+        if st == "NOT_FOUND":
+            return mk("delete_nf")
+        return None
+    if ev.op == "touch":
+        if st == "TOUCHED":
+            return mk("touch_ok")
+        if st == "NOT_FOUND":
+            return mk("touch_nf")
+        return None
+    return None
+
+
+def _search_key(key, evs, initial_tokens, applies_by_server, report,
+                budget, max_ops, allow_unknown) -> None:
+    per_server: Dict[int, List[SpecOp]] = defaultdict(list)
+    for ev in evs:
+        if ev.server < 0:
+            continue
+        op = _spec_op(ev, initial_tokens, applies_by_server)
+        if op is not None:
+            per_server[ev.server].append(op)
+    for server, ops in per_server.items():
+        if not ops:
+            continue
+        report.pairs_searched += 1
+        if len(ops) > max_ops:
+            report.undecided.append((key, server))
+            continue
+        init = initial_tokens.get((server, key))
+        init_state = init[0] if init is not None else ABSENT
+        verdict = _linearize(sorted(
+            ops, key=lambda o: (o.t_issue, o.t_complete, o.label)),
+            init_state, budget, allow_unknown)
+        if verdict == "undecided":
+            report.undecided.append((key, server))
+        elif verdict == "violation":
+            trace = ", ".join(
+                f"{o.label}:{o.kind}"
+                + (f"({o.token})" if o.kind in ("apply", "hit") else "")
+                for o in sorted(ops, key=lambda o: o.t_issue))
+            report.violations.append(Violation(
+                "not-linearizable", key, server,
+                f"no linearization of [{trace}] satisfies the "
+                f"sequential cache spec"))
+
+
+def _linearize(ops: List[SpecOp], init_state: int, budget: int,
+               allow_unknown: bool = False) -> str:
+    """Wing–Gong search: is there a total order of ``ops`` respecting
+    real time (op A before op B when A completed before B was issued)
+    and the sequential spec? Applies must additionally linearize in
+    token order (the server's counter assigns tokens in apply order).
+    Returns 'ok', 'violation', or 'undecided' (budget exhausted)."""
+    n = len(ops)
+    if n == 0:
+        return "ok"
+    pred = [0] * n
+    for i in range(n):
+        for j in range(n):
+            if i != j and ops[j].t_complete < ops[i].t_issue:
+                pred[i] |= 1 << j
+    apply_order = sorted((i for i in range(n) if ops[i].kind == "apply"),
+                         key=lambda i: ops[i].token)
+    seen = set()
+    nodes = 0
+    stack = [((1 << n) - 1, init_state)]
+    while stack:
+        mask, state = stack.pop()
+        if mask == 0:
+            return "ok"
+        if (mask, state) in seen:
+            continue
+        seen.add((mask, state))
+        nodes += 1
+        if nodes > budget:
+            return "undecided"
+        next_apply = -1
+        for i in apply_order:
+            if mask >> i & 1:
+                next_apply = i
+                break
+        m = mask
+        while m:
+            i = (m & -m).bit_length() - 1
+            m &= m - 1
+            if pred[i] & mask:
+                continue  # a strictly-earlier op is still unlinearized
+            if ops[i].kind == "apply" and i != next_apply:
+                continue  # applies go in token order
+            legal, nxt = step(state, ops[i], allow_unknown)
+            if legal:
+                stack.append((mask & ~(1 << i), nxt))
+    return "violation"
+
+
+# -- harness convenience ----------------------------------------------------
+
+
+def check_run(cluster, recorder, *, full: bool = True,
+              **kw) -> ConsistencyReport:
+    """Finish ``recorder`` and check its history against ``cluster``'s
+    configured write mode. Publishes checker counters/timings on the
+    cluster's observability registry when enabled."""
+    import time
+
+    events = recorder.finish()
+    t0 = time.perf_counter()
+    report = check_history(events, recorder.initial_tokens,
+                           write_mode=cluster.spec.write_mode,
+                           full=full, **kw)
+    elapsed = time.perf_counter() - t0
+    if cluster.obs.enabled:
+        reg = cluster.obs.registry
+        reg.counter("consistency_ops_recorded").inc(len(events))
+        reg.counter("consistency_violations").inc(len(report.violations))
+        reg.counter("consistency_keys_checked").inc(report.keys_checked)
+        reg.counter("consistency_check_seconds").inc(elapsed)
+    return report

@@ -1,0 +1,288 @@
+"""Fault-schedule fuzzing: randomized scenarios, checked histories,
+seed shrinking, and one-line repros.
+
+A :class:`Scenario` is a **frozen, fully explicit** description of one
+fuzz run — every knob the simulation needs, no hidden state — so any
+scenario can be reproduced from its CLI flags alone
+(:func:`repro_line`). :func:`derive` maps a single integer seed to a
+scenario (randomized fault plan × replication × write mode × router ×
+fast-lane/legacy sim path); :func:`run_scenario` executes it under a
+:class:`~repro.consistency.history.HistoryRecorder` and checks the
+history; :func:`shrink` minimizes a failing scenario (drop faults one
+at a time, halve the op count, drop to one client) so the printed
+``repro check --seed N ...`` line is as small as the bug allows.
+
+Workload: a mixed per-client stream (weighted get/set/add/replace/
+cas/delete/touch, blocking and non-blocking with ``wait_any`` windows)
+drawn from a per-client ``random.Random`` — deterministic for a fixed
+seed, identical across the fast-lane and legacy simulator paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.consistency.checker import ConsistencyReport, check_history
+from repro.consistency.history import HistoryEvent, HistoryRecorder
+from repro.core.cluster import ClusterSpec, build_cluster
+from repro.core.profiles import H_RDMA_OPT_NONB_I
+from repro.faults import FaultPlan
+from repro.sim import Simulator
+from repro.units import MB
+from repro.workloads.keyspace import Keyspace
+
+__all__ = ["Scenario", "FuzzResult", "derive", "run_scenario",
+           "fuzz_seeds", "shrink", "repro_line"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully explicit fuzz run — reproducible from these fields."""
+
+    seed: int
+    num_servers: int = 3
+    num_clients: int = 2
+    ops_per_client: int = 120
+    num_keys: int = 24
+    value_length: int = 4096
+    replication: int = 2
+    write_mode: str = "sync"
+    router: str = "ketama"
+    fast_lane: bool = True
+    #: CLI fault specs (``FaultPlan.parse`` format); () = fault-free.
+    fault_specs: Tuple[str, ...] = ()
+    request_timeout: float = 2e-3
+    eject_duration: float = 5e-3
+    server_mem_mb: int = 4
+    ssd_limit_mb: int = 32
+
+    def to_cli_args(self) -> List[str]:
+        """The exact ``repro check`` flags reproducing this scenario."""
+        args = ["--seed", str(self.seed),
+                "--servers", str(self.num_servers),
+                "--clients", str(self.num_clients),
+                "--ops", str(self.ops_per_client),
+                "--keys", str(self.num_keys),
+                "--value-length", str(self.value_length),
+                "--replication", str(self.replication),
+                "--write-mode", self.write_mode,
+                "--router", self.router,
+                "--request-timeout", repr(self.request_timeout),
+                "--eject-duration", repr(self.eject_duration),
+                "--server-mem-mb", str(self.server_mem_mb),
+                "--ssd-limit-mb", str(self.ssd_limit_mb)]
+        if not self.fast_lane:
+            args.append("--legacy-sim")
+        for spec in self.fault_specs:
+            args += ["--fault", spec]
+        return args
+
+
+def repro_line(scn: Scenario) -> str:
+    """The one-line CLI reproduction of ``scn``."""
+    import shlex
+    return "repro check " + " ".join(
+        shlex.quote(a) for a in scn.to_cli_args())
+
+
+def derive(seed: int) -> Scenario:
+    """Deterministically expand one fuzz seed into a scenario."""
+    rng = random.Random(seed ^ 0x5EED_C0DE)
+    num_servers = 3
+    num_faults = rng.choice((0, 1, 1, 2))
+    fault_specs: Tuple[str, ...] = ()
+    if num_faults:
+        plan = FaultPlan.random(seed ^ 0x000F_A017, num_servers,
+                                horizon=0.02, num_faults=num_faults)
+        fault_specs = tuple(plan.to_specs())
+    return Scenario(
+        seed=seed,
+        num_servers=num_servers,
+        num_clients=rng.choice((1, 2)),
+        ops_per_client=rng.choice((80, 120)),
+        value_length=rng.choice((4096, 16384)),
+        replication=rng.choice((1, 2, 3)),
+        write_mode=rng.choice(("sync", "async")),
+        router=rng.choice(("modulo", "ketama")),
+        fast_lane=bool(rng.getrandbits(1)),
+        fault_specs=fault_specs,
+    )
+
+
+# -- workload driver --------------------------------------------------------
+
+
+def _drive(client, scn: Scenario, rng: random.Random, keyspace: Keyspace):
+    """Mixed blocking + non-blocking stream with ``wait_any`` windows.
+
+    Weights: get 40% (half non-blocking), set 25% (half non-blocking),
+    add 5%, replace 5%, get+cas 10%, delete 10%, touch 5%.
+    """
+    window: list = []
+    for _ in range(scn.ops_per_client):
+        key = keyspace.key(rng.randrange(scn.num_keys))
+        draw = rng.random()
+        if draw < 0.40:
+            if rng.random() < 0.5:
+                req = yield from client.iget(key)
+                window.append(req)
+            else:
+                yield from client.get(key)
+        elif draw < 0.65:
+            if rng.random() < 0.5:
+                req = yield from client.iset(key, scn.value_length)
+                window.append(req)
+            else:
+                yield from client.set(key, scn.value_length)
+        elif draw < 0.70:
+            yield from client.add(key, scn.value_length)
+        elif draw < 0.75:
+            yield from client.replace(key, scn.value_length)
+        elif draw < 0.85:
+            read = yield from client.get(key)
+            res = read.result()
+            if res.hit:
+                yield from client.cas(key, scn.value_length, res.cas_token)
+        elif draw < 0.95:
+            yield from client.delete(key)
+        else:
+            yield from client.touch(key, 60.0)
+        if len(window) >= 4:
+            _done, remaining = yield from client.wait_any(window)
+            window = list(remaining)
+    for req in window:
+        yield from client.wait(req)
+    yield from client.quiesce()
+
+
+# -- execution --------------------------------------------------------------
+
+
+def run_scenario(scn: Scenario, *, full: bool = True
+                 ) -> Tuple[ConsistencyReport, List[HistoryEvent],
+                            HistoryRecorder]:
+    """Build, preload, record, drive, quiesce, and check one scenario."""
+    sim = Simulator(fast_lane=scn.fast_lane)
+    spec = ClusterSpec(
+        num_servers=scn.num_servers,
+        num_clients=scn.num_clients,
+        server_mem=scn.server_mem_mb * MB,
+        ssd_limit=scn.ssd_limit_mb * MB,
+        router=scn.router,
+        request_timeout=scn.request_timeout,
+        eject_duration=scn.eject_duration,
+        replication_factor=min(scn.replication, scn.num_servers),
+        write_mode=scn.write_mode,
+    )
+    cluster = build_cluster(H_RDMA_OPT_NONB_I, spec=spec, sim=sim,
+                            value_length_for=lambda _k: scn.value_length)
+    keyspace = Keyspace(scn.num_keys)
+    cluster.preload([(keyspace.key(i), scn.value_length)
+                     for i in range(scn.num_keys)])
+    recorder = HistoryRecorder().attach(cluster)
+    if scn.fault_specs:
+        FaultPlan.parse(scn.fault_specs).inject(cluster)
+    drivers = [
+        sim.spawn(_drive(client, scn,
+                         random.Random((scn.seed << 8) ^ (index * 0x9E37)),
+                         keyspace),
+                  name=f"fuzz-{client.name}")
+        for index, client in enumerate(cluster.clients)]
+    sim.run(until=sim.all_of(drivers))
+    events = recorder.finish()
+    recorder.detach()
+    report = check_history(events, recorder.initial_tokens,
+                           write_mode=cluster.spec.write_mode,
+                           faults=bool(scn.fault_specs), full=full)
+    return report, events, recorder
+
+
+# -- shrinking + batch fuzzing ----------------------------------------------
+
+
+def shrink(scn: Scenario, *, max_runs: int = 24) -> Scenario:
+    """Minimize a failing scenario: drop fault events one at a time,
+    halve the op count, then drop to one client — keeping each step
+    only if the violation survives. Bounded by ``max_runs`` re-runs."""
+    runs = 0
+
+    def still_fails(candidate: Scenario) -> bool:
+        nonlocal runs
+        if runs >= max_runs:
+            return False
+        runs += 1
+        report, _events, _rec = run_scenario(candidate)
+        return not report.ok
+
+    current = scn
+    progressed = True
+    while progressed and runs < max_runs:
+        progressed = False
+        for i in range(len(current.fault_specs)):
+            candidate = dataclasses.replace(
+                current, fault_specs=(current.fault_specs[:i]
+                                      + current.fault_specs[i + 1:]))
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+                break
+        if progressed:
+            continue
+        if current.ops_per_client > 10:
+            candidate = dataclasses.replace(
+                current, ops_per_client=max(10, current.ops_per_client // 2))
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+                continue
+        if current.num_clients > 1:
+            candidate = dataclasses.replace(current, num_clients=1)
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+    return current
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzzed seed."""
+
+    seed: int
+    scenario: Scenario
+    report: ConsistencyReport
+    #: Minimized failing scenario (violating seeds only).
+    shrunk: Optional[Scenario] = None
+    #: ``repro check ...`` one-liner (violating seeds only).
+    repro: Optional[str] = None
+    #: Recorded history (violating seeds, or ``keep_history=True``).
+    events: List[HistoryEvent] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+
+def fuzz_seeds(seeds: Sequence[int], *, shrink_failures: bool = True,
+               keep_history: bool = False,
+               progress: Optional[Callable[[FuzzResult], None]] = None
+               ) -> List[FuzzResult]:
+    """Fuzz every seed; shrink failures and attach their repro lines."""
+    results = []
+    for seed in seeds:
+        scenario = derive(seed)
+        report, events, _recorder = run_scenario(scenario)
+        result = FuzzResult(seed=seed, scenario=scenario, report=report)
+        if not report.ok:
+            result.events = events
+            minimized = shrink(scenario) if shrink_failures else scenario
+            result.shrunk = minimized
+            result.repro = repro_line(minimized)
+        elif keep_history:
+            result.events = events
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return results

@@ -1,0 +1,105 @@
+"""Sequential per-server KV-cache specification.
+
+The unit of linearizability here is one **(key, server)** pair: each
+server applies operations on a key in some total order, and CAS tokens
+name the applies (per-server monotonic counter). The spec models what a
+correct memcached server can answer, *including spontaneous eviction*:
+a cache may drop any item at any time, so the search is allowed to
+insert an eviction (state -> ABSENT) before an operation whenever that
+makes the observed outcome legal. What eviction can never do is
+*resurrect* data: once a token is gone from a server it can never be
+observed again (re-stores draw fresh tokens — preload/resync included).
+
+State is :data:`ABSENT`, the CAS token of the live item, or
+:data:`UNKNOWN` — "some item with a token no recorded apply names is
+present". Conditional stores (add/replace/cas) and touch constrain
+presence; their failure outcomes are modeled as predicates.
+
+The UNKNOWN state exists because two mechanisms can (re)store an item
+*invisibly to the history*: a possibly-applied write (response lost to
+a timeout/partition but the mutation landed) and anti-entropy resync
+after a heal/restart (``manager.preload`` on the target — no client
+op). Both draw fresh tokens, so an UNKNOWN item can satisfy presence
+predicates but can never explain a ``hit`` of a *recorded* token. The
+caller enables it (``allow_unknown``) only when such mechanisms were
+actually possible — fault plans or possibly-applied writes on the key —
+keeping the fault-free spec strict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["ABSENT", "UNKNOWN", "SpecOp", "step", "APPLY_KINDS"]
+
+#: The item is not on the server (never stored / evicted / deleted).
+ABSENT = -1
+
+#: An item is present whose token no recorded apply names (resync /
+#: possibly-applied write). Only reachable with ``allow_unknown``.
+UNKNOWN = -2
+
+#: Kinds that install a new token (must linearize in token order).
+APPLY_KINDS = frozenset({"apply"})
+
+
+@dataclass(frozen=True)
+class SpecOp:
+    """One operation of a (key, server) sub-history.
+
+    ``kind`` is the *outcome-resolved* operation:
+
+    =================  ====================================================
+    ``apply``          a store that succeeded (STORED): state := token
+    ``hit``            a read observing ``token``: requires state == token
+    ``miss``           a read observing absence: eviction -> ABSENT
+    ``delete``         an acked DELETED: requires present -> ABSENT
+    ``delete_nf``      delete answered NOT_FOUND: requires absent
+    ``add_fail``       add answered NOT_STORED: requires present
+    ``replace_fail``   replace answered NOT_STORED: requires absent
+    ``cas_exists``     cas answered EXISTS: requires present
+    ``cas_nf``         cas answered NOT_FOUND: requires absent
+    ``touch_ok``       touch answered TOUCHED: requires present
+    ``touch_nf``       touch answered NOT_FOUND: requires absent
+    =================  ====================================================
+    """
+
+    kind: str
+    token: int          # apply/hit only; 0 otherwise
+    t_issue: float
+    t_complete: float
+    label: str = ""     # "client/req_id" — for violation messages
+
+
+def step(state: int, op: SpecOp,
+         allow_unknown: bool = False) -> Tuple[bool, Optional[int]]:
+    """Apply ``op`` to ``state``; returns ``(legal, next_state)``.
+
+    Spontaneous eviction is folded in: outcomes that require absence
+    are always reachable from a present state (the server may have
+    evicted first), and they leave the state ABSENT. Outcomes that
+    require *presence* cannot be manufactured by eviction — but with
+    ``allow_unknown``, an invisible re-store (resync / possibly-applied
+    write) may have put an UNKNOWN-token item there first.
+    """
+    kind = op.kind
+    if kind == "apply":
+        return True, op.token
+    if kind == "hit":
+        # UNKNOWN can never explain a hit: recorded tokens are distinct
+        # from whatever token the invisible item carries.
+        return state == op.token, state
+    if kind == "miss":
+        return True, ABSENT
+    if kind == "delete":
+        if state != ABSENT:
+            return True, ABSENT
+        return allow_unknown, ABSENT
+    if kind in ("delete_nf", "replace_fail", "cas_nf", "touch_nf"):
+        return True, ABSENT  # absence observed; evict-first explains any state
+    if kind in ("add_fail", "cas_exists", "touch_ok"):
+        if state != ABSENT:
+            return True, state
+        return allow_unknown, UNKNOWN
+    raise ValueError(f"unknown spec op kind {kind!r}")

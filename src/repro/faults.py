@@ -87,6 +87,18 @@ class FaultEvent:
         if self.factor <= 0:
             raise ValueError(f"factor must be positive, got {self.factor}")
 
+    def to_spec(self) -> str:
+        """The CLI spec string this event round-trips through
+        :meth:`FaultPlan.parse` (times as plain seconds)."""
+        parts = [f"server={self.server}", f"at={self.at!r}"]
+        if self.duration is not None:
+            parts.append(f"duration={self.duration!r}")
+        if self.kind in (LINK_DEGRADE, SSD_SLOWDOWN):
+            parts.append(f"factor={self.factor!r}")
+        if self.kind == CRASH and not self.wipe:
+            parts.append("wipe=false")
+        return f"{self.kind}:{','.join(parts)}"
+
 
 @dataclass
 class FaultPlan:
@@ -157,6 +169,11 @@ class FaultPlan:
                 duration=duration, factor=rng.choice((5.0, 10.0, 20.0))))
         events.sort(key=lambda e: (e.at, e.server, e.kind))
         return cls(events)
+
+    def to_specs(self) -> List[str]:
+        """CLI spec strings (``--fault`` arguments) reproducing this
+        plan exactly via :meth:`parse` — used for fuzzer repro lines."""
+        return [event.to_spec() for event in self.events]
 
     # -- injection ---------------------------------------------------------
 

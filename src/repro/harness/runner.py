@@ -39,6 +39,12 @@ class RunResult:
     #: The cluster's :class:`~repro.obs.Observability` when the run was
     #: observed (``observe=True``/``trace=True``); None otherwise.
     obs: Optional[object] = None
+    #: Recorded :class:`~repro.consistency.history.HistoryEvent` list
+    #: when the run had ``check_consistency=True``; None otherwise.
+    history: Optional[list] = None
+    #: The :class:`~repro.consistency.checker.ConsistencyReport` when
+    #: the run had ``check_consistency=True``; None otherwise.
+    consistency: Optional[object] = None
 
     @property
     def ops(self) -> int:
@@ -84,6 +90,12 @@ class RunConfig:
     #: :class:`repro.faults.FaultPlan` armed when the measured drivers
     #: start (never during warmup).
     fault_plan: Optional[object] = None
+    #: Record the client-observed history and run the
+    #: :mod:`repro.consistency` checker over the measured run (never
+    #: the warmup). The report lands in ``RunResult.consistency`` and
+    #: the raw events in ``RunResult.history``. Off by default — the
+    #: hot path stays recorder-free.
+    check_consistency: bool = False
     #: Keyword overrides applied to a default :class:`ClusterSpec`
     #: (e.g. ``{"num_servers": 4}``) when ``cluster`` is not given.
     spec_overrides: Dict[str, object] = field(default_factory=dict)
@@ -130,7 +142,8 @@ class RunConfig:
             warm_streams = [generate_ops(warm_spec, client_index=i,
                                          stream_offset=0xABCD)
                             for i in range(len(cluster.clients))]
-            self._run_streams(cluster, warm_streams, fault_plan=None)
+            self._run_streams(cluster, warm_streams, fault_plan=None,
+                              measured=False)
         streams = [generate_ops(self.workload, client_index=i)
                    for i in range(len(cluster.clients))]
         return self._run_streams(cluster, streams,
@@ -150,12 +163,16 @@ class RunConfig:
 
     def _run_streams(self, cluster: Cluster,
                      per_client_ops: Sequence[Sequence[Op]],
-                     fault_plan) -> RunResult:
+                     fault_plan, measured: bool = True) -> RunResult:
         api = self.api or cluster.profile.api
         if api not in (BLOCKING, NONB_B, NONB_I):
             raise ValueError(f"unknown api {api!r}")
         cluster.reset_metrics()
         sim = cluster.sim
+        recorder = None
+        if self.check_consistency and measured:
+            from repro.consistency import HistoryRecorder
+            recorder = HistoryRecorder().attach(cluster)
         if fault_plan is not None:
             cluster.inject_faults(fault_plan)
         drivers = []
@@ -177,6 +194,12 @@ class RunConfig:
                            records=records, span=span,
                            obs=cluster.obs if cluster.obs.enabled else None)
         result.summary = metrics.summarize(records)
+        if recorder is not None:
+            from repro.consistency import check_run
+            result.consistency = check_run(
+                cluster, recorder, faults=fault_plan is not None)
+            result.history = recorder.events
+            recorder.detach()
         return result
 
 

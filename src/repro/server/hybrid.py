@@ -630,9 +630,14 @@ class HybridSlabManager:
 
         Applies the identical state transitions as :meth:`store` —
         including whole-page spills to SSD slots in hybrid mode — but no
-        simulated time passes and the page cache is left cold.
+        simulated time passes and the page cache is left cold. Like
+        :meth:`store`, the item draws a fresh CAS token: every live item
+        carries a unique, monotonically-assigned token (consistency
+        checking leans on this; the counter survives :meth:`wipe`).
         """
         item = Item(key, value_length)
+        self._cas_counter += 1
+        item.cas = self._cas_counter
         cls = self.allocator.class_for(item.total_size)
         if cls is None:
             raise ValueError("preload object exceeds slab page size")

@@ -72,6 +72,10 @@ class GetRequest(Request):
 
 @dataclass
 class DeleteRequest(Request):
+    #: True for replica-propagation copies of a client delete (the
+    #: removal counterpart of ``SetRequest.replica``).
+    replica: bool = False
+
     def __post_init__(self):
         self.op = "delete"
 

@@ -520,8 +520,12 @@ class MemcachedServer:
     def _handle_delete(self, request: DeleteRequest, endpoint: Endpoint):
         yield self.sim.timeout(self.config.costs.hash_lookup)
         found = self.manager.delete(request.key)
-        self.stats.deletes += 1
-        self._m_deletes.inc()
+        if request.replica:
+            self.stats.replica_applies += 1
+            self._m_replica_applies.inc()
+        else:
+            self.stats.deletes += 1
+            self._m_deletes.inc()
         yield from self._respond(endpoint, request,
                                  DELETED if found else NOT_FOUND, 0, {})
 

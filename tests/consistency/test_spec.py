@@ -1,0 +1,56 @@
+"""Unit tests for the sequential per-(key, server) cache spec."""
+
+from repro.consistency.spec import ABSENT, UNKNOWN, SpecOp, step
+
+
+def op(kind, token=0):
+    return SpecOp(kind, token, 0.0, 1.0, "t/0")
+
+
+class TestApplyHit:
+    def test_apply_installs_token(self):
+        legal, state = step(ABSENT, op("apply", 7))
+        assert legal and state == 7
+
+    def test_hit_requires_matching_token(self):
+        assert step(7, op("hit", 7)) == (True, 7)
+        assert step(7, op("hit", 3))[0] is False
+        assert step(ABSENT, op("hit", 3))[0] is False
+
+    def test_unknown_never_explains_a_hit(self):
+        assert step(UNKNOWN, op("hit", 3), allow_unknown=True)[0] is False
+
+
+class TestEviction:
+    def test_miss_always_legal_via_eviction(self):
+        legal, state = step(7, op("miss"))
+        assert legal and state == ABSENT
+
+    def test_absence_predicates_always_legal(self):
+        for kind in ("delete_nf", "replace_fail", "cas_nf", "touch_nf"):
+            legal, state = step(7, op(kind))
+            assert legal and state == ABSENT
+
+
+class TestPresencePredicates:
+    def test_delete_requires_presence(self):
+        assert step(7, op("delete")) == (True, ABSENT)
+        assert step(ABSENT, op("delete"))[0] is False
+
+    def test_presence_predicates_require_presence(self):
+        for kind in ("add_fail", "cas_exists", "touch_ok"):
+            legal, state = step(7, op(kind))
+            assert legal and state == 7
+            assert step(ABSENT, op(kind))[0] is False
+
+    def test_allow_unknown_relaxes_presence(self):
+        # An invisible re-store (resync / possibly-applied write) may
+        # have put an UNKNOWN-token item there first.
+        legal, state = step(ABSENT, op("add_fail"), allow_unknown=True)
+        assert legal and state == UNKNOWN
+        legal, state = step(ABSENT, op("delete"), allow_unknown=True)
+        assert legal and state == ABSENT
+
+    def test_unknown_item_satisfies_presence(self):
+        legal, state = step(UNKNOWN, op("touch_ok"), allow_unknown=True)
+        assert legal and state == UNKNOWN
