@@ -6,9 +6,19 @@ non-blocking client windowing — under a realistic key-value workload,
 and reports the engine's *events per wall-clock second* alongside wall
 time. Events/sec is the number that caps how large a cluster and
 workload the paper's figures can be reproduced at; track it across PRs.
+
+Each row also records the run's *simulated* p99 latency in
+``extra_info`` — the simulator is deterministic, so unlike wall time it
+must match the committed baseline exactly on any machine. The profiled
+variant additionally writes the per-class stage-breakdown JSON
+(``$MACRO_PROFILE_JSON``, default ``macro-profile.json``) for the CI
+artifact, and quantifies the profiling overhead against the unprofiled
+row.
 """
 
-import pytest
+import json
+import os
+from pathlib import Path
 
 from repro.core.cluster import ClusterSpec
 from repro.core.profiles import H_RDMA_OPT_NONB_I
@@ -24,12 +34,13 @@ NUM_KEYS = 2048
 VALUE_LEN = 8 * KB
 
 
-def _ycsb_cluster_run():
+def _ycsb_cluster_run(profile: bool = False):
     spec = WorkloadSpec(num_ops=OPS_PER_CLIENT, num_keys=NUM_KEYS,
                         value_length=VALUE_LEN, seed=42)
     cluster_spec = ClusterSpec(num_servers=NUM_SERVERS,
                                num_clients=NUM_CLIENTS,
-                               server_mem=16 * MB, ssd_limit=64 * MB)
+                               server_mem=16 * MB, ssd_limit=64 * MB,
+                               profile=profile)
     cfg = RunConfig(profile=H_RDMA_OPT_NONB_I, workload=spec,
                     cluster=cluster_spec)
     cluster = cfg.build()
@@ -43,9 +54,11 @@ def _ycsb_cluster_run():
 
 def test_macro_ycsb_cluster(benchmark):
     """4 servers x 4 clients, YCSB-A, hybrid non-blocking profile."""
+    last = {}
 
     def run():
         result, cluster = _ycsb_cluster_run()
+        last["result"] = result
         return len(result.records), cluster.sim.events_processed
 
     records, events = benchmark(run)
@@ -55,6 +68,50 @@ def test_macro_ycsb_cluster(benchmark):
     benchmark.extra_info["events_per_run"] = events
     benchmark.extra_info["events_per_sec_mean"] = events / stats.mean
     benchmark.extra_info["events_per_sec_best"] = events / stats.min
+    benchmark.extra_info["p99_latency_s"] = (
+        last["result"].summary["p99_latency"])
     print(f"\n  {events} events/run; "
           f"{events / stats.min:,.0f} events/sec (best), "
-          f"{events / stats.mean:,.0f} events/sec (mean)")
+          f"{events / stats.mean:,.0f} events/sec (mean); "
+          f"sim p99 {last['result'].summary['p99_latency'] * 1e6:.1f} us")
+
+
+def test_macro_ycsb_profiled(benchmark):
+    """The same macro run with causal profiling on (sample every
+    request) — its events/sec delta against the row above is the
+    profiling overhead, and its report is the CI profile artifact."""
+    last = {}
+
+    def run():
+        result, cluster = _ycsb_cluster_run(profile=True)
+        last["result"] = result
+        return len(result.records), cluster.sim.events_processed
+
+    records, events = benchmark(run)
+    assert records == NUM_CLIENTS * OPS_PER_CLIENT
+    result = last["result"]
+    report = result.profile
+    assert report is not None and report.finished > 0
+    # Shape checks (deterministic): RAM-hit requests are network-bound,
+    # SSD-path requests are device-bound.
+    ram = report.classes["get:ram"].mean_breakdown()
+    assert ram.get("nic", 0.0) + ram.get("wire", 0.0) > ram.get("ssd", 0.0)
+    for cls, sk in report.classes.items():
+        if cls.endswith(":ssd") and cls.startswith("get"):
+            bd = sk.mean_breakdown()
+            assert max(bd, key=bd.get) == "ssd"
+    stats = benchmark.stats.stats
+    benchmark.extra_info["events_per_run"] = events
+    benchmark.extra_info["events_per_sec_mean"] = events / stats.mean
+    benchmark.extra_info["events_per_sec_best"] = events / stats.min
+    benchmark.extra_info["p99_latency_s"] = result.summary["p99_latency"]
+    out = Path(os.environ.get("MACRO_PROFILE_JSON", "macro-profile.json"))
+    out.write_text(json.dumps({
+        "config": {"servers": NUM_SERVERS, "clients": NUM_CLIENTS,
+                   "ops_per_client": OPS_PER_CLIENT, "workload": "YCSB-A"},
+        "p99_latency_s": result.summary["p99_latency"],
+        "p50_latency_s": result.summary["p50_latency"],
+        "profile": report.to_dict(),
+    }, indent=2))
+    print(f"\n  wrote {out}; "
+          f"{events / stats.min:,.0f} events/sec (best, profiled)")

@@ -30,7 +30,7 @@ def _baseline_entries(baseline: dict) -> dict:
             after = entry.get("after", entry)
             out[name] = dict(after)
             for k in ("events_per_run", "events_per_sec_best",
-                      "events_per_sec_mean"):
+                      "events_per_sec_mean", "p99_latency_s"):
                 if k in entry:
                     out[name][k] = entry[k]
     return out
@@ -50,8 +50,8 @@ def compare(results: dict, baseline: dict) -> str:
         "### Benchmark comparison vs committed baseline",
         "",
         "| benchmark | min (s) | baseline min (s) | Δ min | events/sec "
-        "(best) | baseline | Δ |",
-        "|---|---|---|---|---|---|---|",
+        "(best) | baseline | Δ | sim p99 (µs) | baseline | Δ |",
+        "|---|---|---|---|---|---|---|---|---|---|",
     ]
     for bench in results.get("benchmarks", []):
         name = bench["name"].split("[")[0]
@@ -59,10 +59,11 @@ def compare(results: dict, baseline: dict) -> str:
         ref = base.get(name)
         if ref is None:
             lines.append(f"| `{name}` | {stats['min']:.4f} | — (new) "
-                         "| — | — | — | — |")
+                         "| — | — | — | — | — | — | — |")
             continue
         d_min = _fmt_delta(stats["min"] / ref["min_s"])
-        eps = bench.get("extra_info", {}).get("events_per_sec_best")
+        extra = bench.get("extra_info", {})
+        eps = extra.get("events_per_sec_best")
         ref_eps = ref.get("events_per_sec_best")
         if eps and ref_eps:
             # Throughput: below-baseline is the slowdown direction.
@@ -70,13 +71,25 @@ def compare(results: dict, baseline: dict) -> str:
             eps_cells = f"{eps:,.0f} | {ref_eps:,.0f} | {d_eps}"
         else:
             eps_cells = "— | — | —"
+        p99 = extra.get("p99_latency_s")
+        ref_p99 = ref.get("p99_latency_s")
+        if p99 and ref_p99:
+            # Simulated time: deterministic, so any delta is a real
+            # behaviour change, not runner noise.
+            p99_cells = (f"{p99 * 1e6:.1f} | {ref_p99 * 1e6:.1f} | "
+                         f"{_fmt_delta(p99 / ref_p99)}")
+        else:
+            p99_cells = "— | — | —"
         lines.append(f"| `{name}` | {stats['min']:.4f} | "
-                     f"{ref['min_s']:.4f} | {d_min} | {eps_cells} |")
+                     f"{ref['min_s']:.4f} | {d_min} | {eps_cells} | "
+                     f"{p99_cells} |")
     lines += [
         "",
         "Positive Δ = slower than the committed baseline (⚠ beyond "
         f"{FLAG_THRESHOLD:.0%}). Baselines were recorded on a different "
-        "machine; treat cross-runner deltas as trends, not regressions.",
+        "machine; treat cross-runner wall-clock deltas as trends, not "
+        "regressions. *Sim p99* is simulated time — deterministic on "
+        "any machine, so a nonzero Δ there is a model change.",
     ]
     return "\n".join(lines)
 

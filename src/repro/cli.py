@@ -9,6 +9,7 @@ Usage::
     python -m repro reproduce --figure fig6 --scale 16
     python -m repro stats --profile h-rdma-def --ops 1000
     python -m repro trace --out run.trace.json --ops 500
+    python -m repro profile --ycsb A --servers 4 --clients 4 --ops 2000
     python -m repro fuzz --seeds 0:24 --out fuzz-artifacts
     python -m repro check --seed 7 --replication 2 --fault crash:server=1,at=4ms
 """
@@ -121,8 +122,9 @@ def _request_timeout(args) -> Optional[float]:
 
 
 def _build(args, spec: WorkloadSpec, observe: bool = False,
-           trace: bool = False) -> RunConfig:
-    profile = ALL_PROFILES[args.profile]
+           trace: bool = False, profile: bool = False,
+           profile_sample: int = 1) -> RunConfig:
+    profile_key = ALL_PROFILES[args.profile]
     eject = getattr(args, "eject_duration", None)
     cluster_spec = ClusterSpec(
         num_servers=args.servers,
@@ -139,9 +141,11 @@ def _build(args, spec: WorkloadSpec, observe: bool = False,
         write_mode=getattr(args, "write_mode", "sync"),
         observe=observe,
         trace=trace,
+        profile=profile,
+        profile_sample=profile_sample,
     )
-    return RunConfig(profile=profile, workload=spec, cluster=cluster_spec,
-                     fault_plan=_fault_plan(args))
+    return RunConfig(profile=profile_key, workload=spec,
+                     cluster=cluster_spec, fault_plan=_fault_plan(args))
 
 
 def _print_summary(title: str, result) -> None:
@@ -150,6 +154,8 @@ def _print_summary(title: str, result) -> None:
         "ops": int(s["ops"]),
         "mean latency": fmt_us(s["mean_latency"]),
         "effective latency": fmt_us(s["effective_latency"]),
+        "p50": fmt_us(s.get("p50_latency", 0.0)),
+        "p95": fmt_us(s.get("p95_latency", 0.0)),
         "p99": fmt_us(s["p99_latency"]),
         "throughput": f"{s['throughput']:,.0f} ops/s",
         "overlap": fmt_pct(s["overlap_pct"]),
@@ -227,6 +233,53 @@ def cmd_trace(args) -> int:
                                   "clients": args.clients})
     print(f"\nwrote {path} ({len(cluster.obs.tracer)} spans) — open in "
           "chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Run a workload with causal profiling; print the critical-path
+    latency decomposition (per-class percentiles + stage breakdowns)."""
+    spec = _workload_spec(args)
+    cfg = _build(args, spec, profile=True, profile_sample=args.sample)
+    if args.ycsb:
+        workload = CORE_WORKLOADS[args.ycsb.upper()]
+        streams = [generate_ycsb_ops(workload, args.ops, spec.num_keys,
+                                     args.value_kb * KB, seed=args.seed,
+                                     client_index=i)
+                   for i in range(args.clients)]
+        result = cfg.run_streams(streams)
+        title = (f"YCSB-{workload.name} on "
+                 f"{ALL_PROFILES[args.profile].label} — profiled run")
+    else:
+        result = cfg.run()
+        title = f"{ALL_PROFILES[args.profile].label} — profiled run"
+    _print_summary(title, result)
+    report = result.profile
+    if report is None:
+        print("\nprofile: (no sampled requests)", file=sys.stderr)
+        return 1
+    print()
+    print(report.table())
+    print()
+    print(report.breakdown_table())
+    print()
+    print(report.breakdown_table(q=0.50))
+    print()
+    print(report.breakdown_table(q=0.99))
+    if args.json:
+        import json as _json
+        from pathlib import Path
+
+        Path(args.json).write_text(_json.dumps(report.to_dict(), indent=2))
+        print(f"\nwrote {args.json}")
+    if args.folded:
+        from pathlib import Path
+
+        lines = report.folded_lines()
+        Path(args.folded).write_text("\n".join(lines)
+                                     + ("\n" if lines else ""))
+        print(f"wrote {args.folded} ({len(lines)} stacks) — feed to "
+              "flamegraph.pl or speedscope")
     return 0
 
 
@@ -331,6 +384,22 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--out", default="repro.trace.json",
                          help="Chrome trace_event JSON output path")
     trace_p.set_defaults(func=cmd_trace)
+
+    prof_p = sub.add_parser(
+        "profile", help="run a workload with per-request causal tracing "
+                        "and print the critical-path latency breakdown")
+    _add_cluster_args(prof_p)
+    _add_workload_args(prof_p)
+    prof_p.add_argument("--ycsb", default=None, metavar="A..F",
+                        help="drive a YCSB core workload instead of the "
+                             "custom read/write mix")
+    prof_p.add_argument("--sample", type=int, default=1, metavar="N",
+                        help="profile every Nth request (default 1: all)")
+    prof_p.add_argument("--json", default=None, metavar="PATH",
+                        help="write the full profile report as JSON")
+    prof_p.add_argument("--folded", default=None, metavar="PATH",
+                        help="write folded stacks (flamegraph.pl format)")
+    prof_p.set_defaults(func=cmd_profile)
 
     ycsb_p = sub.add_parser("ycsb", help="run a YCSB core workload")
     _add_cluster_args(ycsb_p)

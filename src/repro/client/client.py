@@ -32,6 +32,7 @@ from repro.client.hashing import make_router
 from repro.client.request import MemcachedReq, OpRecord
 from repro.net.transport import Endpoint
 from repro.obs.api import NULL_OBS, Observability
+from repro.obs.profile import profile_message
 from repro.server.protocol import (
     HIT,
     MISS,
@@ -121,6 +122,8 @@ class ServerConn:
 class _EngineJob:
     req: MemcachedReq
     conn: ServerConn
+    #: When the request entered the client pipeline (profiling only).
+    t_queued: float = 0.0
 
 
 @dataclass
@@ -129,6 +132,7 @@ class _MgetJob:
 
     reqs: List[MemcachedReq]
     conn: ServerConn
+    t_queued: float = 0.0
 
 
 class MemcachedClient:
@@ -143,6 +147,8 @@ class MemcachedClient:
         self.config = config or ClientConfig()
         self.backend = backend
         self.obs = obs or NULL_OBS
+        #: Causal request profiler (NULL_PROFILER unless enabled).
+        self._profiler = self.obs.profiler
         self._conns: List[ServerConn] = []
         self._router = None
         self._engine_queue: Mailbox = Mailbox(sim)
@@ -359,6 +365,9 @@ class MemcachedClient:
                                0, "mget")
             self._next_req_id += 1
             req.t_issue = t0
+            if self._profiler.enabled:
+                req.trace_id = self._profiler.maybe_start("get", "mget",
+                                                          t_issue=t0)
             if self.recorder is not None:
                 self.recorder.on_issue(self.name, req.result())
             if self.t_first_issue is None:
@@ -373,7 +382,8 @@ class MemcachedClient:
             req.server_index = conn.index
             if self._replication > 1:
                 self._note_replica_read(key, conn)
-            batch = batches.setdefault(conn.index, _MgetJob([], conn))
+            batch = batches.setdefault(conn.index,
+                                       _MgetJob([], conn, t_queued=t0))
             batch.reqs.append(req)
         for batch in batches.values():
             self._engine_queue.put(batch)
@@ -668,6 +678,8 @@ class MemcachedClient:
                            value_length, api)
         self._next_req_id += 1
         req.t_issue = self.sim.now
+        if self._profiler.enabled:
+            req.trace_id = self._profiler.maybe_start(op, api)
         if self.recorder is not None:
             self.recorder.on_issue(self.name, req.result())
         if self.t_first_issue is None:
@@ -684,7 +696,7 @@ class MemcachedClient:
             self._fail_server_down(req)
             return req
         req.server_index = conn.index
-        self._engine_queue.put(_EngineJob(req, conn))
+        self._engine_queue.put(_EngineJob(req, conn, t_queued=req.t_issue))
         self._account_block(req, self.sim.now - t0)
         req.t_api_return = self.sim.now
         self._job_meta[req.req_id] = (flags, expiration, mode, cas_token)
@@ -726,6 +738,9 @@ class MemcachedClient:
                                req.value_length, "replica")
             self._next_req_id += 1
             sub.t_issue = self.sim.now
+            # Replica copies share the parent's trace: their spans show
+            # up under the ``replica.`` prefix of the parent's tree.
+            sub.trace_id = req.trace_id
             sub.server_index = conn.index
             if self.recorder is not None:
                 self.recorder.on_issue(self.name, sub.result(),
@@ -737,7 +752,8 @@ class MemcachedClient:
             sub.complete.callbacks.append(
                 lambda _ev, s=sub, c=conn, p=req.req_id:
                     self._replica_done(s, c, p))
-            self._engine_queue.put(_EngineJob(sub, conn))
+            self._engine_queue.put(_EngineJob(sub, conn,
+                                              t_queued=self.sim.now))
             self._m_replica_writes.inc()
             subs.append(sub)
         return subs
@@ -792,6 +808,9 @@ class MemcachedClient:
         for sub in subs:
             yield from self._await_replica(sub, account=False)
         self._account_block(req, self.sim.now - t0)
+        if req.trace_id is not None:
+            self._profiler.record(req.trace_id, "replica_wait",
+                                  t0, self.sim.now)
 
     # -- failure detection & recovery --------------------------------------
 
@@ -830,6 +849,9 @@ class MemcachedClient:
             t0 = self.sim.now
             yield self.sim.any_of([req.complete, self.sim.timeout(backoff)])
             self._account_block(req, self.sim.now - t0)
+            if req.trace_id is not None:
+                self._profiler.record(req.trace_id, "backoff",
+                                      t0, self.sim.now)
             if req.complete.triggered:
                 break
             if not self._reissue(req):
@@ -881,7 +903,7 @@ class MemcachedClient:
             if self._replication > 1 and req.op == "get":
                 self._note_replica_read(req.key, conn)
         req.server_index = conn.index
-        self._engine_queue.put(_EngineJob(req, conn))
+        self._engine_queue.put(_EngineJob(req, conn, t_queued=self.sim.now))
         return True
 
     def _fail_server_down(self, req: MemcachedReq) -> None:
@@ -948,6 +970,8 @@ class MemcachedClient:
                 self._account_block(req, self.sim.now - t1)
         req.value_length = value_length
         req.t_complete = self.sim.now
+        if req.trace_id is not None:
+            self._profiler.record(req.trace_id, "backend", t0, self.sim.now)
 
     def _account_block(self, req: MemcachedReq, dt: float) -> None:
         req.blocked_time += dt
@@ -975,6 +999,8 @@ class MemcachedClient:
         self._job_meta.pop(req.req_id, None)
         if req.api == "replica":
             return  # propagation copies are not user-visible operations
+        if req.trace_id is not None:
+            self._profiler.finish(req.trace_id, req.result())
         if self.recorder is not None:
             self.recorder.on_complete(self.name, req.result(), user=record)
         self._op_end(req)
@@ -990,9 +1016,19 @@ class MemcachedClient:
             if self.config.engine_cpu:
                 yield self.sim.timeout(self.config.engine_cpu)
             if isinstance(job, _MgetJob):
+                if self._profiler.enabled:
+                    now = self.sim.now
+                    for r in job.reqs:
+                        if r.trace_id is not None:
+                            self._profiler.record(r.trace_id, "client_queue",
+                                                  job.t_queued, now)
                 self._engine_mget(job.reqs, job.conn)
                 continue
             req, conn = job.req, job.conn
+            if req.trace_id is not None:
+                self._profiler.record(
+                    req.trace_id, self._pstage(req) + "client_queue",
+                    job.t_queued, self.sim.now)
             # get, not pop: a retry reissues the same request and needs
             # the meta again; _finalize/_fail_server_down clean it up.
             flags, expiration, mode, cas_token = self._job_meta.get(
@@ -1010,8 +1046,10 @@ class MemcachedClient:
                 self._engine_delete(req, conn)
             elif req.op == "touch":
                 header = TouchRequest(req_id=req.req_id, op="touch",
-                                      key=req.key, expiration=expiration)
+                                      key=req.key, expiration=expiration,
+                                      trace_id=req.trace_id)
                 msg = conn.endpoint.send(header, header.header_bytes)
+                self._profile_msg(req, msg)
                 self._arm(req.buffer_safe, msg.on_wire)
             elif req.op == "stats":
                 header = StatsRequest(req_id=req.req_id, op="stats", key=b"")
@@ -1027,15 +1065,23 @@ class MemcachedClient:
             header = SetRequest(req_id=req.req_id, op="set", key=req.key,
                                 value_length=req.value_length, flags=flags,
                                 expiration=expiration, mode=mode,
-                                cas_token=cas_token, inline_value=False)
-            ep.send(header, header.header_bytes)
+                                cas_token=cas_token, inline_value=False,
+                                trace_id=req.trace_id)
+            msg_h = ep.send(header, header.header_bytes)
+            self._profile_msg(req, msg_h)
             # Flow control: a server receive buffer must be free before
             # the engine may RDMA-write the value.
             credit = conn.server.credits.request()
+            t_credit = self.sim.now
             yield credit
+            if req.trace_id is not None:
+                self._profiler.record(req.trace_id,
+                                      self._pstage(req) + "credit",
+                                      t_credit, self.sim.now)
             arrival = ValueArrival(req_id=req.req_id,
                                    nbytes=req.value_length, credit=credit)
             msg_v = ep.send(arrival, req.value_length, one_sided=True)
+            self._profile_msg(req, msg_v)
             if not conn.server.config.early_ack:
                 # Existing runtime: no buffered-ack arrives; the buffer
                 # is reusable once the value has left the client NIC.
@@ -1050,13 +1096,16 @@ class MemcachedClient:
                                 value_length=req.value_length, flags=flags,
                                 expiration=expiration, mode=mode,
                                 cas_token=cas_token, inline_value=True,
-                                replica=replica)
+                                replica=replica, trace_id=req.trace_id)
             msg = ep.send(header, header.header_bytes + req.value_length)
+            self._profile_msg(req, msg)
             self._arm(req.buffer_safe, msg.on_wire)
 
     def _engine_get(self, req: MemcachedReq, conn: ServerConn) -> None:
-        header = GetRequest(req_id=req.req_id, op="get", key=req.key)
+        header = GetRequest(req_id=req.req_id, op="get", key=req.key,
+                            trace_id=req.trace_id)
         msg = conn.endpoint.send(header, header.header_bytes)
+        self._profile_msg(req, msg)
         self._arm(req.buffer_safe, msg.on_wire)
 
     def _engine_mget(self, reqs: List[MemcachedReq],
@@ -1064,14 +1113,19 @@ class MemcachedClient:
         header = MultiGetRequest(
             req_id=reqs[0].req_id, op="mget", key=reqs[0].key,
             entries=tuple((r.req_id, r.key) for r in reqs))
+        if self._profiler.enabled:
+            header.traces = tuple(r.trace_id for r in reqs)
         msg = conn.endpoint.send(header, header.header_bytes)
         for r in reqs:
+            self._profile_msg(r, msg)
             self._arm(r.buffer_safe, msg.on_wire)
 
     def _engine_delete(self, req: MemcachedReq, conn: ServerConn) -> None:
         header = DeleteRequest(req_id=req.req_id, op="delete", key=req.key,
-                               replica=req.api == "replica")
+                               replica=req.api == "replica",
+                               trace_id=req.trace_id)
         msg = conn.endpoint.send(header, header.header_bytes)
+        self._profile_msg(req, msg)
         self._arm(req.buffer_safe, msg.on_wire)
 
     def _acquire_buffer(self, req: MemcachedReq) -> float:
@@ -1092,6 +1146,19 @@ class MemcachedClient:
         else:
             release_on.callbacks.append(_release)
         return cost
+
+    @staticmethod
+    def _pstage(req: MemcachedReq) -> str:
+        """Span-name prefix: replica fan-out work is tagged ``replica.``
+        so it nests in the folded tree without double-counting in the
+        flat attribution (the ``replica_wait`` barrier covers it)."""
+        return "replica." if req.api == "replica" else ""
+
+    def _profile_msg(self, req: MemcachedReq, msg) -> None:
+        """Record nic/wire stages for one outbound message of ``req``."""
+        if req.trace_id is not None:
+            profile_message(self._profiler, req.trace_id,
+                            self._profiler.clock, msg, self._pstage(req))
 
     @staticmethod
     def _arm(target, source) -> None:

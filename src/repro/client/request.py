@@ -62,7 +62,7 @@ class MemcachedReq:
         "complete", "buffer_safe",
         "status", "response", "cas_token",
         "t_issue", "t_api_return", "t_complete",
-        "blocked_time", "stages", "server_index",
+        "blocked_time", "stages", "server_index", "trace_id",
     )
 
     def __init__(self, sim: Simulator, req_id: int, op: str, key: bytes,
@@ -89,6 +89,8 @@ class MemcachedReq:
         #: Six-stage breakdown (server stages + client-side additions).
         self.stages: Dict[str, float] = {}
         self.server_index: int = -1
+        #: Causal profile trace id (None unless this request is sampled).
+        self.trace_id: Optional[int] = None
 
     @property
     def done(self) -> bool:

@@ -86,6 +86,12 @@ class ClusterSpec:
     observe: bool = False
     #: Sim-time span tracing (Chrome ``trace_event`` export).
     trace: bool = False
+    #: Per-request causal profiling (critical-path latency breakdown).
+    profile: bool = False
+    #: Profile every Nth request (1 = all); macro runs stay bounded.
+    profile_sample: int = 1
+    #: Keep raw span tuples per sampled request (tests/debugging only).
+    profile_keep_traces: bool = False
     #: Gauge-sampling period in seconds; defaults to 100 µs when
     #: ``observe`` is on and no interval is given.
     sample_interval: Optional[float] = None
@@ -202,6 +208,8 @@ class Cluster:
             s.reset_metrics()
         if registry:
             self.obs.registry.reset()
+        # Warmup requests must not pollute the measured profile.
+        self.obs.profiler.reset()
 
     # -- metric access ---------------------------------------------------------
 
@@ -238,12 +246,15 @@ def build_cluster(profile: DesignProfile,
         raise ValueError(
             f"write_mode must be 'sync' or 'async', got {spec.write_mode!r}")
     sim = sim or Simulator()
-    if spec.observe or spec.trace:
+    if spec.observe or spec.trace or spec.profile:
         interval = spec.sample_interval
         if spec.observe and interval is None:
             interval = 100e-6
         obs = Observability(sim, metrics=spec.observe, trace=spec.trace,
-                            sample_interval=interval if spec.observe else None)
+                            sample_interval=interval if spec.observe else None,
+                            profile=spec.profile,
+                            profile_sample=spec.profile_sample,
+                            profile_keep_traces=spec.profile_keep_traces)
         sim.tracer = obs.tracer
     else:
         obs = NULL_OBS

@@ -187,6 +187,8 @@ def summarize(records: Sequence[OpRecord]) -> Dict[str, float]:
         "ops": float(len(records)),
         "mean_latency": mean_latency(records),
         "effective_latency": effective_latency(records),
+        "p50_latency": percentile_latency(records, 50),
+        "p95_latency": percentile_latency(records, 95),
         "p99_latency": percentile_latency(records, 99),
         "throughput": throughput(records),
         "overlap_pct": overlap_percent(records),

@@ -87,7 +87,8 @@ def obs_report(obs, match: Optional[str] = None) -> str:
     if flat:
         sections.append(ascii_table(flat, title="Counters and gauges"))
     hists = [{"metric": h.key, "n": h.count, "mean": fmt_us(h.mean),
-              "p50": fmt_us(h.percentile(50)), "p99": fmt_us(h.percentile(99)),
+              "p50": fmt_us(h.percentile(50)), "p95": fmt_us(h.percentile(95)),
+              "p99": fmt_us(h.percentile(99)),
               "max": fmt_us(h.max if h.count else 0.0)}
              for h in reg.histograms(keep) if h.count]
     if hists:

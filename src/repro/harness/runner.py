@@ -45,6 +45,9 @@ class RunResult:
     #: The :class:`~repro.consistency.checker.ConsistencyReport` when
     #: the run had ``check_consistency=True``; None otherwise.
     consistency: Optional[object] = None
+    #: :class:`~repro.obs.profile.ProfileReport` for the measured run
+    #: when the cluster was built with ``profile=True``; None otherwise.
+    profile: Optional[object] = None
 
     @property
     def ops(self) -> int:
@@ -194,6 +197,8 @@ class RunConfig:
                            records=records, span=span,
                            obs=cluster.obs if cluster.obs.enabled else None)
         result.summary = metrics.summarize(records)
+        if measured and cluster.obs.profiler.enabled:
+            result.profile = cluster.obs.profiler.report()
         if recorder is not None:
             from repro.consistency import check_run
             result.consistency = check_run(

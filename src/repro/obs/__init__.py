@@ -22,6 +22,16 @@ objects and the simulated results are byte-identical.
 
 from repro.obs.api import NULL_OBS, Observability
 from repro.obs.buckets import bucket_index, log_bounds
+from repro.obs.profile import (
+    NULL_PROFILER,
+    ProfileReport,
+    RequestProfiler,
+    STAGES,
+    attribute,
+    build_tree,
+    folded_stacks,
+    profile_message,
+)
 from repro.obs.export import (
     chrome_trace,
     chrome_trace_events,
@@ -66,4 +76,12 @@ __all__ = [
     "write_bundle",
     "log_bounds",
     "bucket_index",
+    "RequestProfiler",
+    "NULL_PROFILER",
+    "ProfileReport",
+    "STAGES",
+    "attribute",
+    "build_tree",
+    "folded_stacks",
+    "profile_message",
 ]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.profile.context import NULL_PROFILER, RequestProfiler
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
 from repro.obs.sampler import Sampler
 from repro.obs.tracer import NULL_TRACER, SpanTracer
@@ -22,11 +23,19 @@ class Observability:
     """Bundle of live-metrics registry, span tracer, and gauge sampler."""
 
     def __init__(self, sim=None, metrics: bool = True, trace: bool = False,
-                 sample_interval: Optional[float] = None):
+                 sample_interval: Optional[float] = None,
+                 profile: bool = False, profile_sample: int = 1,
+                 profile_keep_traces: bool = False):
         clock = (lambda: sim.now) if sim is not None else None
         self.sim = sim
         self.registry = MetricsRegistry(clock) if metrics else NULL_REGISTRY
         self.tracer = SpanTracer(clock) if trace else NULL_TRACER
+        if profile and sim is not None:
+            self.profiler = RequestProfiler(
+                clock, sample_every=profile_sample,
+                keep_traces=profile_keep_traces)
+        else:
+            self.profiler = NULL_PROFILER
         self.sampler: Optional[Sampler] = None
         if metrics and sim is not None and sample_interval:
             self.sampler = Sampler(sim, self.registry, sample_interval)
@@ -34,7 +43,8 @@ class Observability:
 
     @property
     def enabled(self) -> bool:
-        return self.registry.enabled or self.tracer.enabled
+        return (self.registry.enabled or self.tracer.enabled
+                or self.profiler.enabled)
 
     def snapshot(self) -> dict:
         """Registry snapshot plus every sampled series so far."""
@@ -51,6 +61,7 @@ class _NullObservability(Observability):
         self.sim = None
         self.registry = NULL_REGISTRY
         self.tracer = NULL_TRACER
+        self.profiler = NULL_PROFILER
         self.sampler = None
 
 

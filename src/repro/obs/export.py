@@ -20,16 +20,20 @@ from typing import Dict, List, Optional, Union
 _SECONDS_TO_US = 1e6
 
 
-def chrome_trace_events(tracer) -> List[dict]:
-    """Tracer buffer as finished Chrome trace events (ts/dur in µs)."""
-    out = []
+def _iter_chrome_events(tracer):
+    """Tracer buffer as finished Chrome events, one converted dict at a
+    time (ts/dur in µs) — the streaming writer never holds them all."""
     for ev in sorted(tracer.events, key=lambda e: (e["ts"], e["ph"])):
         conv = dict(ev)
         conv["ts"] = ev["ts"] * _SECONDS_TO_US
         if "dur" in conv:
             conv["dur"] = conv["dur"] * _SECONDS_TO_US
-        out.append(conv)
-    return out
+        yield conv
+
+
+def chrome_trace_events(tracer) -> List[dict]:
+    """Tracer buffer as finished Chrome trace events (ts/dur in µs)."""
+    return list(_iter_chrome_events(tracer))
 
 
 def chrome_trace(tracer, path: Union[str, Path, None] = None,
@@ -37,17 +41,26 @@ def chrome_trace(tracer, path: Union[str, Path, None] = None,
     """Chrome ``trace_event`` document; written to ``path`` if given.
 
     Returns the document dict (no path) or the :class:`Path` written.
+    The file form streams one event at a time, so a macro run's trace
+    never needs a second in-memory copy of the event buffer.
     """
-    doc = {
-        "traceEvents": chrome_trace_events(tracer),
-        "displayTimeUnit": "ms",
-        "otherData": {"source": "repro.obs", **(metadata or {})},
-    }
+    meta = {"source": "repro.obs", **(metadata or {})}
     if path is None:
-        return doc
+        return {
+            "traceEvents": chrome_trace_events(tracer),
+            "displayTimeUnit": "ms",
+            "otherData": meta,
+        }
     path = Path(path)
     with path.open("w") as fh:
-        json.dump(doc, fh)
+        fh.write('{"traceEvents": [')
+        for i, conv in enumerate(_iter_chrome_events(tracer)):
+            if i:
+                fh.write(", ")
+            json.dump(conv, fh)
+        fh.write('], "displayTimeUnit": "ms", "otherData": ')
+        json.dump(meta, fh)
+        fh.write("}")
     return path
 
 
@@ -110,10 +123,28 @@ def metrics_table(registry, match=None, title: Optional[str] = None) -> str:
     return "\n".join(out)
 
 
-def series_json(sampler, path: Union[str, Path, None] = None):
-    """Sampled gauge series as ``{gauge_key: [[t, value], ...]}``."""
-    doc = {key: [[t, v] for t, v in points]
-           for key, points in sorted(sampler.series.items())}
+def series_json(sampler, path: Union[str, Path, None] = None,
+                registry=None):
+    """Sampled gauge series as ``{gauge_key: [[t, value], ...]}``.
+
+    With ``registry``, a ``"histograms"`` entry is added carrying each
+    histogram's count/mean/p50/p95/p99 — the percentile summary the
+    sampled gauges cannot express.
+    """
+    doc: Dict[str, object] = {key: [[t, v] for t, v in points]
+                              for key, points in sorted(sampler.series.items())}
+    if registry is not None:
+        hists = {}
+        for h in registry.histograms():
+            if h.count:
+                hists[h.key] = {
+                    "count": h.count,
+                    "mean": h.mean,
+                    "p50": h.percentile(50),
+                    "p95": h.percentile(95),
+                    "p99": h.percentile(99),
+                }
+        doc["histograms"] = hists
     if path is None:
         return doc
     path = Path(path)
@@ -145,7 +176,8 @@ def write_bundle(obs, out_dir: Union[str, Path],
         written.append(table)
     if obs.sampler is not None:
         written.append(series_json(obs.sampler,
-                                   out_dir / f"{prefix}.series.json"))
+                                   out_dir / f"{prefix}.series.json",
+                                   registry=obs.registry))
     return written
 
 

@@ -1,0 +1,36 @@
+"""Per-request causal tracing and critical-path latency decomposition.
+
+See :mod:`repro.obs.profile.context` for the trace lifecycle,
+:mod:`repro.obs.profile.critical_path` for the stage taxonomy and
+attribution sweep, and :mod:`repro.obs.profile.report` for the
+bounded-memory aggregation that backs ``repro profile``.
+"""
+
+from repro.obs.profile.context import (
+    NULL_PROFILER,
+    RequestProfiler,
+    profile_message,
+)
+from repro.obs.profile.critical_path import (
+    STAGES,
+    SpanNode,
+    attribute,
+    build_tree,
+    canonical_stage,
+    folded_stacks,
+)
+from repro.obs.profile.report import ProfileReport, StageSketch
+
+__all__ = [
+    "NULL_PROFILER",
+    "ProfileReport",
+    "RequestProfiler",
+    "STAGES",
+    "SpanNode",
+    "StageSketch",
+    "attribute",
+    "build_tree",
+    "canonical_stage",
+    "folded_stacks",
+    "profile_message",
+]

@@ -1,0 +1,213 @@
+"""Bounded-memory aggregation of per-request stage attributions.
+
+A macro run completes hundreds of thousands of requests; keeping every
+attribution dict would defeat the point of sampling. Instead each trace
+class (``get:ram``, ``get:ssd``, ``set:ram``, ...) folds its requests
+into a :class:`StageSketch`: log-spaced latency buckets (the same
+``obs.buckets`` math every histogram in the repo uses) where each bucket
+keeps a request count *and* the summed per-stage durations of the
+requests that landed in it. That is enough to answer both aggregate
+questions ("mean breakdown of SSD-path GETs") and percentile-conditioned
+ones ("where does the p99 spend its time") without retaining requests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.buckets import bucket_index, log_bounds
+from repro.obs.profile.critical_path import STAGES
+
+#: Shared sketch range: 1µs .. 1s end-to-end latency, 60 log buckets
+#: (≈26% resolution per bucket — ample for stage-share questions).
+_SKETCH_LO = 1e-6
+_SKETCH_HI = 1.0
+_SKETCH_N = 60
+
+
+def _us(seconds: float) -> str:
+    """Human latency: µs below 1ms, else ms."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    return f"{seconds * 1e3:.3f}ms"
+
+
+class StageSketch:
+    """Latency sketch with per-bucket stage sums for one trace class."""
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None):
+        self.bounds = list(bounds) if bounds is not None else log_bounds(
+            _SKETCH_LO, _SKETCH_HI, _SKETCH_N)
+        self.counts = [0] * len(self.bounds)
+        #: per-bucket ``{stage: summed seconds}`` — only touched stages.
+        self.stage_sums: List[Dict[str, float]] = [
+            {} for _ in range(len(self.bounds))]
+        self.count = 0
+        self.total_latency = 0.0
+        self.stage_totals: Dict[str, float] = {}
+
+    def add(self, latency: float, breakdown: Dict[str, float]) -> None:
+        i = bucket_index(self.bounds, latency)
+        self.counts[i] += 1
+        self.count += 1
+        self.total_latency += latency
+        sums = self.stage_sums[i]
+        for stage, dur in breakdown.items():
+            sums[stage] = sums.get(stage, 0.0) + dur
+            self.stage_totals[stage] = self.stage_totals.get(stage, 0.0) + dur
+
+    # -- queries -------------------------------------------------------------
+
+    def _rank_bucket(self, q: float) -> int:
+        """Bucket holding the nearest-rank ``q``-quantile observation."""
+        rank = max(1, int(round(q * self.count)))
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return i
+        return len(self.bounds) - 1
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile."""
+        if self.count == 0:
+            return 0.0
+        return self.bounds[self._rank_bucket(q)]
+
+    def breakdown_at(self, q: float) -> Dict[str, float]:
+        """Mean per-request stage durations in the ``q``-quantile bucket.
+
+        Empty sample → widen to the nearest non-empty bucket (can happen
+        when the quantile falls on a bucket boundary).
+        """
+        if self.count == 0:
+            return {}
+        i = self._rank_bucket(q)
+        for j in _nearest_first(i, len(self.bounds)):
+            if self.counts[j]:
+                n = self.counts[j]
+                return {s: d / n for s, d in self.stage_sums[j].items()}
+        return {}
+
+    def mean_breakdown(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {}
+        return {s: d / self.count for s, d in self.stage_totals.items()}
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_latency": (self.total_latency / self.count
+                             if self.count else 0.0),
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "stage_totals": {s: self.stage_totals[s]
+                             for s in STAGES if s in self.stage_totals},
+            "mean_breakdown": _ordered(self.mean_breakdown()),
+            "p50_breakdown": _ordered(self.breakdown_at(0.50)),
+            "p99_breakdown": _ordered(self.breakdown_at(0.99)),
+        }
+
+
+def _nearest_first(i: int, n: int):
+    """Indices ordered by distance from ``i``: i, i-1, i+1, i-2, ..."""
+    yield i
+    for d in range(1, n):
+        if i - d >= 0:
+            yield i - d
+        if i + d < n:
+            yield i + d
+
+
+def _ordered(breakdown: Dict[str, float]) -> Dict[str, float]:
+    return {s: breakdown[s] for s in STAGES if s in breakdown}
+
+
+class ProfileReport:
+    """Everything the profiler learned from one run's sampled requests.
+
+    ``classes`` maps trace class -> :class:`StageSketch`; ``folded``
+    maps trace class -> flamegraph folded-stack accumulator.
+    """
+
+    def __init__(self):
+        self.classes: Dict[str, StageSketch] = {}
+        self.folded: Dict[str, Dict[str, float]] = {}
+        self.started = 0
+        self.finished = 0
+        self.sample_every = 1
+
+    def sketch(self, cls: str) -> StageSketch:
+        sk = self.classes.get(cls)
+        if sk is None:
+            sk = self.classes[cls] = StageSketch()
+        return sk
+
+    def fold(self, cls: str, stacks: Dict[str, float]) -> None:
+        acc = self.folded.setdefault(cls, {})
+        for frame, dur in stacks.items():
+            acc[frame] = acc.get(frame, 0.0) + dur
+
+    # -- output --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "started": self.started,
+            "finished": self.finished,
+            "sample_every": self.sample_every,
+            "stages": list(STAGES),
+            "classes": {cls: self.classes[cls].to_dict()
+                        for cls in sorted(self.classes)},
+        }
+
+    def folded_lines(self) -> List[str]:
+        """``class;path;frame <microseconds>`` lines, sorted."""
+        lines = []
+        for cls in sorted(self.folded):
+            for frame, dur in sorted(self.folded[cls].items()):
+                lines.append(f"{cls};{frame} {dur * 1e6:.3f}")
+        return lines
+
+    def table(self) -> str:
+        """Per-class summary table (count + latency percentiles)."""
+        if not self.classes:
+            return "(no sampled requests)"
+        rows: List[Tuple[str, ...]] = [
+            ("class", "count", "mean", "p50", "p95", "p99", "top stages")]
+        for cls in sorted(self.classes):
+            sk = self.classes[cls]
+            mean = sk.total_latency / sk.count if sk.count else 0.0
+            top = sorted(sk.stage_totals.items(), key=lambda kv: -kv[1])[:3]
+            total = sum(sk.stage_totals.values()) or 1.0
+            tops = " ".join(f"{s}:{d / total:.0%}" for s, d in top)
+            rows.append((cls, str(sk.count), _us(mean), _us(sk.percentile(.5)),
+                         _us(sk.percentile(.95)), _us(sk.percentile(.99)),
+                         tops))
+        widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+        return "\n".join(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+            for row in rows)
+
+    def breakdown_table(self, q: Optional[float] = None) -> str:
+        """Stage shares per class — mean, or conditioned on quantile ``q``."""
+        if not self.classes:
+            return "(no sampled requests)"
+        label = f"p{int(q * 100)}" if q is not None else "mean"
+        lines = [f"stage breakdown ({label}):"]
+        for cls in sorted(self.classes):
+            sk = self.classes[cls]
+            bd = sk.breakdown_at(q) if q is not None else sk.mean_breakdown()
+            total = sum(bd.values())
+            if total <= 0:
+                continue
+            lines.append(f"  {cls}  (n={sk.count})")
+            for stage in STAGES:
+                dur = bd.get(stage, 0.0)
+                if dur <= 0:
+                    continue
+                share = dur / total
+                bar = "#" * max(1, int(round(share * 40)))
+                lines.append(f"    {stage:<12} {_us(dur):>10}  "
+                             f"{share:6.1%}  {bar}")
+        return "\n".join(lines)

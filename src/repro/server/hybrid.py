@@ -568,8 +568,11 @@ class HybridSlabManager:
 
     # -- GET path ---------------------------------------------------------
 
-    def load_value(self, item: Item):
+    def load_value(self, item: Item, trace=None):
         """Generator (Cache Check & Load stage): make the value readable.
+
+        ``trace`` tags the SSD read with the requesting operation's
+        causal profile trace id (observability only).
 
         Returns the number of bytes read from SSD (0 on a RAM hit).
         Promotion of the accessed item back to RAM follows the Cache
@@ -598,7 +601,7 @@ class HybridSlabManager:
                 item.total_size / self._flush_memcpy_bandwidth)
             self.stats.buffer_served_reads += 1
         else:
-            yield from scheme.read(item.disk_offset, nbytes)
+            yield from scheme.read(item.disk_offset, nbytes, trace=trace)
             self.stats.ssd_reads += 1
             self.stats.ssd_read_bytes += nbytes
             self._m_ssd_reads.inc()

@@ -35,6 +35,10 @@ class Request:
     req_id: int
     op: str
     key: bytes
+    #: Causal profile trace id of the issuing client request (None when
+    #: the request is not sampled). Observability only — servers must
+    #: never branch on it.
+    trace_id: Optional[int] = None
 
     @property
     def header_bytes(self) -> int:
@@ -108,6 +112,9 @@ class MultiGetRequest(Request):
     """
 
     entries: tuple = ()  # of (req_id, key)
+    #: Parallel per-entry trace ids (same length as ``entries`` when the
+    #: issuing client profiles; empty otherwise).
+    traces: tuple = ()
 
     def __post_init__(self):
         self.op = "mget"

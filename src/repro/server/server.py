@@ -26,6 +26,7 @@ from typing import Dict, Optional
 
 from repro.net.transport import Endpoint
 from repro.obs.api import NULL_OBS, Observability
+from repro.obs.profile import profile_message
 from repro.obs.tracer import NULL_SPAN
 from repro.server.hybrid import HybridSlabManager
 from repro.server.protocol import (
@@ -317,6 +318,10 @@ class MemcachedServer:
                 ev = self._value_events.setdefault(key, self.sim.event())
                 ev.succeed(payload)
             elif isinstance(payload, Request):
+                prof = self.obs.profiler
+                if prof.enabled:
+                    for tid, px in self._trace_targets(payload):
+                        prof.open_stage(tid, px + "server_queue")
                 if self.config.get_priority:
                     # Reads skip ahead of writes (0 beats 1).
                     rank = 0 if payload.op in ("get", "mget") else 1
@@ -325,6 +330,18 @@ class MemcachedServer:
                     self._queue.put((delivery, endpoint))
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unexpected payload {payload!r}")
+
+    @staticmethod
+    def _trace_targets(request: Request):
+        """``(trace_id, stage_prefix)`` pairs of a request's sampled
+        traces — one per entry for a batched mget, the ``replica.``
+        prefix for replica-propagation applies."""
+        if isinstance(request, MultiGetRequest):
+            return [(tid, "") for tid in request.traces if tid is not None]
+        if request.trace_id is None:
+            return []
+        px = "replica." if getattr(request, "replica", False) else ""
+        return [(request.trace_id, px)]
 
     def _await_value(self, endpoint: Endpoint, req_id: int):
         key = (id(endpoint), req_id)
@@ -362,14 +379,29 @@ class MemcachedServer:
             start = self.sim.now
             self._busy_workers += 1
             request = delivery.payload
+            prof = self.obs.profiler
+            targets = ()
+            if prof.enabled:
+                targets = self._trace_targets(request)
+                for ptid, px in targets:
+                    prof.close_stage(ptid, px + "server_queue")
             if tracer.enabled:
-                span = tracer.begin(request.op, tid=tid, pid="server",
-                                    cat="request", req_id=request.req_id)
+                if getattr(request, "trace_id", None) is not None:
+                    span = tracer.begin(request.op, tid=tid, pid="server",
+                                        cat="request",
+                                        req_id=request.req_id,
+                                        trace_id=request.trace_id)
+                else:
+                    span = tracer.begin(request.op, tid=tid, pid="server",
+                                        cat="request",
+                                        req_id=request.req_id)
             else:
                 span = NULL_SPAN
             if delivery.recv_cpu:
                 yield self.sim.timeout(delivery.recv_cpu)
             yield self.sim.timeout(parse_cost)
+            for ptid, px in targets:
+                prof.record(ptid, px + "server_cpu", start, self.sim.now)
             if isinstance(request, SetRequest):
                 yield from self._handle_set(request, endpoint)
             elif isinstance(request, MultiGetRequest):
@@ -395,6 +427,9 @@ class MemcachedServer:
     def _handle_set(self, request: SetRequest, endpoint: Endpoint):
         costs = self.config.costs
         stages: Dict[str, float] = {}
+        prof = self.obs.profiler
+        ptid = request.trace_id if prof.enabled else None
+        px = "replica." if request.replica else ""
         credit = None
         if not request.inline_value:
             arrival = yield from self._await_value(endpoint, request.req_id)
@@ -406,7 +441,10 @@ class MemcachedServer:
             credit = arrival.credit
         # Copy the value out of the receive buffer (staging on the
         # optimized server, directly toward the chunk otherwise).
+        t_copy = self.sim.now
         yield self.sim.timeout(request.value_length / costs.memcpy_bandwidth)
+        if ptid is not None:
+            prof.record(ptid, px + "ram", t_copy, self.sim.now)
         if credit is not None and self.config.early_ack:
             # Optimized runtime: the receive buffer is free *now*; the
             # client engine's next value transfer can proceed while we do
@@ -422,15 +460,23 @@ class MemcachedServer:
 
         t0 = self.sim.now
         yield self.sim.timeout(costs.slab_alloc_cpu)
+        if ptid is not None:
+            prof.record(ptid, px + "index", t0, self.sim.now)
+        t_store = self.sim.now
         item, info = yield from self.manager.store(
             request.key, request.value_length, request.flags,
             request.expiration, mode=request.mode,
             cas_token=request.cas_token)
         stages["slab_alloc"] = self.sim.now - t0
+        if ptid is not None:
+            # Store time beyond the alloc CPU is flush/eviction I/O wait.
+            prof.record(ptid, px + "ssd", t_store, self.sim.now)
 
         t0 = self.sim.now
         yield self.sim.timeout(costs.lru_update)
         stages["cache_update"] = self.sim.now - t0
+        if ptid is not None:
+            prof.record(ptid, px + "index", t0, self.sim.now)
 
         if credit is not None:
             if credit.granted_at is not None:
@@ -454,11 +500,22 @@ class MemcachedServer:
     def _handle_get(self, request: GetRequest, endpoint: Endpoint):
         costs = self.config.costs
         stages: Dict[str, float] = {}
+        prof = self.obs.profiler
+        ptid = request.trace_id if prof.enabled else None
         t0 = self.sim.now
         yield self.sim.timeout(costs.hash_lookup)
+        if ptid is not None:
+            prof.record(ptid, "index", t0, self.sim.now)
         item = self.manager.lookup(request.key)
         if item is not None:
-            yield from self.manager.load_value(item)
+            t_load = self.sim.now
+            was_ssd = item.on_ssd
+            yield from self.manager.load_value(item, trace=ptid)
+            if ptid is not None:
+                # A RAM hit serves at memcpy speed; the SSD path's device
+                # time is nested under this span as ``ssd.io``.
+                prof.record(ptid, "ssd" if was_ssd else "ram",
+                            t_load, self.sim.now)
         stages["cache_check_load"] = self.sim.now - t0
 
         self.stats.gets += 1
@@ -475,6 +532,8 @@ class MemcachedServer:
         yield self.sim.timeout(costs.lru_update)
         self.manager.touch(item)
         stages["cache_update"] = self.sim.now - t0
+        if ptid is not None:
+            prof.record(ptid, "index", t0, self.sim.now)
 
         self.stats.get_hits += 1
         self._m_hits.inc()
@@ -488,17 +547,27 @@ class MemcachedServer:
     def _handle_mget(self, request: MultiGetRequest, endpoint: Endpoint):
         """memcached_mget: stream one response per requested key."""
         costs = self.config.costs
-        for req_id, key in request.entries:
+        prof = self.obs.profiler
+        traces = request.traces if prof.enabled else ()
+        for i, (req_id, key) in enumerate(request.entries):
             stages: Dict[str, float] = {}
+            ptid = traces[i] if i < len(traces) else None
             t0 = self.sim.now
             yield self.sim.timeout(costs.hash_lookup)
+            if ptid is not None:
+                prof.record(ptid, "index", t0, self.sim.now)
             item = self.manager.lookup(key)
             if item is not None:
-                yield from self.manager.load_value(item)
+                t_load = self.sim.now
+                was_ssd = item.on_ssd
+                yield from self.manager.load_value(item, trace=ptid)
+                if ptid is not None:
+                    prof.record(ptid, "ssd" if was_ssd else "ram",
+                                t_load, self.sim.now)
             stages["cache_check_load"] = self.sim.now - t0
             self.stats.gets += 1
             self._m_gets.inc()
-            sub = GetRequest(req_id=req_id, op="get", key=key)
+            sub = GetRequest(req_id=req_id, op="get", key=key, trace_id=ptid)
             if item is None:
                 self.stats.get_misses += 1
                 self._m_misses.inc()
@@ -508,6 +577,8 @@ class MemcachedServer:
             yield self.sim.timeout(costs.lru_update)
             self.manager.touch(item)
             stages["cache_update"] = self.sim.now - t0
+            if ptid is not None:
+                prof.record(ptid, "index", t0, self.sim.now)
             self.stats.get_hits += 1
             self._m_hits.inc()
             for k, v in stages.items():
@@ -518,7 +589,12 @@ class MemcachedServer:
     # -- DELETE --------------------------------------------------------------
 
     def _handle_delete(self, request: DeleteRequest, endpoint: Endpoint):
+        t0 = self.sim.now
         yield self.sim.timeout(self.config.costs.hash_lookup)
+        if request.trace_id is not None and self.obs.profiler.enabled:
+            px = "replica." if request.replica else ""
+            self.obs.profiler.record(request.trace_id, px + "index",
+                                     t0, self.sim.now)
         found = self.manager.delete(request.key)
         if request.replica:
             self.stats.replica_applies += 1
@@ -602,7 +678,13 @@ class MemcachedServer:
                  cas_token: int = 0):
         if not self.alive:
             return  # crashed mid-request: the response never forms
+        prof = self.obs.profiler
+        ptid = request.trace_id if prof.enabled else None
+        px = ("replica." if getattr(request, "replica", False) else "")
+        t_prep = self.sim.now
         yield self.sim.timeout(self.config.costs.response_prep)
+        if ptid is not None:
+            prof.record(ptid, px + "server_cpu", t_prep, self.sim.now)
         if not (self.alive and self.reachable):
             return  # died or partitioned during prep: response dropped
         response = Response(req_id=request.req_id, op=request.op,
@@ -613,7 +695,9 @@ class MemcachedServer:
         # GET responses carry the value via an RDMA write into the
         # client's buffer (one-sided); on IPoIB this degrades to a stream
         # send, both exactly as in the respective real designs.
-        endpoint.send(response, nbytes, one_sided=True)
+        msg = endpoint.send(response, nbytes, one_sided=True)
+        if ptid is not None:
+            profile_message(prof, ptid, prof.clock, msg, px)
         self.stats.add_stage("server_response",
                              self.config.costs.response_prep)
 

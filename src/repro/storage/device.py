@@ -75,22 +75,30 @@ class BlockDevice:
         """Zero the run-scoped I/O counters (device state is untouched)."""
         self.stats = DeviceStats()
 
-    def read(self, nbytes: int):
-        return self.sim.spawn(self._io(nbytes, write=False), name=f"{self.name}-read")
+    def read(self, nbytes: int, trace=None):
+        return self.sim.spawn(self._io(nbytes, write=False, trace=trace),
+                              name=f"{self.name}-read")
 
-    def write(self, nbytes: int):
-        return self.sim.spawn(self._io(nbytes, write=True), name=f"{self.name}-write")
+    def write(self, nbytes: int, trace=None):
+        return self.sim.spawn(self._io(nbytes, write=True, trace=trace),
+                              name=f"{self.name}-write")
 
-    def _io(self, nbytes: int, write: bool):
+    def _io(self, nbytes: int, write: bool, trace=None):
         if nbytes < 0:
             raise SimulationError(f"negative I/O size {nbytes}")
         t_start = self.sim.now
         # Async span: up to ``parallelism`` I/Os overlap on one device.
         tracer = self.obs.tracer
         if tracer.enabled:
-            span = tracer.begin("write" if write else "read",
-                                tid=self.name, pid="storage", cat="io",
-                                async_=True, bytes=nbytes)
+            if trace is not None:
+                span = tracer.begin("write" if write else "read",
+                                    tid=self.name, pid="storage", cat="io",
+                                    async_=True, bytes=nbytes,
+                                    trace_id=trace)
+            else:
+                span = tracer.begin("write" if write else "read",
+                                    tid=self.name, pid="storage", cat="io",
+                                    async_=True, bytes=nbytes)
         else:
             span = NULL_SPAN
         slot = self._slots.request()
@@ -129,6 +137,10 @@ class BlockDevice:
         finally:
             self._slots.release(slot)
             span.end()
+            if trace is not None:
+                prof = self.obs.profiler
+                if prof.enabled:
+                    prof.record(trace, "ssd.io", t_start, self.sim.now)
 
     @property
     def queue_length(self) -> int:

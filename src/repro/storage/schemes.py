@@ -16,15 +16,21 @@ from repro.storage.pagecache import PageCache
 
 
 class IOScheme:
-    """Interface: synchronous write/read of a byte range on one device."""
+    """Interface: synchronous write/read of a byte range on one device.
+
+    ``trace`` is an optional causal profile trace id: direct I/O tags
+    the resulting device operation with it; the page-cache schemes
+    ignore it (background write-back and shared page fetches are not
+    attributable to a single request).
+    """
 
     name: str = "abstract"
 
-    def write(self, offset: int, nbytes: int):
+    def write(self, offset: int, nbytes: int, trace=None):
         """Generator: complete when the caller may proceed."""
         raise NotImplementedError
 
-    def read(self, offset: int, nbytes: int):
+    def read(self, offset: int, nbytes: int, trace=None):
         """Generator: complete when the data is in memory."""
         raise NotImplementedError
 
@@ -45,11 +51,11 @@ class DirectIO(IOScheme):
         self.sim = sim
         self.device = device
 
-    def write(self, offset: int, nbytes: int):
-        yield self.device.write(nbytes)
+    def write(self, offset: int, nbytes: int, trace=None):
+        yield self.device.write(nbytes, trace=trace)
 
-    def read(self, offset: int, nbytes: int):
-        yield self.device.read(nbytes)
+    def read(self, offset: int, nbytes: int, trace=None):
+        yield self.device.read(nbytes, trace=trace)
 
 
 class CachedIO(IOScheme):
@@ -66,11 +72,11 @@ class CachedIO(IOScheme):
         self.device = device
         self.cache = cache
 
-    def write(self, offset: int, nbytes: int):
+    def write(self, offset: int, nbytes: int, trace=None):
         yield self.sim.timeout(self.cache.params.syscall_overhead)
         yield from self.cache.write(offset, nbytes, origin="write")
 
-    def read(self, offset: int, nbytes: int):
+    def read(self, offset: int, nbytes: int, trace=None):
         yield self.sim.timeout(self.cache.params.syscall_overhead)
         yield from self.cache.read(offset, nbytes)
 
@@ -99,13 +105,13 @@ class MmapIO(IOScheme):
                     if p not in self.cache._pages)
         return fresh * self.cache.params.fault_overhead
 
-    def write(self, offset: int, nbytes: int):
+    def write(self, offset: int, nbytes: int, trace=None):
         cost = self._fault_cost(offset, nbytes)
         if cost:
             yield self.sim.timeout(cost)
         yield from self.cache.write(offset, nbytes, origin="mmap")
 
-    def read(self, offset: int, nbytes: int):
+    def read(self, offset: int, nbytes: int, trace=None):
         cost = self._fault_cost(offset, nbytes)
         if cost:
             yield self.sim.timeout(cost)

@@ -1,0 +1,97 @@
+"""Causal-soundness property test for the profiler (faulty R=2 run).
+
+Every sampled request — across replication fan-out, a server crash,
+timeouts, retries, and failover — must yield:
+
+* a rooted span tree over its ``[t_issue, t_done]`` window, and
+* a stage attribution that sums *exactly* to its end-to-end latency
+  (the attribution is an exact partition by construction).
+
+And the whole report must be byte-identical between the fast-lane and
+legacy simulator paths — profiling may not observe scheduling artifacts.
+"""
+
+import json
+
+import pytest
+
+from repro.core.cluster import ClusterSpec
+from repro.core.profiles import H_RDMA_OPT_NONB_I
+from repro.faults import FaultPlan
+from repro.harness.runner import RunConfig
+from repro.obs.profile import attribute, build_tree
+from repro.sim import Simulator
+from repro.units import KB, MB
+from repro.workloads.generator import WorkloadSpec
+
+
+def _run(fast_lane: bool):
+    spec = WorkloadSpec(num_ops=120, num_keys=64, value_length=4 * KB,
+                        read_fraction=0.5, distribution="zipf", seed=11)
+    cluster_spec = ClusterSpec(
+        num_servers=3, num_clients=2,
+        server_mem=4 * MB, ssd_limit=16 * MB,
+        router="ketama", replication_factor=2, write_mode="sync",
+        request_timeout=2e-3, eject_duration=5e-3,
+        profile=True, profile_keep_traces=True)
+    cfg = RunConfig(
+        profile=H_RDMA_OPT_NONB_I, workload=spec, cluster=cluster_spec,
+        sim=Simulator(fast_lane=fast_lane),
+        fault_plan=FaultPlan.parse(["crash:server=1,at=4ms,duration=20ms"]))
+    cluster = cfg.build()
+    result = cfg.run(cluster=cluster)
+    return cluster, result
+
+
+def test_every_sampled_request_attributes_exactly():
+    cluster, result = _run(fast_lane=True)
+    profiler = cluster.obs.profiler
+    # The run quiesced: no live traces left behind.
+    assert profiler.live == 0
+    records = profiler.traces
+    assert result.profile is not None
+    assert result.profile.finished == len(records) > 0
+    classes = set()
+    for trace_id, cls, t_issue, t_done, spans in records:
+        classes.add(cls)
+        latency = t_done - t_issue
+        assert latency > 0
+        breakdown = attribute(spans, t_issue, t_done)
+        assert sum(breakdown.values()) == pytest.approx(latency, rel=1e-9)
+        tree = build_tree(spans, t_issue, t_done)
+        assert tree.name == "request"
+        assert tree.t0 == t_issue and tree.t1 == t_done
+        # Every span landed inside the window (clipping was a no-op for
+        # starts; ends may legitimately extend the window).
+        for node in tree.children:
+            assert t_issue <= node.t0 <= node.t1 <= t_done
+    # The faulty mixed workload exercised both GETs and SETs.
+    assert any(c.startswith("get") for c in classes)
+    assert any(c.startswith("set") for c in classes)
+
+
+def test_profile_identical_across_sim_paths():
+    _, fast = _run(fast_lane=True)
+    _, legacy = _run(fast_lane=False)
+    assert (json.dumps(fast.profile.to_dict(), sort_keys=True)
+            == json.dumps(legacy.profile.to_dict(), sort_keys=True))
+    assert (sorted(fast.profile.folded_lines())
+            == sorted(legacy.profile.folded_lines()))
+
+
+def test_trace_window_matches_recorded_latency():
+    """For ordinary completed ops the attribution window equals the
+    recorded ``ReqResult`` latency (t_complete - t_issue); windows may
+    only exceed it for sync-replica barriers that outlive completion."""
+    cluster, result = _run(fast_lane=True)
+    by_issue = {}
+    for r in result.records:
+        by_issue.setdefault(round(r.t_issue, 12), []).append(r)
+    matched = 0
+    for _tid, _cls, t_issue, t_done, _spans in cluster.obs.profiler.traces:
+        recs = by_issue.get(round(t_issue, 12), [])
+        for r in recs:
+            if r.t_complete <= t_done + 1e-12:
+                matched += 1
+                break
+    assert matched == len(cluster.obs.profiler.traces)

@@ -50,6 +50,31 @@ def test_ycsb_command(capsys):
     assert "YCSB-B" in out
 
 
+def test_profile_command(capsys, tmp_path):
+    json_out = tmp_path / "p.json"
+    folded_out = tmp_path / "p.folded"
+    rc, out = run_cli(capsys, "profile", "--ops", "80",
+                      "--server-mem-mb", "16", "--ssd-limit-mb", "64",
+                      "--value-kb", "8", "--sample", "2",
+                      "--json", str(json_out), "--folded", str(folded_out))
+    assert rc == 0
+    assert "stage breakdown (mean):" in out
+    assert "stage breakdown (p99):" in out
+    import json
+
+    doc = json.loads(json_out.read_text())
+    assert doc["sample_every"] == 2 and doc["classes"]
+    assert folded_out.read_text().strip()
+
+
+def test_profile_command_ycsb(capsys):
+    rc, out = run_cli(capsys, "profile", "--ycsb", "a", "--ops", "80",
+                      "--server-mem-mb", "16", "--ssd-limit-mb", "64",
+                      "--value-kb", "4")
+    assert rc == 0
+    assert "YCSB-A" in out and "top stages" in out
+
+
 def test_reproduce_single_figure(capsys):
     rc, out = run_cli(capsys, "reproduce", "--figure", "fig4")
     assert rc == 0
