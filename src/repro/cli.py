@@ -73,6 +73,9 @@ def _add_cluster_args(p: argparse.ArgumentParser) -> None:
                    help="sync: writes ack after every replica; async: "
                         "after the primary alone (replicas propagate in "
                         "the background)")
+    p.add_argument("--no-active-expiry", action="store_true",
+                   help="disable the background TTL sweeper (expired "
+                        "items are then reclaimed only on access)")
 
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
@@ -88,6 +91,14 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
                    choices=("zipf", "uniform"))
     p.add_argument("--theta", type=float, default=0.8)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--pattern", default="basic",
+                   choices=("basic", "counter", "ttl-churn"),
+                   help="stream shape: basic get/set mix, counter "
+                        "(incr/decr-heavy), or ttl-churn (expiring "
+                        "stores + gat/touch refreshes)")
+    p.add_argument("--ttl", type=float, default=0.0, metavar="SECONDS",
+                   help="relative TTL attached to stores (0: none; "
+                        "ttl-churn defaults to 50ms)")
 
 
 def _workload_spec(args) -> WorkloadSpec:
@@ -102,6 +113,8 @@ def _workload_spec(args) -> WorkloadSpec:
         distribution=args.distribution,
         theta=args.theta,
         seed=args.seed,
+        pattern=getattr(args, "pattern", "basic"),
+        ttl=getattr(args, "ttl", 0.0),
     )
 
 
@@ -139,6 +152,7 @@ def _build(args, spec: WorkloadSpec, observe: bool = False,
         eject_duration=parse_time(eject) if eject is not None else None,
         replication_factor=getattr(args, "replication", 1),
         write_mode=getattr(args, "write_mode", "sync"),
+        active_expiry=not getattr(args, "no_active_expiry", False),
         observe=observe,
         trace=trace,
         profile=profile,
@@ -487,6 +501,12 @@ def _add_consistency_args(p: argparse.ArgumentParser) -> None:
                    help="drive the legacy-heap simulator path")
     p.add_argument("--fault", action="append", metavar="KIND:k=v,...",
                    help="fault spec (repeatable), FaultPlan.parse format")
+    p.add_argument("--ttl-ops", action="store_true",
+                   help="mix TTL-bearing ops into the fuzz stream "
+                        "(set-with-ttl / gat / touch / rare flush_all)")
+    p.add_argument("--counter-ops", action="store_true",
+                   help="mix incr/decr (with and without auto-create) "
+                        "into the fuzz stream")
     p.add_argument("--history-out", default=None, metavar="FILE",
                    help="also write the recorded history as JSONL")
 
@@ -510,6 +530,8 @@ def cmd_check_consistency(args) -> int:
         eject_duration=args.eject_duration,
         server_mem_mb=args.server_mem_mb,
         ssd_limit_mb=args.ssd_limit_mb,
+        ttl_ops=args.ttl_ops,
+        counter_ops=args.counter_ops,
     )
     print(repro_line(scn))
     report, events, _recorder = run_scenario(scn)

@@ -38,7 +38,10 @@ from repro.server.protocol import (
     MISS,
     SERVER_DOWN,
     BufferAck,
+    CounterRequest,
     DeleteRequest,
+    FlushRequest,
+    GatRequest,
     GetRequest,
     MultiGetRequest,
     Response,
@@ -460,6 +463,88 @@ class MemcachedClient:
         self._finalize(req)
         return req
 
+    def incr(self, key: bytes, delta: int = 1,
+             initial: Optional[int] = None, expiration: float = 0.0):
+        """``memcached_increment``: server-side add of ``delta``.
+
+        An absent key answers NOT_FOUND unless ``initial`` is given
+        (auto-create — the meta protocol's N flag — installing
+        ``expiration``); a non-counter value answers NOT_NUMERIC. On
+        success ``req.result().counter_value`` holds the new value. With
+        replication the arithmetic fans out to every replica like a SET
+        (each replica applies the same delta, drawing its own token).
+        """
+        req = yield from self._issue("incr", "incr", key, 0, 0, expiration,
+                                     delta=delta, initial=initial)
+        yield from self._recover(req)
+        if self._replica_subs:
+            yield from self._await_replica_acks(req)
+        self._finalize(req)
+        return req
+
+    def decr(self, key: bytes, delta: int = 1,
+             initial: Optional[int] = None, expiration: float = 0.0):
+        """``memcached_decrement``: like :meth:`incr`, saturating at 0."""
+        req = yield from self._issue("decr", "decr", key, 0, 0, expiration,
+                                     delta=delta, initial=initial)
+        yield from self._recover(req)
+        if self._replica_subs:
+            yield from self._await_replica_acks(req)
+        self._finalize(req)
+        return req
+
+    def gat(self, key: bytes, expiration: float):
+        """``memcached_gat``: get-and-touch in one round trip. Serves
+        the value like ``get`` and refreshes the deadline like ``touch``
+        (primary only — like touch, recency state is per-server). A miss
+        does NOT trigger the backend fetch: gat is a cache-maintenance
+        read, not a demand read."""
+        req = yield from self._issue("gat", "gat", key, 0, 0, expiration)
+        yield from self._recover(req)
+        self._finalize(req)
+        return req
+
+    def gets(self, key: bytes):
+        """``memcached_gets``: a read whose result carries the CAS token
+        for a later :meth:`cas`. Every GET response in this protocol
+        already ships the token; ``gets`` exists so call sites can spell
+        the intent, exactly like libmemcached's behavior-gated variant."""
+        req = yield from self.get(key)
+        return req
+
+    def flush_all(self, delay: float = 0.0):
+        """``memcached_flush_all``: invalidate every item on every
+        server, ``delay`` seconds in the future (epoch-stamped; chunk
+        reclaim is lazy plus each server's expiry sweeper). Fans out to
+        all connections; bounded waits, no retries (like ``stats``,
+        flush targets explicit servers — rerouting is meaningless).
+        Generator; returns the per-server requests."""
+        self._ensure_started()
+        t0 = self.sim.now
+        yield self.sim.timeout(self.config.api_overhead)
+        reqs: List[MemcachedReq] = []
+        for conn in self._conns:
+            req = MemcachedReq(self.sim, self._next_req_id, "flush", b"",
+                               0, "flush")
+            self._next_req_id += 1
+            req.t_issue = t0
+            req.expiration = delay
+            req.server_index = conn.index
+            if self.recorder is not None:
+                self.recorder.on_issue(self.name, req.result())
+            if self.t_first_issue is None:
+                self.t_first_issue = t0
+            self._outstanding[req.req_id] = req
+            self._op_begin(req)
+            self._job_meta[req.req_id] = (0, delay, "set", 0, 0, None)
+            self._engine_queue.put(_EngineJob(req, conn, t_queued=t0))
+            reqs.append(req)
+        self._account_many(reqs, self.sim.now - t0)
+        for req in reqs:
+            yield from self._await_replica(req)
+            self._finalize(req)
+        return reqs
+
     # -- public non-blocking API (Section IV) ----------------------------------
 
     def iset(self, key: bytes, value_length: int, flags: int = 0,
@@ -672,12 +757,15 @@ class MemcachedClient:
 
     def _issue(self, op: str, api: str, key: bytes, value_length: int,
                flags: int, expiration: float, mode: str = "set",
-               cas_token: int = 0):
+               cas_token: int = 0, delta: int = 0,
+               initial: Optional[int] = None):
         self._ensure_started()
         req = MemcachedReq(self.sim, self._next_req_id, op, key,
                            value_length, api)
         self._next_req_id += 1
         req.t_issue = self.sim.now
+        req.expiration = expiration
+        req.auto_create = initial is not None
         if self._profiler.enabled:
             req.trace_id = self._profiler.maybe_start(op, api)
         if self.recorder is not None:
@@ -699,10 +787,12 @@ class MemcachedClient:
         self._engine_queue.put(_EngineJob(req, conn, t_queued=req.t_issue))
         self._account_block(req, self.sim.now - t0)
         req.t_api_return = self.sim.now
-        self._job_meta[req.req_id] = (flags, expiration, mode, cas_token)
+        self._job_meta[req.req_id] = (flags, expiration, mode, cas_token,
+                                      delta, initial)
         if self._replication > 1:
-            if op in ("set", "delete"):
-                subs = self._fan_out(req, conn, flags, expiration, mode)
+            if op in ("set", "delete", "incr", "decr"):
+                subs = self._fan_out(req, conn, flags, expiration, mode,
+                                     delta=delta, initial=initial)
                 if self._sync_writes and subs:
                     self._replica_subs[req.req_id] = subs
             elif op == "get":
@@ -718,16 +808,18 @@ class MemcachedClient:
     # -- replication (write fan-out + replica acks) -------------------------
 
     def _fan_out(self, req: MemcachedReq, primary: ServerConn,
-                 flags: int, expiration: float,
-                 mode: str) -> List[MemcachedReq]:
+                 flags: int, expiration: float, mode: str,
+                 delta: int = 0,
+                 initial: Optional[int] = None) -> List[MemcachedReq]:
         """Queue replica copies of a write on the engine.
 
         CAS tokens are per-server, so replica copies of a ``cas`` write
         downgrade to unconditional sets — the primary alone validates
         the token. Deletes fan out the same way (a replica removal per
-        copy). Replica sub-requests are not user operations: they carry
-        ``api="replica"``, never produce records, and always travel
-        inline (no receive-buffer credits; see ``_engine_set``).
+        copy), and incr/decr copies re-apply the same arithmetic on each
+        replica. Replica sub-requests are not user operations: they
+        carry ``api="replica"``, never produce records, and always
+        travel inline (no receive-buffer credits; see ``_engine_set``).
         """
         subs: List[MemcachedReq] = []
         rmode = "set" if mode == "cas" else mode
@@ -738,6 +830,8 @@ class MemcachedClient:
                                req.value_length, "replica")
             self._next_req_id += 1
             sub.t_issue = self.sim.now
+            sub.expiration = expiration
+            sub.auto_create = initial is not None
             # Replica copies share the parent's trace: their spans show
             # up under the ``replica.`` prefix of the parent's tree.
             sub.trace_id = req.trace_id
@@ -746,7 +840,8 @@ class MemcachedClient:
                 self.recorder.on_issue(self.name, sub.result(),
                                        parent=req.req_id)
             self._outstanding[sub.req_id] = sub
-            self._job_meta[sub.req_id] = (flags, expiration, rmode, 0)
+            self._job_meta[sub.req_id] = (flags, expiration, rmode, 0,
+                                          delta, initial)
             self._replica_outstanding[conn.index] = (
                 self._replica_outstanding.get(conn.index, 0) + 1)
             sub.complete.callbacks.append(
@@ -1031,8 +1126,8 @@ class MemcachedClient:
                     job.t_queued, self.sim.now)
             # get, not pop: a retry reissues the same request and needs
             # the meta again; _finalize/_fail_server_down clean it up.
-            flags, expiration, mode, cas_token = self._job_meta.get(
-                req.req_id, (0, 0.0, "set", 0))
+            flags, expiration, mode, cas_token, delta, initial = \
+                self._job_meta.get(req.req_id, (0, 0.0, "set", 0, 0, None))
             if self.config.model_registration and req.op in ("set", "get"):
                 cost = self._acquire_buffer(req)
                 if cost > 0:
@@ -1050,6 +1145,30 @@ class MemcachedClient:
                                       trace_id=req.trace_id)
                 msg = conn.endpoint.send(header, header.header_bytes)
                 self._profile_msg(req, msg)
+                self._arm(req.buffer_safe, msg.on_wire)
+            elif req.op in ("incr", "decr"):
+                header = CounterRequest(req_id=req.req_id, op=req.op,
+                                        key=req.key, delta=delta,
+                                        initial=initial,
+                                        expiration=expiration,
+                                        direction=req.op,
+                                        replica=req.api == "replica",
+                                        trace_id=req.trace_id)
+                msg = conn.endpoint.send(header, header.header_bytes)
+                self._profile_msg(req, msg)
+                self._arm(req.buffer_safe, msg.on_wire)
+            elif req.op == "gat":
+                header = GatRequest(req_id=req.req_id, op="gat",
+                                    key=req.key, expiration=expiration,
+                                    trace_id=req.trace_id)
+                msg = conn.endpoint.send(header, header.header_bytes)
+                self._profile_msg(req, msg)
+                self._arm(req.buffer_safe, msg.on_wire)
+            elif req.op == "flush":
+                # The expiration meta slot carries flush_all's delay.
+                header = FlushRequest(req_id=req.req_id, op="flush",
+                                      key=b"", delay=expiration)
+                msg = conn.endpoint.send(header, header.header_bytes)
                 self._arm(req.buffer_safe, msg.on_wire)
             elif req.op == "stats":
                 header = StatsRequest(req_id=req.req_id, op="stats", key=b"")
@@ -1210,8 +1329,12 @@ class MemcachedClient:
             req.stages["server_response"] = (
                 response.stages.get("server_response", 0.0)
                 + (self.sim.now - response.sent_at))
-            if response.op == "get" and response.status == HIT:
+            if response.op in ("get", "gat") and response.status == HIT:
                 req.value_length = response.value_length
+            elif response.op in ("incr", "decr") and \
+                    response.status == "STORED":
+                req.value_length = response.value_length
+            req.counter_value = response.counter_value
             req.cas_token = response.cas_token
             req.t_complete = self.sim.now
             req.complete.succeed(response)

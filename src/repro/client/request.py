@@ -31,9 +31,16 @@ class ReqResult:
     req_id: int = -1
     t_issue: float = 0.0
     t_complete: float = 0.0
+    #: Deadline the op carried (sets/touch/gat; counter auto-create TTL;
+    #: for flush_all the relative delay). 0.0 = none.
+    expiration: float = 0.0
+    #: Result of incr/decr arithmetic (0 when not applicable).
+    counter_value: int = 0
+    #: True for incr/decr issued with an ``initial`` (auto-create).
+    auto_create: bool = False
 
     #: Statuses that mean the operation did what was asked.
-    _OK = frozenset({"STORED", "HIT", "DELETED", "TOUCHED"})
+    _OK = frozenset({"STORED", "HIT", "DELETED", "TOUCHED", "OK"})
 
     @property
     def ok(self) -> bool:
@@ -63,6 +70,7 @@ class MemcachedReq:
         "status", "response", "cas_token",
         "t_issue", "t_api_return", "t_complete",
         "blocked_time", "stages", "server_index", "trace_id",
+        "expiration", "counter_value", "auto_create",
     )
 
     def __init__(self, sim: Simulator, req_id: int, op: str, key: bytes,
@@ -91,6 +99,12 @@ class MemcachedReq:
         self.server_index: int = -1
         #: Causal profile trace id (None unless this request is sampled).
         self.trace_id: Optional[int] = None
+        #: Deadline carried by the op (absolute sim time; flush: delay).
+        self.expiration: float = 0.0
+        #: incr/decr arithmetic result, filled from the response.
+        self.counter_value: int = 0
+        #: incr/decr issued with auto-create (``initial`` given).
+        self.auto_create: bool = False
 
     @property
     def done(self) -> bool:
@@ -128,7 +142,10 @@ class MemcachedReq:
                              cas_token=self.cas_token,
                              server_index=self.server_index,
                              key=self.key, req_id=self.req_id,
-                             t_issue=self.t_issue, t_complete=0.0)
+                             t_issue=self.t_issue, t_complete=0.0,
+                             expiration=self.expiration,
+                             counter_value=self.counter_value,
+                             auto_create=self.auto_create)
         return ReqResult(op=self.op, api=self.api, status=self.status or "?",
                          value_length=self.value_length,
                          latency=self.latency,
@@ -136,7 +153,10 @@ class MemcachedReq:
                          cas_token=self.cas_token,
                          server_index=self.server_index,
                          key=self.key, req_id=self.req_id,
-                         t_issue=self.t_issue, t_complete=self.t_complete)
+                         t_issue=self.t_issue, t_complete=self.t_complete,
+                         expiration=self.expiration,
+                         counter_value=self.counter_value,
+                         auto_create=self.auto_create)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = self.status or ("pending" if not self.done else "done")

@@ -18,10 +18,17 @@ no search. CAS tokens are per-server monotonic write identifiers, so:
 * *monotonic reads* — non-overlapping reads on *(s, key)* observe
   non-decreasing tokens.
 * *sync visibility* (``write_mode="sync"`` only) — after a sync write
-  (or delete) acked, a read issued later on any server the write's
-  replica sub-request **acked** on must not observe an older token —
-  regardless of response timing. This is the rule a
+  (set/incr/decr, or delete) acked, a read issued later on any server
+  the write's replica sub-request **acked** on must not observe an
+  older token — regardless of response timing. This is the rule a
   replica-apply-reordered-ahead-of-ack mutant trips.
+* *expired read* — a read issued at/after the deadline a set stamped
+  on its item must not observe that item's token (stands down per
+  server once a touch/gat may have extended the deadline).
+* *flush visibility* — after an acked ``flush_all`` whose latest
+  possible epoch has passed, reads must not observe tokens applied
+  before its earliest possible epoch (``created`` is store time;
+  touch/gat never refresh it).
 
 **Wing–Gong pass** (``full=True``) — an exhaustive linearization search
 of each (key, server) sub-history against the sequential cache spec of
@@ -39,13 +46,25 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.consistency.history import HistoryEvent
-from repro.consistency.spec import ABSENT, SpecOp, step
+from repro.consistency.spec import (
+    ABSENT_STATE,
+    APPLY_KINDS,
+    SpecOp,
+    as_state,
+    step,
+)
 
 __all__ = ["Violation", "ConsistencyReport", "check_history", "check_run"]
 
 _ACKED_WRITE = "STORED"
 _ABSENCE_DELETE = ("DELETED", "NOT_FOUND")
 _POSSIBLY_APPLIED = ("SERVER_DOWN", "PENDING")
+#: Ops that install a fresh CAS token when they ack STORED.
+_APPLY_OPS = ("set", "incr", "decr")
+#: Ops whose unacknowledged outcome may still have mutated the server.
+_MUTATING_OPS = ("set", "delete", "incr", "decr")
+#: Token-observing reads.
+_READ_OPS = ("get", "gat")
 
 
 @dataclass(frozen=True)
@@ -53,8 +72,9 @@ class Violation:
     """One consistency violation, anchored to a (key, server) pair."""
 
     kind: str     # stale-read / resurrection / non-monotonic-read /
-                  # sync-stale-read / sync-resurrection /
-                  # token-key-mismatch / value-mismatch / not-linearizable
+                  # sync-stale-read / sync-resurrection / expired-read /
+                  # flush-stale-read / token-key-mismatch /
+                  # value-mismatch / not-linearizable
     key: str
     server: int
     detail: str
@@ -123,26 +143,33 @@ def check_history(events: Sequence[HistoryEvent],
     by_key: Dict[str, List[HistoryEvent]] = defaultdict(list)
     #: server -> token -> apply event (tokens are unique per server).
     applies_by_server: Dict[int, Dict[int, HistoryEvent]] = defaultdict(dict)
+    #: acked flush_alls per server (key-less; checked against every key).
+    flushes_by_server: Dict[int, List[HistoryEvent]] = defaultdict(list)
     for ev in events:
         if ev.op == "stats":
             continue
+        if ev.op == "flush":
+            if ev.status == "OK" and ev.server >= 0:
+                flushes_by_server[ev.server].append(ev)
+            continue
         by_key[ev.key].append(ev)
-        if ev.op == "set" and ev.status == _ACKED_WRITE and ev.server >= 0:
+        if (ev.op in _APPLY_OPS and ev.status == _ACKED_WRITE
+                and ev.server >= 0):
             applies_by_server[ev.server][ev.cas_token] = ev
-        if (ev.op in ("set", "delete")
+        if (ev.op in _MUTATING_OPS
                 and ev.status in _POSSIBLY_APPLIED):
             report.possibly_applied += 1
 
     report.keys_checked = len(by_key)
     for key, evs in by_key.items():
         _check_key(key, evs, initial_tokens, applies_by_server,
-                   write_mode, report)
+                   flushes_by_server, write_mode, report)
         if full:
             # Presence predicates relax to the UNKNOWN-item spec when an
             # invisible re-store was possible for this key: a fault plan
             # (resync) or a possibly-applied write on the key.
             allow_unknown = faults or any(
-                ev.op in ("set", "delete")
+                ev.op in _MUTATING_OPS
                 and ev.status in _POSSIBLY_APPLIED for ev in evs)
             _search_key(key, evs, initial_tokens, applies_by_server,
                         report, wg_budget, max_wg_ops, allow_unknown)
@@ -154,35 +181,44 @@ def check_history(events: Sequence[HistoryEvent],
 
 def _attribute(ev: HistoryEvent, initial_tokens, applies_by_server):
     """Resolve a HIT's token to its apply: ``(kind, apply_t_complete,
-    value_length, key)`` — kind 'apply', 'initial', or None."""
+    value_length, key, apply_event)`` — kind 'apply', 'initial', or
+    None (the event slot is None for 'initial')."""
     apply_ev = applies_by_server.get(ev.server, {}).get(ev.cas_token)
     if apply_ev is not None:
         return ("apply", apply_ev.t_complete, apply_ev.value_length,
-                apply_ev.key)
+                apply_ev.key, apply_ev)
     init = initial_tokens.get((ev.server, ev.key))
     if init is not None and init[0] == ev.cas_token:
-        return ("initial", float("-inf"), init[1], ev.key)
+        return ("initial", float("-inf"), init[1], ev.key, None)
     return None
 
 
-def _check_key(key, evs, initial_tokens, applies_by_server, write_mode,
-               report) -> None:
+def _check_key(key, evs, initial_tokens, applies_by_server,
+               flushes_by_server, write_mode, report) -> None:
     viol = report.violations.append
     # per-server event groups for this key
     applies: Dict[int, List[HistoryEvent]] = defaultdict(list)
     hits: Dict[int, List[HistoryEvent]] = defaultdict(list)
     absence: Dict[int, List[HistoryEvent]] = defaultdict(list)
+    #: servers where a touch/gat may have extended this key's deadline —
+    #: the expired-read rule stands down there (WG still covers it).
+    refreshed = set()
     for ev in evs:
         if ev.server < 0:
             continue
-        if ev.op == "set" and ev.status == _ACKED_WRITE:
+        if ev.op in _APPLY_OPS and ev.status == _ACKED_WRITE:
             applies[ev.server].append(ev)
-        elif ev.op == "get" and ev.status == "HIT":
+        if ev.op in _READ_OPS and ev.status == "HIT":
             hits[ev.server].append(ev)
-        elif ev.op == "get" and ev.status == "MISS":
+        elif ev.op in _READ_OPS and ev.status == "MISS":
             absence[ev.server].append(ev)
         elif ev.op == "delete" and ev.status in _ABSENCE_DELETE:
             absence[ev.server].append(ev)
+        elif ev.op in ("incr", "decr") and ev.status == "NOT_FOUND":
+            absence[ev.server].append(ev)
+        if ((ev.op == "touch" and ev.status == "TOUCHED")
+                or (ev.op == "gat" and ev.status == "HIT")):
+            refreshed.add(ev.server)
 
     for server, reads in hits.items():
         server_applies = applies.get(server, ())
@@ -191,7 +227,22 @@ def _check_key(key, evs, initial_tokens, applies_by_server, write_mode,
             if attr is None:
                 report.unattributed_reads += 1
             else:
-                _kind, a_end, a_vlen, a_key = attr
+                _kind, a_end, a_vlen, a_key, a_ev = attr
+                # Expired read: the apply stamped a deadline, the read
+                # was issued at/after it, and nothing could have pushed
+                # the deadline out. Only sets *unconditionally* install
+                # their recorded expiration (counter auto-create may
+                # have applied in place instead).
+                if (a_ev is not None and a_ev.op == "set"
+                        and a_ev.expiration > 0.0
+                        and r.t_issue >= a_ev.expiration
+                        and server not in refreshed):
+                    viol(Violation(
+                        "expired-read", key, server,
+                        f"read {_label(r)} (issued {r.t_issue:.9f}) "
+                        f"observed token {r.cas_token} whose apply "
+                        f"{_label(a_ev)} expired at "
+                        f"{a_ev.expiration:.9f}"))
                 if a_key != r.key:
                     viol(Violation(
                         "token-key-mismatch", key, server,
@@ -242,6 +293,32 @@ def _check_key(key, evs, initial_tokens, applies_by_server, write_mode,
                     f"after {_label(max_tok[1])} observed "
                     f"{max_tok[0]}"))
 
+    # Flush visibility: an acked flush_all invalidates, at its epoch,
+    # every item created before the epoch. The epoch lies in
+    # [t_issue+delay, t_complete+delay]; an apply completed before the
+    # *earliest* possible epoch stored its item before it, so a read
+    # issued after the *latest* possible epoch must not observe that
+    # token. Touch/gat never refresh ``created``, so no stand-down.
+    for server, fls in flushes_by_server.items():
+        reads = hits.get(server)
+        if not reads:
+            continue
+        for f in fls:
+            if f.t_complete < 0:
+                continue
+            min_f = f.t_issue + f.expiration
+            max_f = f.t_complete + f.expiration
+            for r in reads:
+                attr = _attribute(r, initial_tokens, applies_by_server)
+                if attr is None:
+                    continue
+                if attr[1] < min_f and r.t_issue > max_f:
+                    viol(Violation(
+                        "flush-stale-read", key, server,
+                        f"read {_label(r)} (issued {r.t_issue:.9f}) "
+                        f"observed token {r.cas_token} applied before "
+                        f"flush {_label(f)} (epoch <= {max_f:.9f})"))
+
     if write_mode == "sync":
         _check_sync_visibility(key, evs, initial_tokens, applies_by_server,
                                report)
@@ -257,11 +334,12 @@ def _check_sync_visibility(key, evs, initial_tokens, applies_by_server,
     for ev in evs:
         if ev.api == "replica" and ev.parent >= 0:
             subs_by_parent[ev.parent].append(ev)
-    reads = [ev for ev in evs if ev.op == "get" and ev.status == "HIT"]
+    reads = [ev for ev in evs
+             if ev.op in _READ_OPS and ev.status == "HIT"]
     for w in evs:
         if not w.user or w.t_complete < 0:
             continue
-        if w.op == "set" and w.status == _ACKED_WRITE:
+        if w.op in _APPLY_OPS and w.status == _ACKED_WRITE:
             floor: Dict[int, int] = {w.server: w.cas_token}
             for sub in subs_by_parent.get(w.req_id, ()):
                 if sub.status == _ACKED_WRITE:
@@ -302,11 +380,11 @@ def _spec_op(ev: HistoryEvent, initial_tokens,
     st = ev.status
     if st in _POSSIBLY_APPLIED:
         return None
-    mk = lambda kind, token=0: SpecOp(  # noqa: E731
-        kind, token, ev.t_issue, ev.t_complete, _label(ev))
+    mk = lambda kind, token=0, expire=0.0: SpecOp(  # noqa: E731
+        kind, token, ev.t_issue, ev.t_complete, _label(ev), expire)
     if ev.op == "set":
         if st == _ACKED_WRITE:
-            return mk("apply", ev.cas_token)
+            return mk("apply", ev.cas_token, ev.expiration)
         if ev.api == "replica":
             return None  # conditional replica outcome: mode unknown
         if st == "NOT_STORED":
@@ -321,10 +399,12 @@ def _spec_op(ev: HistoryEvent, initial_tokens,
             if st == "NOT_FOUND":
                 return mk("cas_nf")
         return None
-    if ev.op == "get":
+    if ev.op in _READ_OPS:
         if st == "HIT":
             if _attribute(ev, initial_tokens, applies_by_server) is None:
                 return None  # unattributable token: unconstrained
+            if ev.op == "gat":
+                return mk("gat_hit", ev.cas_token, ev.expiration)
             return mk("hit", ev.cas_token)
         if st == "MISS":
             return mk("miss")
@@ -337,9 +417,21 @@ def _spec_op(ev: HistoryEvent, initial_tokens,
         return None
     if ev.op == "touch":
         if st == "TOUCHED":
-            return mk("touch_ok")
+            return mk("touch_ok", 0, ev.expiration)
         if st == "NOT_FOUND":
             return mk("touch_nf")
+        return None
+    if ev.op in ("incr", "decr"):
+        # Counter semantics are unconditional (replica subs re-apply the
+        # same arithmetic), so replica outcomes map like user ops.
+        if st == _ACKED_WRITE:
+            if ev.auto_create:
+                return mk("counter_create", ev.cas_token, ev.expiration)
+            return mk("counter_apply", ev.cas_token)
+        if st == "NOT_FOUND":
+            return mk("counter_nf")
+        if st == "NOT_NUMERIC":
+            return mk("counter_fail")
         return None
     return None
 
@@ -361,16 +453,17 @@ def _search_key(key, evs, initial_tokens, applies_by_server, report,
             report.undecided.append((key, server))
             continue
         init = initial_tokens.get((server, key))
-        init_state = init[0] if init is not None else ABSENT
+        init_state = as_state(init[0]) if init is not None else ABSENT_STATE
         verdict = _linearize(sorted(
             ops, key=lambda o: (o.t_issue, o.t_complete, o.label)),
             init_state, budget, allow_unknown)
         if verdict == "undecided":
             report.undecided.append((key, server))
         elif verdict == "violation":
+            tokened = APPLY_KINDS | {"hit", "gat_hit"}
             trace = ", ".join(
                 f"{o.label}:{o.kind}"
-                + (f"({o.token})" if o.kind in ("apply", "hit") else "")
+                + (f"({o.token})" if o.kind in tokened else "")
                 for o in sorted(ops, key=lambda o: o.t_issue))
             report.violations.append(Violation(
                 "not-linearizable", key, server,
@@ -378,7 +471,7 @@ def _search_key(key, evs, initial_tokens, applies_by_server, report,
                 f"sequential cache spec"))
 
 
-def _linearize(ops: List[SpecOp], init_state: int, budget: int,
+def _linearize(ops: List[SpecOp], init_state, budget: int,
                allow_unknown: bool = False) -> str:
     """Wing–Gong search: is there a total order of ``ops`` respecting
     real time (op A before op B when A completed before B was issued)
@@ -393,7 +486,7 @@ def _linearize(ops: List[SpecOp], init_state: int, budget: int,
         for j in range(n):
             if i != j and ops[j].t_complete < ops[i].t_issue:
                 pred[i] |= 1 << j
-    apply_order = sorted((i for i in range(n) if ops[i].kind == "apply"),
+    apply_order = sorted((i for i in range(n) if ops[i].kind in APPLY_KINDS),
                          key=lambda i: ops[i].token)
     seen = set()
     nodes = 0
@@ -419,7 +512,7 @@ def _linearize(ops: List[SpecOp], init_state: int, budget: int,
             m &= m - 1
             if pred[i] & mask:
                 continue  # a strictly-earlier op is still unlinearized
-            if ops[i].kind == "apply" and i != next_apply:
+            if ops[i].kind in APPLY_KINDS and i != next_apply:
                 continue  # applies go in token order
             legal, nxt = step(state, ops[i], allow_unknown)
             if legal:

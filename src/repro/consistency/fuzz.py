@@ -58,6 +58,10 @@ class Scenario:
     eject_duration: float = 5e-3
     server_mem_mb: int = 4
     ssd_limit_mb: int = 32
+    #: Mix in TTL-bearing ops (set-with-ttl / gat / touch / rare flush).
+    ttl_ops: bool = False
+    #: Mix in incr/decr (with and without auto-create).
+    counter_ops: bool = False
 
     def to_cli_args(self) -> List[str]:
         """The exact ``repro check`` flags reproducing this scenario."""
@@ -76,6 +80,10 @@ class Scenario:
                 "--ssd-limit-mb", str(self.ssd_limit_mb)]
         if not self.fast_lane:
             args.append("--legacy-sim")
+        if self.ttl_ops:
+            args.append("--ttl-ops")
+        if self.counter_ops:
+            args.append("--counter-ops")
         for spec in self.fault_specs:
             args += ["--fault", spec]
         return args
@@ -109,6 +117,10 @@ def derive(seed: int) -> Scenario:
         router=rng.choice(("modulo", "ketama")),
         fast_lane=bool(rng.getrandbits(1)),
         fault_specs=fault_specs,
+        # Appended draws — keep them last so earlier fields stay stable
+        # across seeds recorded before these knobs existed.
+        ttl_ops=rng.random() < 0.5,
+        counter_ops=rng.random() < 0.5,
     )
 
 
@@ -119,13 +131,37 @@ def _drive(client, scn: Scenario, rng: random.Random, keyspace: Keyspace):
     """Mixed blocking + non-blocking stream with ``wait_any`` windows.
 
     Weights: get 40% (half non-blocking), set 25% (half non-blocking),
-    add 5%, replace 5%, get+cas 10%, delete 10%, touch 5%.
+    add 5%, replace 5%, get+cas 10%, delete 10%, touch 5%. When
+    ``counter_ops``/``ttl_ops`` are on, carve-outs at the front of the
+    draw route ~10% to incr/decr and ~12% to TTL-bearing ops
+    (set-with-ttl, gat, touch-with-short-ttl, the odd flush_all) —
+    short deadlines are chosen to straddle the run's time scale so
+    expiry races actually happen.
     """
     window: list = []
     for _ in range(scn.ops_per_client):
         key = keyspace.key(rng.randrange(scn.num_keys))
         draw = rng.random()
-        if draw < 0.40:
+        if scn.counter_ops and draw < 0.10:
+            delta = rng.randrange(1, 5)
+            initial = 0 if rng.getrandbits(1) else None
+            if rng.getrandbits(1):
+                yield from client.incr(key, delta, initial=initial)
+            else:
+                yield from client.decr(key, delta, initial=initial)
+        elif scn.ttl_ops and draw < 0.22:
+            deadline = client.sim.now + rng.choice((0.0005, 0.002, 0.01))
+            ttl_draw = rng.random()
+            if ttl_draw < 0.45:
+                yield from client.set(key, scn.value_length,
+                                      expiration=deadline)
+            elif ttl_draw < 0.70:
+                yield from client.gat(key, deadline)
+            elif ttl_draw < 0.95:
+                yield from client.touch(key, deadline)
+            else:
+                yield from client.flush_all(rng.choice((0.0, 0.001)))
+        elif draw < 0.40:
             if rng.random() < 0.5:
                 req = yield from client.iget(key)
                 window.append(req)

@@ -39,8 +39,9 @@ class HistoryEvent:
 
     client: str
     req_id: int
-    op: str          # set / get / delete / touch
-    api: str         # set/get/add/replace/cas/iset/iget/bset/bget/mget/replica
+    op: str          # set / get / delete / touch / incr / decr / gat / flush
+    api: str         # set/get/add/replace/cas/iset/iget/bset/bget/mget/
+                     # incr/decr/gat/flush/replica
     key: str         # latin-1 decoded key bytes
     status: str      # STORED/HIT/MISS/.../SERVER_DOWN/PENDING
     cas_token: int   # token written (STORED) or observed (HIT); else 0
@@ -50,6 +51,11 @@ class HistoryEvent:
     server: int      # connection that answered (or last attempt; -1 unknown)
     user: bool       # False: replica propagation / miss repopulation
     parent: int = -1  # parent req_id for api="replica" sub-requests
+    #: Deadline the op carried (absolute sim time; 0.0 = none). For
+    #: flush_all this is the relative delay instead.
+    expiration: float = 0.0
+    #: incr/decr issued with an ``initial`` (auto-create allowed).
+    auto_create: bool = False
 
     @property
     def interval(self) -> Tuple[float, float]:
@@ -158,6 +164,8 @@ class HistoryRecorder:
             server=res.server_index,
             user=user,
             parent=parent,
+            expiration=res.expiration,
+            auto_create=res.auto_create,
         )
 
 

@@ -5,33 +5,42 @@ server applies operations on a key in some total order, and CAS tokens
 name the applies (per-server monotonic counter). The spec models what a
 correct memcached server can answer, *including spontaneous eviction*:
 a cache may drop any item at any time, so the search is allowed to
-insert an eviction (state -> ABSENT) before an operation whenever that
+insert an eviction (state -> absent) before an operation whenever that
 makes the observed outcome legal. What eviction can never do is
 *resurrect* data: once a token is gone from a server it can never be
 observed again (re-stores draw fresh tokens — preload/resync included).
 
-State is :data:`ABSENT`, the CAS token of the live item, or
-:data:`UNKNOWN` — "some item with a token no recorded apply names is
-present". Conditional stores (add/replace/cas) and touch constrain
-presence; their failure outcomes are modeled as predicates.
+State is a ``(token, expire_at)`` pair: ``token`` is :data:`ABSENT`,
+the CAS token of the live item, or :data:`UNKNOWN`; ``expire_at`` is
+the item's absolute deadline (0.0 = never, and the only value paired
+with ABSENT). TTLs make *presence impossible*, not just optional: once
+``op.t_issue >= expire_at`` the item is definitely expired at every
+moment the operation could linearize, so outcomes that require the item
+(hit, acked delete, add_fail, touch_ok, counter arithmetic) become
+illegal — this is exactly what catches serve-at-the-deadline and
+delete-of-expired bugs. Conversely an operation *concurrent* with the
+deadline stays legal (it may have linearized just before expiry).
 
 The UNKNOWN state exists because two mechanisms can (re)store an item
 *invisibly to the history*: a possibly-applied write (response lost to
 a timeout/partition but the mutation landed) and anti-entropy resync
 after a heal/restart (``manager.preload`` on the target — no client
 op). Both draw fresh tokens, so an UNKNOWN item can satisfy presence
-predicates but can never explain a ``hit`` of a *recorded* token. The
-caller enables it (``allow_unknown``) only when such mechanisms were
-actually possible — fault plans or possibly-applied writes on the key —
-keeping the fault-free spec strict.
+predicates but can never explain a ``hit`` of a *recorded* token. Its
+deadline is unknowable, so it is tracked as 0.0 (never expires) — the
+conservative choice. The caller enables it (``allow_unknown``) only
+when such mechanisms were actually possible — fault plans or
+possibly-applied writes on the key — keeping the fault-free spec
+strict.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
-__all__ = ["ABSENT", "UNKNOWN", "SpecOp", "step", "APPLY_KINDS"]
+__all__ = ["ABSENT", "UNKNOWN", "ABSENT_STATE", "SpecOp", "step",
+           "as_state", "APPLY_KINDS"]
 
 #: The item is not on the server (never stored / evicted / deleted).
 ABSENT = -1
@@ -40,8 +49,20 @@ ABSENT = -1
 #: possibly-applied write). Only reachable with ``allow_unknown``.
 UNKNOWN = -2
 
+#: Canonical absent state.
+ABSENT_STATE: Tuple[int, float] = (ABSENT, 0.0)
+
 #: Kinds that install a new token (must linearize in token order).
-APPLY_KINDS = frozenset({"apply"})
+APPLY_KINDS = frozenset({"apply", "counter_apply", "counter_create"})
+
+State = Tuple[int, float]
+
+
+def as_state(token: int, expire_at: float = 0.0) -> State:
+    """Build a spec state from a token (+ optional deadline)."""
+    if token == ABSENT:
+        return ABSENT_STATE
+    return (token, expire_at)
 
 
 @dataclass(frozen=True)
@@ -50,56 +71,111 @@ class SpecOp:
 
     ``kind`` is the *outcome-resolved* operation:
 
-    =================  ====================================================
-    ``apply``          a store that succeeded (STORED): state := token
-    ``hit``            a read observing ``token``: requires state == token
-    ``miss``           a read observing absence: eviction -> ABSENT
-    ``delete``         an acked DELETED: requires present -> ABSENT
-    ``delete_nf``      delete answered NOT_FOUND: requires absent
-    ``add_fail``       add answered NOT_STORED: requires present
-    ``replace_fail``   replace answered NOT_STORED: requires absent
-    ``cas_exists``     cas answered EXISTS: requires present
-    ``cas_nf``         cas answered NOT_FOUND: requires absent
-    ``touch_ok``       touch answered TOUCHED: requires present
-    ``touch_nf``       touch answered NOT_FOUND: requires absent
-    =================  ====================================================
+    ==================  ===================================================
+    ``apply``           a store that succeeded (STORED):
+                        state := (token, expire_at)
+    ``hit``             a read observing ``token``: requires the item live
+    ``gat_hit``         gat observing ``token``: like hit, then installs
+                        the op's new deadline
+    ``miss``            a read observing absence: eviction -> absent
+    ``delete``          an acked DELETED: requires the item live -> absent
+    ``delete_nf``       delete answered NOT_FOUND: requires absent
+    ``add_fail``        add answered NOT_STORED: requires present
+    ``replace_fail``    replace answered NOT_STORED: requires absent
+    ``cas_exists``      cas answered EXISTS: requires present
+    ``cas_nf``          cas answered NOT_FOUND: requires absent
+    ``touch_ok``        touch answered TOUCHED: requires present; installs
+                        the op's new deadline
+    ``touch_nf``        touch answered NOT_FOUND: requires absent
+    ``counter_apply``   incr/decr STORED without auto-create: requires
+                        present; installs ``token``, keeps the deadline
+    ``counter_create``  incr/decr STORED with auto-create: always legal
+                        (applies in place when present, creates with the
+                        op's deadline when absent)
+    ``counter_nf``      incr/decr answered NOT_FOUND: requires absent
+    ``counter_fail``    incr/decr answered NOT_NUMERIC: requires present
+    ==================  ===================================================
     """
 
     kind: str
-    token: int          # apply/hit only; 0 otherwise
+    token: int          # apply/hit/counter kinds; 0 otherwise
     t_issue: float
     t_complete: float
     label: str = ""     # "client/req_id" — for violation messages
+    #: Deadline the op installs (apply/gat_hit/touch_ok/counter_create;
+    #: absolute sim time, 0.0 = never).
+    expire_at: float = 0.0
 
 
-def step(state: int, op: SpecOp,
-         allow_unknown: bool = False) -> Tuple[bool, Optional[int]]:
+def _later(a: float, b: float) -> float:
+    """The later of two deadlines, where 0.0 means never."""
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    return max(a, b)
+
+
+def step(state, op: SpecOp,
+         allow_unknown: bool = False) -> Tuple[bool, State]:
     """Apply ``op`` to ``state``; returns ``(legal, next_state)``.
 
     Spontaneous eviction is folded in: outcomes that require absence
     are always reachable from a present state (the server may have
-    evicted first), and they leave the state ABSENT. Outcomes that
+    evicted first), and they leave the state absent. Outcomes that
     require *presence* cannot be manufactured by eviction — but with
     ``allow_unknown``, an invisible re-store (resync / possibly-applied
-    write) may have put an UNKNOWN-token item there first.
+    write) may have put an UNKNOWN-token item there first. A state past
+    its deadline at ``op.t_issue`` counts as definitely absent for
+    presence purposes (and can never satisfy a hit of its token).
     """
+    if isinstance(state, int):  # accept bare tokens for convenience
+        state = as_state(state)
+    token, expire = state
     kind = op.kind
+    # Definitely expired: every possible linearization point of op lies
+    # at or past the deadline, so the item cannot be present for it.
+    dead = (token != ABSENT and expire != 0.0 and op.t_issue >= expire)
+    live = token != ABSENT and not dead
     if kind == "apply":
-        return True, op.token
+        return True, (op.token, op.expire_at)
     if kind == "hit":
         # UNKNOWN can never explain a hit: recorded tokens are distinct
         # from whatever token the invisible item carries.
-        return state == op.token, state
+        return (live and token == op.token), state
+    if kind == "gat_hit":
+        if live and token == op.token:
+            return True, (token, op.expire_at)
+        return False, state
     if kind == "miss":
-        return True, ABSENT
+        return True, ABSENT_STATE
     if kind == "delete":
-        if state != ABSENT:
-            return True, ABSENT
-        return allow_unknown, ABSENT
-    if kind in ("delete_nf", "replace_fail", "cas_nf", "touch_nf"):
-        return True, ABSENT  # absence observed; evict-first explains any state
-    if kind in ("add_fail", "cas_exists", "touch_ok"):
-        if state != ABSENT:
+        if live:
+            return True, ABSENT_STATE
+        return allow_unknown, ABSENT_STATE
+    if kind in ("delete_nf", "replace_fail", "cas_nf", "touch_nf",
+                "counter_nf"):
+        return True, ABSENT_STATE  # absence observed; evict-first explains it
+    if kind in ("add_fail", "cas_exists", "counter_fail"):
+        if live:
             return True, state
-        return allow_unknown, UNKNOWN
+        return allow_unknown, (UNKNOWN, 0.0)
+    if kind == "touch_ok":
+        if live:
+            return True, (token, op.expire_at)
+        return allow_unknown, (UNKNOWN, op.expire_at)
+    if kind == "counter_apply":
+        if live:
+            # The arithmetic lands on the live item and keeps its
+            # deadline — unless invisible restocks are possible, in
+            # which case the deadline is no longer knowable.
+            nxt = 0.0 if allow_unknown else expire
+            return True, (op.token, nxt)
+        return allow_unknown, (op.token, 0.0)
+    if kind == "counter_create":
+        if live:
+            # Two real serializations exist: apply in place (keeps the
+            # current deadline) or evict-then-create (installs the
+            # op's). Track the later-expiring one — sound, never a
+            # false violation.
+            return True, (op.token, _later(expire, op.expire_at))
+        return True, (op.token, op.expire_at)
     raise ValueError(f"unknown spec op kind {kind!r}")

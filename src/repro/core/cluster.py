@@ -62,6 +62,10 @@ class ClusterSpec:
     automove: bool = False
     #: Schedule GETs ahead of SETs in the server worker queue.
     get_priority: bool = False
+    #: Active TTL reclaim (background expiry sweeper on each server).
+    active_expiry: bool = True
+    expiry_interval: float = 0.005
+    expiry_budget: int = 128
     record_ops: bool = True
     #: Client request router: "modulo" (libmemcached default) or
     #: "ketama" (consistent hashing; required for clean failover).
@@ -184,12 +188,15 @@ class Cluster:
         for donor in self.servers:
             if donor is target or not (donor.alive and donor.reachable):
                 continue
-            for key, value_length in donor.manager.live_items():
+            for key, value_length, expiration, numeric in \
+                    donor.manager.live_items():
                 if key in table:
                     continue
                 if index not in router.replicas_for(key, r):
                     continue
-                target.manager.preload(key, value_length)
+                target.manager.preload(key, value_length,
+                                       expiration=expiration,
+                                       numeric=numeric)
                 copied += 1
         if copied:
             self.obs.registry.counter(
@@ -278,6 +285,9 @@ def build_cluster(profile: DesignProfile,
         flush_buffers=spec.flush_buffers,
         automove=spec.automove,
         get_priority=spec.get_priority,
+        active_expiry=spec.active_expiry,
+        expiry_interval=spec.expiry_interval,
+        expiry_budget=spec.expiry_budget,
         pagecache=spec.pagecache,
         costs=spec.costs,
     )

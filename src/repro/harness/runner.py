@@ -20,6 +20,7 @@ from repro.core.cluster import Cluster, ClusterSpec, build_cluster
 from repro.core.profiles import BLOCKING, NONB_B, NONB_I, DesignProfile
 from repro.client.request import OpRecord
 from repro.workloads.generator import Op, WorkloadSpec, generate_ops, make_dataset
+from repro.workloads.ycsb import CORE_WORKLOADS, generate_ycsb_ops
 
 #: Outstanding-request cap for non-blocking drivers. Bounds client-side
 #: queue growth the way a real application naturally would (it has a
@@ -84,6 +85,11 @@ class RunConfig:
     sim: Optional[object] = None
     #: Client API to drive (defaults to the profile's native API).
     api: Optional[str] = None
+    #: YCSB core workload letter ("A".."F"). When set, the measured
+    #: streams come from :func:`generate_ycsb_ops` (sized by
+    #: ``workload``'s num_ops/num_keys/value_length/seed) instead of
+    #: the generic generator; warmup still uses the generic stream.
+    ycsb: Optional[str] = None
     #: Outstanding-request cap for non-blocking drivers.
     window: int = DEFAULT_WINDOW
     #: Coalesce runs of consecutive GETs into mget batches (blocking).
@@ -147,8 +153,22 @@ class RunConfig:
                             for i in range(len(cluster.clients))]
             self._run_streams(cluster, warm_streams, fault_plan=None,
                               measured=False)
-        streams = [generate_ops(self.workload, client_index=i)
-                   for i in range(len(cluster.clients))]
+        if self.ycsb:
+            letter = self.ycsb.upper()
+            if letter not in CORE_WORKLOADS:
+                raise ValueError(
+                    f"unknown YCSB workload {self.ycsb!r}; choose from "
+                    f"{sorted(CORE_WORKLOADS)}")
+            wl = CORE_WORKLOADS[letter]
+            streams = [generate_ycsb_ops(wl, self.workload.num_ops,
+                                         self.workload.num_keys,
+                                         self.workload.value_length,
+                                         seed=self.workload.seed,
+                                         client_index=i)
+                       for i in range(len(cluster.clients))]
+        else:
+            streams = [generate_ops(self.workload, client_index=i)
+                       for i in range(len(cluster.clients))]
         return self._run_streams(cluster, streams,
                                  fault_plan=self.fault_plan)
 
@@ -251,8 +271,21 @@ def _drive_blocking(client, ops: Sequence[Op], mget_batch: int = 0):
             # Read-modify-write (YCSB F): read, then write back.
             yield from client.get(op.key)
             yield from client.set(op.key, op.value_length)
+        elif op.kind == "scan":
+            # Range scan (YCSB E): one multi-get over the key range.
+            yield from client.mget(list(op.keys) or [op.key])
+        elif op.kind == "incr":
+            yield from client.incr(op.key, op.delta, initial=op.initial)
+        elif op.kind == "decr":
+            yield from client.decr(op.key, op.delta, initial=op.initial)
+        elif op.kind == "gat":
+            yield from client.gat(op.key, client.sim.now + op.ttl)
+        elif op.kind == "touch":
+            yield from client.touch(op.key, client.sim.now + op.ttl)
         else:
-            yield from client.set(op.key, op.value_length)
+            expiration = client.sim.now + op.ttl if op.ttl else 0.0
+            yield from client.set(op.key, op.value_length,
+                                  expiration=expiration)
     yield from flush_reads()
     # Drain background work (async replica propagation); a no-op — zero
     # sim events — when nothing is outstanding.
@@ -273,8 +306,26 @@ def _drive_nonblocking(client, ops: Sequence[Op], api: str, window: int):
             read = yield from issue_get(op.key)
             yield from client.wait(read)
             req = yield from issue_set(op.key, op.value_length)
+        elif op.kind in ("scan", "incr", "decr", "gat", "touch"):
+            # No non-blocking variants of these APIs — run them inline
+            # (they complete before returning; nothing joins the window).
+            if op.kind == "scan":
+                yield from client.mget(list(op.keys) or [op.key])
+            elif op.kind == "incr":
+                yield from client.incr(op.key, op.delta,
+                                       initial=op.initial)
+            elif op.kind == "decr":
+                yield from client.decr(op.key, op.delta,
+                                       initial=op.initial)
+            elif op.kind == "gat":
+                yield from client.gat(op.key, client.sim.now + op.ttl)
+            else:
+                yield from client.touch(op.key, client.sim.now + op.ttl)
+            continue
         else:
-            req = yield from issue_set(op.key, op.value_length)
+            expiration = client.sim.now + op.ttl if op.ttl else 0.0
+            req = yield from issue_set(op.key, op.value_length,
+                                       expiration=expiration)
         inflight.append(req)
     while inflight:
         yield from client.wait(inflight.popleft())

@@ -33,6 +33,12 @@ from repro.storage.params import PageCacheParams
 from repro.storage.schemes import IOScheme, make_scheme
 from repro.units import KB, MB
 
+#: Fixed value size of counter items (the decimal digits of a uint64).
+#: memcached stores counters as ASCII; sizing every counter for the
+#: largest representation means incr never has to reallocate the chunk
+#: when the value grows a digit.
+COUNTER_VALUE_BYTES = 20
+
 
 class DiskSlot:
     """One slab-page-sized region on the SSD."""
@@ -69,6 +75,12 @@ class ManagerStats:
     async_flushes: int = 0
     buffer_served_reads: int = 0
     automoves: int = 0
+    counter_ops: int = 0
+    #: Items reclaimed by the background expiry sweeper.
+    expired_active: int = 0
+    #: Items reclaimed lazily on access (lookup/_live found them dead).
+    expired_passive: int = 0
+    flush_alls: int = 0
 
 
 @dataclass
@@ -111,6 +123,9 @@ class HybridSlabManager:
                  flush_memcpy_bandwidth: float = 8e9,
                  automove: bool = False,
                  automove_interval: float = 0.05,
+                 active_expiry: bool = True,
+                 expiry_interval: float = 0.005,
+                 expiry_budget: int = 128,
                  obs: Optional[Observability] = None,
                  owner: str = "server0"):
         if io_policy not in ("direct", "adaptive"):
@@ -174,6 +189,26 @@ class HybridSlabManager:
         self._automove_wakeup = sim.event()
         if automove:
             sim.spawn(self._automover(), name="slab-automover")
+        #: Active TTL reclaim (memcached's LRU crawler): a background
+        #: process scans the table on a per-tick item budget and frees
+        #: expired chunks without waiting for the next lookup. Spawned
+        #: lazily on the first expirable insertion so TTL-free runs pay
+        #: zero events; parks on an event when nothing expirable remains
+        #: so an idle simulation still drains.
+        self.active_expiry = active_expiry
+        self.expiry_interval = expiry_interval
+        self.expiry_budget = max(1, expiry_budget)
+        #: ``flush_all`` epoch: items created strictly before this sim
+        #: time are invalid once ``now`` reaches it (None = no flush
+        #: pending). Reclaim is lazy plus the sweeper.
+        self._flush_at: Optional[float] = None
+        self._sweeper_started = False
+        self._expiry_wakeup = None  # event while the sweeper is parked
+        self._sleep_interrupt = None  # event while the sweeper sleeps
+        self._sweep_until: Optional[float] = None
+        self._sweep_cursor: List[bytes] = []
+        self._pass_started = 0.0
+        self._pass_next: Optional[float] = None
         if self.hybrid:
             if ssd_limit < page_size:
                 raise ValueError("ssd_limit must hold at least one slab page")
@@ -206,13 +241,25 @@ class HybridSlabManager:
 
     # -- lookups ---------------------------------------------------------------
 
+    def _expired(self, item: Item) -> bool:
+        """Logically dead: past its deadline (memcached expires at
+        ``now >= expiration``, inclusive) or invalidated by a pending
+        ``flush_all`` epoch."""
+        now = self.sim.now
+        if item.expiration and now >= item.expiration:
+            return True
+        flush_at = self._flush_at
+        return (flush_at is not None and now >= flush_at
+                and item.created < flush_at)
+
     def lookup(self, key: bytes) -> Optional[Item]:
         self.stats.lookups += 1
         item = self.table.get(key)
         if item is None:
             return None
-        if item.expiration and self.sim.now > item.expiration:
+        if self._expired(item):
             self._remove_item(item)
+            self.stats.expired_passive += 1
             return None
         self.stats.hits += 1
         return item
@@ -273,23 +320,180 @@ class HybridSlabManager:
         self._cas_counter += 1
         item.cas = self._cas_counter
         self.table[key] = item
+        item.created = self.sim.now
         item.last_access = self.sim.now
         cls.lru.insert_head(item)
         self.stats.stores += 1
+        if expiration:
+            self._arm_expiry(expiration)
         return item, info
+
+    def counter_op(self, key: bytes, delta: int, direction: str,
+                   initial: Optional[int] = None, expiration: float = 0.0):
+        """Generator: memcached ``incr``/``decr`` (meta arithmetic).
+
+        Returns ``(status, value, Item | None)``. An absent key answers
+        NOT_FOUND unless ``initial`` is given (auto-create, installing
+        ``expiration``); an existing non-counter item answers
+        NOT_NUMERIC. decr saturates at zero. A successful operation
+        draws a fresh CAS token, like any store.
+        """
+        self.stats.counter_ops += 1
+        existing = self._live(key)
+        if existing is None:
+            if initial is None:
+                return "NOT_FOUND", 0, None
+            item, _info = yield from self.store(key, COUNTER_VALUE_BYTES,
+                                                expiration=expiration)
+            item.numeric = max(0, int(initial))
+            return "STORED", item.numeric, item
+        if existing.numeric is None:
+            return "NOT_NUMERIC", 0, existing
+        if direction == "incr":
+            existing.numeric += delta
+        else:
+            existing.numeric = max(0, existing.numeric - delta)
+        self._cas_counter += 1
+        existing.cas = self._cas_counter
+        return "STORED", existing.numeric, existing
+
+    def set_expiration(self, item: Item, expiration: float) -> bool:
+        """Refresh an item's deadline (touch/gat). A deadline already in
+        the past removes the item immediately, per memcached; returns
+        False in that case, True when the item stays live."""
+        if expiration and self.sim.now >= expiration:
+            self._remove_item(item)
+            self.stats.expired_passive += 1
+            return False
+        item.expiration = expiration
+        if expiration:
+            self._arm_expiry(expiration)
+        return True
+
+    def flush_all(self, delay: float = 0.0) -> float:
+        """memcached ``flush_all``: stamp an invalidation epoch
+        ``delay`` seconds in the future (0 = now). Items created before
+        the epoch are invalid once it passes; chunks are reclaimed
+        lazily on access and by the expiry sweeper. Returns the epoch."""
+        now = self.sim.now
+        if self._flush_at is not None and now >= self._flush_at:
+            # The previous epoch already passed: reclaim its victims
+            # before overwriting it, else installing a *future* epoch
+            # would resurrect items that are logically gone.
+            self._reclaim_flushed()
+        at = now + max(0.0, delay)
+        self._flush_at = at
+        self.stats.flush_alls += 1
+        self._arm_expiry(at)
+        return at
+
+    def _reclaim_flushed(self) -> None:
+        """Zero-time reclaim of everything the pending epoch (and TTL)
+        already invalidated; clears the spent epoch."""
+        for item in list(self.table.values()):
+            if item.location != DEAD and self._expired(item):
+                self._remove_item(item)
+                self.stats.expired_passive += 1
+        self._flush_at = None
+
+    # -- active expiry (memcached's LRU crawler) ---------------------------
+
+    def _arm_expiry(self, deadline: float) -> None:
+        """Note a new expirable deadline: lazily start the sweeper, wake
+        it if parked, or cut its sleep short when it would otherwise
+        wake after ``deadline``."""
+        if not self.active_expiry:
+            return
+        if not self._sweeper_started:
+            self._sweeper_started = True
+            self.sim.spawn(self._expiry_sweeper(),
+                           name=f"{self.owner}-expiry")
+            return
+        if self._expiry_wakeup is not None:
+            if not self._expiry_wakeup.triggered:
+                self._expiry_wakeup.succeed()
+        elif (self._sleep_interrupt is not None
+              and self._sweep_until is not None
+              and deadline < self._sweep_until
+              and not self._sleep_interrupt.triggered):
+            self._sleep_interrupt.succeed()
+
+    def _expiry_sweeper(self):
+        """Background reclaim: scan the table ``expiry_budget`` items per
+        tick, freeing expired chunks. Sleeps to the earliest future
+        deadline (never busy-ticking) and parks on an event when nothing
+        expirable remains, so the sweeper adds no events to TTL-free
+        runs and never keeps an otherwise-idle simulation alive."""
+        while True:
+            next_deadline = self._sweep_tick()
+            if next_deadline is None:
+                self._expiry_wakeup = self.sim.event()
+                yield self._expiry_wakeup
+                self._expiry_wakeup = None
+                continue
+            delay = max(self.expiry_interval, next_deadline - self.sim.now)
+            self._sweep_until = self.sim.now + delay
+            self._sleep_interrupt = self.sim.event()
+            yield self.sim.any_of([self.sim.timeout(delay),
+                                   self._sleep_interrupt])
+            self._sleep_interrupt = None
+            self._sweep_until = None
+
+    def _sweep_tick(self) -> Optional[float]:
+        """Scan up to ``expiry_budget`` entries of the current pass.
+
+        Returns the sim time at which sweeping could next do useful work,
+        or None when no expirable item and no pending flush epoch remain
+        (the sweeper parks). A pass snapshots the key list once and walks
+        it across ticks so one tick's cost stays bounded.
+        """
+        if not self._sweep_cursor:
+            self._sweep_cursor = list(self.table.keys())
+            self._pass_started = self.sim.now
+            self._pass_next = None
+        budget = self.expiry_budget
+        while self._sweep_cursor and budget:
+            key = self._sweep_cursor.pop()
+            item = self.table.get(key)
+            if item is None or item.location == DEAD:
+                continue
+            budget -= 1
+            if self._expired(item):
+                self._remove_item(item)
+                self.stats.expired_active += 1
+            elif item.expiration:
+                if self._pass_next is None or item.expiration < self._pass_next:
+                    self._pass_next = item.expiration
+        if self._sweep_cursor:
+            # Budget exhausted mid-pass: continue next tick.
+            return self.sim.now + self.expiry_interval
+        nxt = self._pass_next
+        if self._flush_at is not None:
+            if self._pass_started >= self._flush_at:
+                # A full pass began after the epoch, so every item it
+                # invalidated has been reclaimed: the epoch is spent and
+                # lazy checks no longer need to consult it.
+                self._flush_at = None
+            else:
+                due = max(self._flush_at, self.sim.now)
+                nxt = due if nxt is None else min(nxt, due)
+        return nxt
 
     def _live(self, key: bytes) -> Optional[Item]:
         """Current unexpired item (expired entries count as absent)."""
         item = self.table.get(key)
         if item is None:
             return None
-        if item.expiration and self.sim.now > item.expiration:
+        if self._expired(item):
             self._remove_item(item)
+            self.stats.expired_passive += 1
             return None
         return item
 
     def delete(self, key: bytes) -> bool:
-        item = self.table.get(key)
+        # Through _live, not the raw table: deleting a logically-expired
+        # key must answer NOT_FOUND (the dead entry is still reclaimed).
+        item = self._live(key)
         if item is None:
             return False
         self._remove_item(item)
@@ -305,6 +509,7 @@ class HybridSlabManager:
         for item in items:
             self._remove_item(item)
         self.table.clear()
+        self._flush_at = None  # a pending flush epoch dies with the data
         return len(items)
 
     def _remove_item(self, item: Item, keep_table: bool = False) -> None:
@@ -628,7 +833,9 @@ class HybridSlabManager:
 
     # -- preload (zero simulated time) ------------------------------------------
 
-    def preload(self, key: bytes, value_length: int) -> None:
+    def preload(self, key: bytes, value_length: int,
+                expiration: float = 0.0,
+                numeric: Optional[int] = None) -> None:
         """Insert without simulated I/O time (experiment setup only).
 
         Applies the identical state transitions as :meth:`store` —
@@ -638,7 +845,8 @@ class HybridSlabManager:
         carries a unique, monotonically-assigned token (consistency
         checking leans on this; the counter survives :meth:`wipe`).
         """
-        item = Item(key, value_length)
+        item = Item(key, value_length, expiration=expiration)
+        item.numeric = numeric
         self._cas_counter += 1
         item.cas = self._cas_counter
         cls = self.allocator.class_for(item.total_size)
@@ -659,8 +867,11 @@ class HybridSlabManager:
         if old is not None:
             self._remove_item(old, keep_table=True)
         self.table[key] = item
+        item.created = self.sim.now
         item.last_access = self.sim.now
         cls.lru.insert_head(item)
+        if expiration:
+            self._arm_expiry(expiration)
 
     def _flush_page_stateonly(self, page: SlabPage, to_cls: SlabClass) -> None:
         from_cls = self.allocator.classes[page.clsid]
@@ -696,19 +907,19 @@ class HybridSlabManager:
         self.stats = ManagerStats()
 
     def live_items(self):
-        """Yield ``(key, value_length)`` for every live, unexpired item.
+        """Yield ``(key, value_length, expiration, numeric)`` for every
+        live, unexpired item.
 
         Read-only walk for anti-entropy resync: no LRU touches, no stat
         bumps, so donating data to a rejoining replica never perturbs
         the donor's metrics or recency state.
         """
-        now = self.sim.now
         for key, item in self.table.items():
             if item.location == DEAD:
                 continue
-            if item.expiration and now > item.expiration:
+            if self._expired(item):
                 continue
-            yield key, item.value_length
+            yield key, item.value_length, item.expiration, item.numeric
 
     # -- occupancy diagnostics --------------------------------------------------
 

@@ -27,7 +27,7 @@ class Item:
         "key", "value_length", "flags", "expiration", "cas",
         "clsid", "location", "page", "chunk_index",
         "disk_slot", "disk_offset", "last_access",
-        "lru_prev", "lru_next",
+        "lru_prev", "lru_next", "created", "numeric",
     )
 
     def __init__(self, key: bytes, value_length: int, flags: int = 0,
@@ -36,6 +36,12 @@ class Item:
         self.value_length = value_length
         self.flags = flags
         self.expiration = expiration
+        #: Store time (sim seconds); ``flush_all`` invalidates items
+        #: created before its epoch. Touch/gat never update it.
+        self.created: float = 0.0
+        #: Counter value for items created/updated by incr/decr; None for
+        #: ordinary opaque values (incr on those answers NOT_NUMERIC).
+        self.numeric: Optional[int] = None
         self.cas = 0
         self.clsid: int = -1
         self.location: str = RAM

@@ -23,6 +23,9 @@ HIT = "HIT"
 MISS = "MISS"
 DELETED = "DELETED"
 NOT_FOUND = "NOT_FOUND"
+TOUCHED = "TOUCHED"  # touch/gat refreshed the deadline
+NOT_NUMERIC = "NOT_NUMERIC"  # incr/decr on a non-counter value
+OK = "OK"  # flush_all acknowledged
 ERROR = "ERROR"
 #: Client-side verdict: the operation's server timed out past the retry
 #: budget and no live replacement could serve it (fail-fast, never sent
@@ -92,6 +95,58 @@ class TouchRequest(Request):
 
     def __post_init__(self):
         self.op = "touch"
+
+
+@dataclass
+class CounterRequest(Request):
+    """memcached's ``incr``/``decr`` (meta-protocol arithmetic).
+
+    The server performs the arithmetic in place — only the resulting
+    value crosses the wire back, never the operand bytes.
+    """
+
+    delta: int = 1
+    #: None: plain incr/decr (absent key answers NOT_FOUND). An int:
+    #: auto-create — an absent key is initialized to this value (the
+    #: meta protocol's N flag), installing ``expiration``.
+    initial: Optional[int] = None
+    #: TTL installed on auto-create (absolute sim time; 0 = never).
+    expiration: float = 0.0
+    direction: str = "incr"  # "incr" | "decr" (decr saturates at zero)
+    #: True for replica-propagation copies (counters fan out like SETs;
+    #: each replica applies the arithmetic independently).
+    replica: bool = False
+
+    def __post_init__(self):
+        self.op = self.direction
+
+
+@dataclass
+class GatRequest(Request):
+    """memcached's ``gat``: get-and-touch in one round trip."""
+
+    #: New deadline (absolute sim time; 0 = never). A deadline already
+    #: in the past serves the value one last time and removes the item.
+    expiration: float = 0.0
+
+    def __post_init__(self):
+        self.op = "gat"
+
+
+@dataclass
+class FlushRequest(Request):
+    """memcached's ``flush_all``: epoch-invalidate the whole cache.
+
+    ``delay`` seconds from server receipt, every item created before
+    the epoch becomes invisible; chunk reclaim is lazy plus the expiry
+    sweeper.
+    """
+
+    delay: float = 0.0
+
+    def __post_init__(self):
+        self.op = "flush"
+        self.key = b""
 
 
 @dataclass
@@ -167,6 +222,8 @@ class Response:
     stats_payload: Optional[Dict[str, float]] = None
     #: CAS token of the item (get responses; 0 when not applicable).
     cas_token: int = 0
+    #: Result of incr/decr arithmetic (0 when not applicable).
+    counter_value: int = 0
     #: Per-stage server time for this operation (seconds), keyed by the
     #: six-stage breakdown names of Section III-A.
     stages: Dict[str, float] = field(default_factory=dict)

@@ -34,8 +34,14 @@ from repro.server.protocol import (
     HIT,
     MISS,
     NOT_FOUND,
+    OK,
+    STORED,
+    TOUCHED,
     BufferAck,
+    CounterRequest,
     DeleteRequest,
+    FlushRequest,
+    GatRequest,
     GetRequest,
     MultiGetRequest,
     Request,
@@ -100,6 +106,12 @@ class ServerConfig:
     #: beyond the paper: read requests skip ahead of writes whose slab
     #: flushes would otherwise head-of-line-block them).
     get_priority: bool = False
+    #: Active TTL reclaim (memcached's LRU crawler): a background
+    #: sweeper scans ``expiry_budget`` items per tick and frees expired
+    #: chunks without waiting for the next lookup.
+    active_expiry: bool = True
+    expiry_interval: float = 0.005
+    expiry_budget: int = 128
     pagecache: PageCacheParams = field(default_factory=PageCacheParams)
     costs: ServerCosts = field(default_factory=ServerCosts)
     min_chunk: int = 96
@@ -119,6 +131,10 @@ class ServerStats:
     deletes: int = 0
     get_hits: int = 0
     get_misses: int = 0
+    #: incr/decr arithmetic commands served (user-visible).
+    counters: int = 0
+    gats: int = 0
+    flushes: int = 0
     #: Replica-propagation writes applied (not user-visible SETs).
     replica_applies: int = 0
     stage_time: Dict[str, float] = field(default_factory=dict)
@@ -159,6 +175,9 @@ class MemcachedServer:
             flush_memcpy_bandwidth=config.costs.memcpy_bandwidth,
             automove=config.automove,
             automove_interval=config.automove_interval,
+            active_expiry=config.active_expiry,
+            expiry_interval=config.expiry_interval,
+            expiry_budget=config.expiry_budget,
             obs=self.obs,
             owner=name,
         )
@@ -323,8 +342,9 @@ class MemcachedServer:
                     for tid, px in self._trace_targets(payload):
                         prof.open_stage(tid, px + "server_queue")
                 if self.config.get_priority:
-                    # Reads skip ahead of writes (0 beats 1).
-                    rank = 0 if payload.op in ("get", "mget") else 1
+                    # Reads skip ahead of writes (0 beats 1); gat rides
+                    # the read lane — its TTL refresh never flushes.
+                    rank = 0 if payload.op in ("get", "mget", "gat") else 1
                     self._queue.put((delivery, endpoint), priority=rank)
                 else:
                     self._queue.put((delivery, endpoint))
@@ -412,6 +432,12 @@ class MemcachedServer:
                 yield from self._handle_delete(request, endpoint)
             elif isinstance(request, TouchRequest):
                 yield from self._handle_touch(request, endpoint)
+            elif isinstance(request, CounterRequest):
+                yield from self._handle_counter(request, endpoint)
+            elif isinstance(request, GatRequest):
+                yield from self._handle_gat(request, endpoint)
+            elif isinstance(request, FlushRequest):
+                yield from self._handle_flush(request, endpoint)
             elif isinstance(request, StatsRequest):
                 yield from self._handle_stats(request, endpoint)
             else:  # pragma: no cover - defensive
@@ -615,10 +641,84 @@ class MemcachedServer:
         if item is None:
             yield from self._respond(endpoint, request, NOT_FOUND, 0, {})
             return
-        item.expiration = request.expiration
-        yield self.sim.timeout(costs.lru_update)
-        self.manager.touch(item)
-        yield from self._respond(endpoint, request, "TOUCHED", 0, {})
+        # A past deadline removes the item *now* (memcached semantics);
+        # blindly assigning it would leave a dead item holding its slab
+        # chunk and MRU slot until the next lookup happened to find it.
+        if self.manager.set_expiration(item, request.expiration):
+            yield self.sim.timeout(costs.lru_update)
+            self.manager.touch(item)
+        yield from self._respond(endpoint, request, TOUCHED, 0, {})
+
+    # -- INCR / DECR ---------------------------------------------------------
+
+    def _handle_counter(self, request: CounterRequest, endpoint: Endpoint):
+        """incr/decr: in-place arithmetic, optional auto-create."""
+        costs = self.config.costs
+        stages: Dict[str, float] = {}
+        t0 = self.sim.now
+        yield self.sim.timeout(costs.hash_lookup)
+        status, value, item = yield from self.manager.counter_op(
+            request.key, request.delta, request.direction,
+            initial=request.initial, expiration=request.expiration)
+        stages["slab_alloc"] = self.sim.now - t0
+        cas_token = 0
+        value_length = 0
+        if status == STORED and item is not None:
+            cas_token = item.cas
+            value_length = item.value_length
+            t0 = self.sim.now
+            yield self.sim.timeout(costs.lru_update)
+            self.manager.touch(item)
+            stages["cache_update"] = self.sim.now - t0
+        if request.replica:
+            self.stats.replica_applies += 1
+            self._m_replica_applies.inc()
+        else:
+            self.stats.counters += 1
+        for k, v in stages.items():
+            self.stats.add_stage(k, v)
+        yield from self._respond(endpoint, request, status, value_length,
+                                 stages, cas_token=cas_token,
+                                 counter_value=value)
+
+    # -- GAT -----------------------------------------------------------------
+
+    def _handle_gat(self, request: GatRequest, endpoint: Endpoint):
+        """gat: a GET that also refreshes the item's deadline. A past
+        deadline serves the value one last time, then removes the item."""
+        costs = self.config.costs
+        stages: Dict[str, float] = {}
+        t0 = self.sim.now
+        yield self.sim.timeout(costs.hash_lookup)
+        item = self.manager.lookup(request.key)
+        if item is not None:
+            yield from self.manager.load_value(item)
+        stages["cache_check_load"] = self.sim.now - t0
+        self.stats.gats += 1
+        if item is None:
+            for k, v in stages.items():
+                self.stats.add_stage(k, v)
+            yield from self._respond(endpoint, request, MISS, 0, stages)
+            return
+        value_length, cas_token = item.value_length, item.cas
+        if self.manager.set_expiration(item, request.expiration):
+            t0 = self.sim.now
+            yield self.sim.timeout(costs.lru_update)
+            self.manager.touch(item)
+            stages["cache_update"] = self.sim.now - t0
+        for k, v in stages.items():
+            self.stats.add_stage(k, v)
+        yield from self._respond(endpoint, request, HIT, value_length,
+                                 stages, cas_token=cas_token)
+
+    # -- FLUSH ---------------------------------------------------------------
+
+    def _handle_flush(self, request: FlushRequest, endpoint: Endpoint):
+        """flush_all: stamp the invalidation epoch; reclaim stays lazy."""
+        yield self.sim.timeout(self.config.costs.hash_lookup)
+        self.manager.flush_all(request.delay)
+        self.stats.flushes += 1
+        yield from self._respond(endpoint, request, OK, 0, {})
 
     # -- STATS ---------------------------------------------------------------
 
@@ -644,6 +744,11 @@ class MemcachedServer:
             "get_hits": self.stats.get_hits,
             "get_misses": self.stats.get_misses,
             "cmd_delete": self.stats.deletes,
+            "cmd_counter": self.stats.counters,
+            "cmd_gat": self.stats.gats,
+            "cmd_flush": self.stats.flushes,
+            "expired_active": m.expired_active,
+            "expired_passive": m.expired_passive,
             "replica_applies": self.stats.replica_applies,
             "curr_items": len(self.manager.table),
             "items_ram": self.manager.items_in_ram,
@@ -675,7 +780,7 @@ class MemcachedServer:
 
     def _respond(self, endpoint: Endpoint, request: Request, status: str,
                  value_length: int, stages: Dict[str, float],
-                 cas_token: int = 0):
+                 cas_token: int = 0, counter_value: int = 0):
         if not self.alive:
             return  # crashed mid-request: the response never forms
         prof = self.obs.profiler
@@ -690,7 +795,8 @@ class MemcachedServer:
         response = Response(req_id=request.req_id, op=request.op,
                             status=status, value_length=value_length,
                             stages=dict(stages), sent_at=self.sim.now,
-                            server_name=self.name, cas_token=cas_token)
+                            server_name=self.name, cas_token=cas_token,
+                            counter_value=counter_value)
         nbytes = response.header_bytes + value_length
         # GET responses carry the value via an RDMA write into the
         # client's buffer (one-sided); on IPoIB this degrades to a stream
@@ -712,9 +818,10 @@ class MemcachedServer:
             self.device.reset_metrics()
 
     def preload(self, pairs) -> int:
-        """Insert ``(key, value_length)`` pairs in zero simulated time."""
+        """Insert ``(key, value_length[, expiration, numeric])`` tuples
+        in zero simulated time."""
         n = 0
-        for key, value_length in pairs:
-            self.manager.preload(key, value_length)
+        for entry in pairs:
+            self.manager.preload(*entry)
             n += 1
         return n

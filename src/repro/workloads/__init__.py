@@ -11,6 +11,7 @@ from repro.workloads.bursty import BurstyWorkload
 from repro.workloads.distributions import UniformSampler, ZipfSampler
 from repro.workloads.generator import Op, WorkloadSpec, generate_ops, make_dataset
 from repro.workloads.keyspace import Keyspace
+from repro.workloads.ycsb import CORE_WORKLOADS, YCSBWorkload, generate_ycsb_ops
 
 __all__ = [
     "Keyspace",
@@ -21,4 +22,7 @@ __all__ = [
     "generate_ops",
     "make_dataset",
     "BurstyWorkload",
+    "YCSBWorkload",
+    "CORE_WORKLOADS",
+    "generate_ycsb_ops",
 ]

@@ -16,9 +16,18 @@ from repro.workloads.keyspace import Keyspace
 class Op:
     """One operation of a generated stream."""
 
-    kind: str  # "get" | "set"
+    kind: str  # "get"|"set"|"rmw"|"scan"|"incr"|"decr"|"gat"|"touch"
     key: bytes
     value_length: int
+    #: Relative TTL the op carries (set/gat/touch); 0.0 = none. The
+    #: driver converts to an absolute deadline at issue time.
+    ttl: float = 0.0
+    #: incr/decr step.
+    delta: int = 1
+    #: incr/decr auto-create seed (None: plain arithmetic).
+    initial: Optional[int] = None
+    #: Scan target keys (driven as one mget over the range).
+    keys: Tuple[bytes, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -45,12 +54,24 @@ class WorkloadSpec:
     seed: int = 1
     #: Optional weighted size mixture: ((size_bytes, weight), ...).
     value_sizes: Optional[Tuple[Tuple[int, float], ...]] = None
+    #: Stream shape: "basic" (get/set per ``read_fraction``), "counter"
+    #: (incr/decr-heavy hit counting), or "ttl-churn" (every store
+    #: carries a TTL; reads mix in gat/touch refreshes — the
+    #: cache-aside pattern that exercises active expiry).
+    pattern: str = "basic"
+    #: Relative TTL stores carry (seconds). 0.0 disables; "ttl-churn"
+    #: defaults to 50 ms when unset.
+    ttl: float = 0.0
 
     def __post_init__(self):
         if not 0.0 <= self.read_fraction <= 1.0:
             raise ValueError("read_fraction must be within [0, 1]")
         if self.num_ops < 1 or self.num_keys < 1 or self.value_length < 0:
             raise ValueError("invalid workload sizing")
+        if self.pattern not in ("basic", "counter", "ttl-churn"):
+            raise ValueError(f"unknown workload pattern {self.pattern!r}")
+        if self.ttl < 0.0:
+            raise ValueError("ttl must be >= 0")
         if self.value_sizes is not None:
             if not self.value_sizes:
                 raise ValueError("value_sizes must not be empty")
@@ -115,13 +136,54 @@ def generate_ops(spec: WorkloadSpec, client_index: int = 0,
     keyspace = Keyspace(spec.num_keys)
     sizes = spec._size_table()
     indices = sampler.sample(spec.num_ops)
+    ops: List[Op] = []
+    if spec.pattern == "counter":
+        # Hit-counting: mostly increments, some decrements, reads of
+        # the running totals. Auto-create seeds the first touch of a
+        # counter, so no preload is needed.
+        rng = np.random.default_rng(seed + 0xC0DE)
+        draws = rng.random(spec.num_ops)
+        deltas = rng.integers(1, 5, size=spec.num_ops)
+        for idx, draw, delta in zip(indices, draws, deltas):
+            key = keyspace.key(int(idx))
+            if draw < spec.read_fraction:
+                ops.append(Op("get", key, int(sizes[idx])))
+            elif draw < spec.read_fraction + 0.75 * (1 - spec.read_fraction):
+                ops.append(Op("incr", key, int(sizes[idx]),
+                              delta=int(delta), initial=0))
+            else:
+                ops.append(Op("decr", key, int(sizes[idx]),
+                              delta=int(delta), initial=0))
+        return ops
+    if spec.pattern == "ttl-churn":
+        # Cache-aside with expiring entries: stores always carry a TTL,
+        # and a slice of the reads refresh deadlines (gat) or extend
+        # them in place (touch).
+        ttl = spec.ttl or 0.050
+        rng = np.random.default_rng(seed + 0x77E)
+        draws = rng.random(spec.num_ops)
+        jitter = rng.uniform(0.5, 1.5, size=spec.num_ops)
+        for idx, draw, j in zip(indices, draws, jitter):
+            key = keyspace.key(int(idx))
+            vlen = int(sizes[idx])
+            if draw < 0.70 * spec.read_fraction:
+                ops.append(Op("get", key, vlen))
+            elif draw < 0.85 * spec.read_fraction:
+                ops.append(Op("gat", key, vlen, ttl=ttl * float(j)))
+            elif draw < spec.read_fraction:
+                ops.append(Op("touch", key, vlen, ttl=ttl * float(j)))
+            else:
+                ops.append(Op("set", key, vlen, ttl=ttl * float(j)))
+        return ops
     reads = np.random.default_rng(seed + 0xA11CE).random(spec.num_ops) \
         < spec.read_fraction
-    ops: List[Op] = []
     for idx, is_read in zip(indices, reads):
-        ops.append(Op(kind="get" if is_read else "set",
-                      key=keyspace.key(int(idx)),
-                      value_length=int(sizes[idx])))
+        if is_read:
+            ops.append(Op("get", keyspace.key(int(idx)),
+                          int(sizes[idx])))
+        else:
+            ops.append(Op("set", keyspace.key(int(idx)),
+                          int(sizes[idx]), ttl=spec.ttl))
     return ops
 
 

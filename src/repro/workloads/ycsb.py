@@ -10,11 +10,14 @@ A         50% read / 50% update                      zipfian
 B         95% read / 5% update                       zipfian
 C         100% read                                  zipfian
 D         95% read / 5% insert (read-latest)         latest-skewed
+E         95% scan / 5% insert                       zipfian
 F         50% read / 50% read-modify-write           zipfian
 ========  =========================================  ==================
 
-(Workload E is range scans; memcached has no range queries, exactly why
-YCSB-E is conventionally skipped for key-value caches.)
+memcached has no native range queries, so workload E's scans are
+mapped the way caching tiers actually run it: a scan of length L over
+the ordered keyspace becomes one multi-get of the L consecutive keys
+(the runner drives it as a single ``mget``).
 """
 
 from __future__ import annotations
@@ -38,14 +41,20 @@ class YCSBWorkload:
     update_fraction: float = 0.0
     insert_fraction: float = 0.0
     rmw_fraction: float = 0.0
+    scan_fraction: float = 0.0
     distribution: str = "zipfian"  # "zipfian" | "latest"
     theta: float = 0.99
+    #: Scan lengths are uniform in [1, max_scan_len] (workload E).
+    max_scan_len: int = 8
 
     def __post_init__(self):
         total = (self.read_fraction + self.update_fraction
-                 + self.insert_fraction + self.rmw_fraction)
+                 + self.insert_fraction + self.rmw_fraction
+                 + self.scan_fraction)
         if abs(total - 1.0) > 1e-9:
             raise ValueError(f"{self.name}: op mix must sum to 1.0")
+        if self.max_scan_len < 1:
+            raise ValueError(f"{self.name}: max_scan_len must be >= 1")
 
 
 WORKLOAD_A = YCSBWorkload("A", read_fraction=0.5, update_fraction=0.5)
@@ -53,11 +62,13 @@ WORKLOAD_B = YCSBWorkload("B", read_fraction=0.95, update_fraction=0.05)
 WORKLOAD_C = YCSBWorkload("C", read_fraction=1.0)
 WORKLOAD_D = YCSBWorkload("D", read_fraction=0.95, insert_fraction=0.05,
                           distribution="latest")
+WORKLOAD_E = YCSBWorkload("E", read_fraction=0.0, scan_fraction=0.95,
+                          insert_fraction=0.05)
 WORKLOAD_F = YCSBWorkload("F", read_fraction=0.5, rmw_fraction=0.5)
 
 CORE_WORKLOADS = {w.name: w for w in
                   (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_D,
-                   WORKLOAD_F)}
+                   WORKLOAD_E, WORKLOAD_F)}
 
 
 def generate_ycsb_ops(workload: YCSBWorkload, num_ops: int, num_keys: int,
@@ -74,10 +85,12 @@ def generate_ycsb_ops(workload: YCSBWorkload, num_ops: int, num_keys: int,
     zipf = ZipfSampler(num_keys, theta=workload.theta,
                        seed=seed + 7919 * client_index)
     kinds = rng.choice(
-        ["read", "update", "insert", "rmw"],
+        ["read", "update", "insert", "rmw", "scan"],
         size=num_ops,
         p=[workload.read_fraction, workload.update_fraction,
-           workload.insert_fraction, workload.rmw_fraction])
+           workload.insert_fraction, workload.rmw_fraction,
+           workload.scan_fraction])
+    scan_lens = rng.integers(1, workload.max_scan_len + 1, size=num_ops)
     zipf_draws = iter(zipf.sample(num_ops))
     rank_draws = iter(zipf.sample_ranks(num_ops))
     ops: List[Op] = []
@@ -96,13 +109,20 @@ def generate_ycsb_ops(workload: YCSBWorkload, num_ops: int, num_keys: int,
             return keyspace.key(index)
         return _insert_key(client_index, index - num_keys)
 
-    for kind in kinds:
+    for n, kind in enumerate(kinds):
         if kind == "read":
             ops.append(Op("get", pick_key(), value_length))
         elif kind == "update":
             ops.append(Op("set", pick_key(), value_length))
         elif kind == "rmw":
             ops.append(Op("rmw", pick_key(), value_length))
+        elif kind == "scan":
+            # A scan of length L from a zipf-chosen start becomes one
+            # multi-get over the L consecutive preloaded keys.
+            start = min(int(next(zipf_draws)), num_keys - 1)
+            end = min(start + int(scan_lens[n]), num_keys)
+            keys = tuple(keyspace.key(i) for i in range(start, end))
+            ops.append(Op("scan", keys[0], value_length, keys=keys))
         else:  # insert
             ops.append(Op("set", _insert_key(client_index, inserted),
                           value_length))

@@ -1,0 +1,179 @@
+"""Checker-level tests for the new protocol surface: hand-built
+histories proving the checker convicts the TTL/flush bugs this change
+fixes, and that legal counter/gat/flush histories pass clean.
+"""
+
+import pytest
+
+from repro.consistency.checker import check_history
+from repro.consistency.history import HistoryEvent
+
+pytestmark = pytest.mark.protocol
+
+
+def ev(op, key, status, *, token=0, t=(0.0, 0.1), api=None, vlen=64,
+       server=0, expiration=0.0, auto_create=False, req_id=None):
+    return HistoryEvent(
+        client="c0", req_id=req_id if req_id is not None else ev._n(),
+        op=op, api=api or op, key=key, status=status, cas_token=token,
+        value_length=vlen, t_issue=t[0], t_complete=t[1], server=server,
+        user=True, expiration=expiration, auto_create=auto_create)
+
+
+def _counter():
+    n = [0]
+
+    def next_id():
+        n[0] += 1
+        return n[0]
+    return next_id
+
+
+ev._n = _counter()
+
+
+def kinds(events, **kw):
+    report = check_history(events, **kw)
+    return [v.kind for v in report.violations]
+
+
+class TestExpiredRead:
+    def test_hit_past_set_deadline_is_convicted(self):
+        events = [
+            ev("set", "k", "STORED", token=1, t=(0.0, 0.1), expiration=1.0),
+            ev("get", "k", "HIT", token=1, t=(2.0, 2.1)),
+        ]
+        found = kinds(events)
+        assert "expired-read" in found
+        assert "not-linearizable" in found  # WG agrees via the dead state
+
+    def test_hit_before_deadline_is_legal(self):
+        events = [
+            ev("set", "k", "STORED", token=1, t=(0.0, 0.1), expiration=1.0),
+            ev("get", "k", "HIT", token=1, t=(0.5, 0.6)),
+        ]
+        assert kinds(events) == []
+
+    def test_touch_stands_the_invariant_down(self):
+        events = [
+            ev("set", "k", "STORED", token=1, t=(0.0, 0.1), expiration=1.0),
+            ev("touch", "k", "TOUCHED", t=(0.5, 0.6), expiration=5.0),
+            ev("get", "k", "HIT", token=1, t=(2.0, 2.1)),
+        ]
+        assert kinds(events) == []
+
+    def test_gat_refresh_stands_the_invariant_down(self):
+        events = [
+            ev("set", "k", "STORED", token=1, t=(0.0, 0.1), expiration=1.0),
+            ev("gat", "k", "HIT", token=1, t=(0.5, 0.6), expiration=5.0),
+            ev("get", "k", "HIT", token=1, t=(2.0, 2.1)),
+        ]
+        assert kinds(events) == []
+
+
+class TestDeleteOfExpired:
+    def test_deleted_ack_on_expired_key_is_convicted(self):
+        # The pre-fix server answered DELETED for a logically expired
+        # key; no linearization order explains that.
+        events = [
+            ev("set", "k", "STORED", token=1, t=(0.0, 0.1), expiration=1.0),
+            ev("delete", "k", "DELETED", t=(2.0, 2.1)),
+        ]
+        assert "not-linearizable" in kinds(events)
+
+    def test_not_found_on_expired_key_is_legal(self):
+        events = [
+            ev("set", "k", "STORED", token=1, t=(0.0, 0.1), expiration=1.0),
+            ev("delete", "k", "NOT_FOUND", t=(2.0, 2.1)),
+        ]
+        assert kinds(events) == []
+
+
+class TestFlushStaleRead:
+    def test_hit_of_preflush_item_after_epoch_is_convicted(self):
+        events = [
+            ev("set", "k", "STORED", token=1, t=(0.0, 0.1)),
+            ev("flush", "k", "OK", api="flush", t=(1.0, 1.1)),
+            ev("get", "k", "HIT", token=1, t=(2.0, 2.1)),
+        ]
+        assert "flush-stale-read" in kinds(events)
+
+    def test_hit_before_flush_is_legal(self):
+        events = [
+            ev("set", "k", "STORED", token=1, t=(0.0, 0.1)),
+            ev("get", "k", "HIT", token=1, t=(0.5, 0.6)),
+            ev("flush", "k", "OK", api="flush", t=(1.0, 1.1)),
+            ev("get", "k", "MISS", t=(2.0, 2.1)),
+        ]
+        assert kinds(events) == []
+
+    def test_set_racing_the_flush_is_not_convicted(self):
+        # The apply overlaps the flush call: it may have serialized
+        # after the epoch, so a later HIT must be given the benefit of
+        # the doubt.
+        events = [
+            ev("set", "k", "STORED", token=1, t=(1.0, 1.2)),
+            ev("flush", "k", "OK", api="flush", t=(1.0, 1.1)),
+            ev("get", "k", "HIT", token=1, t=(2.0, 2.1)),
+        ]
+        assert "flush-stale-read" not in kinds(events)
+
+    def test_delayed_flush_shifts_the_epoch(self):
+        # delay=2.0: the epoch lands at ~3.0, so a HIT at 2.5 is fine.
+        events = [
+            ev("set", "k", "STORED", token=1, t=(0.0, 0.1)),
+            ev("flush", "k", "OK", api="flush", t=(1.0, 1.1),
+               expiration=2.0),
+            ev("get", "k", "HIT", token=1, t=(2.5, 2.6)),
+            ev("get", "k", "MISS", t=(4.0, 4.1)),
+        ]
+        assert kinds(events) == []
+
+
+class TestCounterHistories:
+    def test_legal_counter_chain_passes(self):
+        events = [
+            ev("incr", "c", "STORED", token=1, t=(0.0, 0.1),
+               auto_create=True),
+            ev("incr", "c", "STORED", token=2, t=(0.2, 0.3)),
+            ev("decr", "c", "STORED", token=3, t=(0.4, 0.5)),
+            ev("get", "c", "HIT", token=3, t=(0.6, 0.7)),
+        ]
+        assert kinds(events) == []
+
+    def test_counter_not_found_is_an_absence_observation(self):
+        # NOT_FOUND after a STORED set with no delete in between is a
+        # resurrection-style anomaly the checker must flag.
+        events = [
+            ev("set", "k", "STORED", token=1, t=(0.0, 0.1)),
+            ev("incr", "k", "NOT_FOUND", t=(0.5, 0.6)),
+            ev("get", "k", "HIT", token=1, t=(1.0, 1.1)),
+        ]
+        assert "resurrection" in kinds(events)
+
+    def test_counter_create_over_expired_is_legal(self):
+        events = [
+            ev("set", "c", "STORED", token=1, t=(0.0, 0.1), expiration=1.0),
+            ev("incr", "c", "STORED", token=2, t=(2.0, 2.1),
+               auto_create=True),
+            ev("get", "c", "HIT", token=2, t=(3.0, 3.1)),
+        ]
+        assert kinds(events) == []
+
+
+class TestGatHistories:
+    def test_gat_hit_carries_token_like_a_read(self):
+        events = [
+            ev("set", "k", "STORED", token=1, t=(0.0, 0.1)),
+            ev("gat", "k", "HIT", token=1, t=(0.5, 0.6), expiration=9.0),
+        ]
+        assert kinds(events) == []
+
+    def test_gat_hit_of_stale_token_is_convicted(self):
+        events = [
+            ev("set", "k", "STORED", token=1, t=(0.0, 0.1)),
+            ev("set", "k", "STORED", token=2, t=(0.2, 0.3)),
+            ev("gat", "k", "HIT", token=1, t=(1.0, 1.1), expiration=9.0),
+        ]
+        found = kinds(events)
+        assert found  # stale-read and/or not-linearizable

@@ -34,6 +34,7 @@ def test_shipped_config_linearizable(replication, write_mode, router,
     scn = Scenario(seed=11, num_clients=2, ops_per_client=40,
                    replication=replication, write_mode=write_mode,
                    router=router, fast_lane=fast_lane,
-                   fault_specs=FAULTS if faulty else ())
+                   fault_specs=FAULTS if faulty else (),
+                   ttl_ops=True, counter_ops=True)
     report, _events, _rec = run_scenario(scn)
     assert report.ok, report.violations[:3]

@@ -1,21 +1,37 @@
 """Unit tests for the sequential per-(key, server) cache spec."""
 
-from repro.consistency.spec import ABSENT, UNKNOWN, SpecOp, step
+from repro.consistency.spec import (
+    ABSENT,
+    ABSENT_STATE,
+    UNKNOWN,
+    SpecOp,
+    as_state,
+    step,
+)
 
 
-def op(kind, token=0):
-    return SpecOp(kind, token, 0.0, 1.0, "t/0")
+def op(kind, token=0, t_issue=0.0, t_complete=1.0, expire=0.0):
+    return SpecOp(kind, token, t_issue, t_complete, "t/0", expire)
 
 
 class TestApplyHit:
     def test_apply_installs_token(self):
         legal, state = step(ABSENT, op("apply", 7))
-        assert legal and state == 7
+        assert legal and state == (7, 0.0)
+
+    def test_apply_installs_deadline(self):
+        legal, state = step(ABSENT, op("apply", 7, expire=5.0))
+        assert legal and state == (7, 5.0)
 
     def test_hit_requires_matching_token(self):
-        assert step(7, op("hit", 7)) == (True, 7)
+        assert step(7, op("hit", 7)) == (True, (7, 0.0))
         assert step(7, op("hit", 3))[0] is False
         assert step(ABSENT, op("hit", 3))[0] is False
+
+    def test_bare_int_states_accepted(self):
+        # Callers may pass bare tokens; they mean "no deadline".
+        assert step(ABSENT, op("miss")) == (True, ABSENT_STATE)
+        assert as_state(ABSENT, 99.0) == ABSENT_STATE
 
     def test_unknown_never_explains_a_hit(self):
         assert step(UNKNOWN, op("hit", 3), allow_unknown=True)[0] is False
@@ -24,33 +40,112 @@ class TestApplyHit:
 class TestEviction:
     def test_miss_always_legal_via_eviction(self):
         legal, state = step(7, op("miss"))
-        assert legal and state == ABSENT
+        assert legal and state == ABSENT_STATE
 
     def test_absence_predicates_always_legal(self):
-        for kind in ("delete_nf", "replace_fail", "cas_nf", "touch_nf"):
+        for kind in ("delete_nf", "replace_fail", "cas_nf", "touch_nf",
+                     "counter_nf"):
             legal, state = step(7, op(kind))
-            assert legal and state == ABSENT
+            assert legal and state == ABSENT_STATE
 
 
 class TestPresencePredicates:
     def test_delete_requires_presence(self):
-        assert step(7, op("delete")) == (True, ABSENT)
+        assert step(7, op("delete")) == (True, ABSENT_STATE)
         assert step(ABSENT, op("delete"))[0] is False
 
     def test_presence_predicates_require_presence(self):
-        for kind in ("add_fail", "cas_exists", "touch_ok"):
+        for kind in ("add_fail", "cas_exists", "counter_fail"):
             legal, state = step(7, op(kind))
-            assert legal and state == 7
+            assert legal and state == (7, 0.0)
             assert step(ABSENT, op(kind))[0] is False
 
     def test_allow_unknown_relaxes_presence(self):
         # An invisible re-store (resync / possibly-applied write) may
         # have put an UNKNOWN-token item there first.
         legal, state = step(ABSENT, op("add_fail"), allow_unknown=True)
-        assert legal and state == UNKNOWN
+        assert legal and state == (UNKNOWN, 0.0)
         legal, state = step(ABSENT, op("delete"), allow_unknown=True)
-        assert legal and state == ABSENT
+        assert legal and state == ABSENT_STATE
 
     def test_unknown_item_satisfies_presence(self):
-        legal, state = step(UNKNOWN, op("touch_ok"), allow_unknown=True)
-        assert legal and state == UNKNOWN
+        legal, state = step((UNKNOWN, 0.0), op("touch_ok"),
+                            allow_unknown=True)
+        assert legal and state == (UNKNOWN, 0.0)
+
+
+class TestExpiry:
+    def test_hit_before_deadline_legal(self):
+        state = (7, 5.0)
+        assert step(state, op("hit", 7, t_issue=4.9))[0] is True
+
+    def test_hit_at_or_after_deadline_illegal(self):
+        # memcached expires at now >= deadline — the boundary read is
+        # exactly the off-by-one this spec exists to catch.
+        state = (7, 5.0)
+        assert step(state, op("hit", 7, t_issue=5.0))[0] is False
+        assert step(state, op("hit", 7, t_issue=6.0))[0] is False
+
+    def test_hit_concurrent_with_deadline_legal(self):
+        # Issued before, completed after: may linearize just before.
+        state = (7, 5.0)
+        assert step(state, op("hit", 7, t_issue=4.5, t_complete=5.5))[0] \
+            is True
+
+    def test_delete_of_expired_is_not_found(self):
+        # The delete-of-expired-acks-DELETED bug: once past the
+        # deadline, DELETED is illegal and NOT_FOUND is required.
+        state = (7, 5.0)
+        assert step(state, op("delete", t_issue=5.0))[0] is False
+        legal, nxt = step(state, op("delete_nf", t_issue=5.0))
+        assert legal and nxt == ABSENT_STATE
+
+    def test_presence_predicates_dead_after_deadline(self):
+        state = (7, 5.0)
+        for kind in ("add_fail", "cas_exists", "touch_ok",
+                     "counter_fail"):
+            assert step(state, op(kind, t_issue=5.0))[0] is False
+
+    def test_touch_extends_deadline(self):
+        legal, state = step((7, 5.0), op("touch_ok", t_issue=1.0,
+                                         expire=9.0))
+        assert legal and state == (7, 9.0)
+        # ... making a later hit legal again.
+        assert step(state, op("hit", 7, t_issue=6.0))[0] is True
+
+    def test_gat_hits_and_extends(self):
+        legal, state = step((7, 5.0), op("gat_hit", 7, t_issue=1.0,
+                                         expire=9.0))
+        assert legal and state == (7, 9.0)
+        assert step((7, 5.0), op("gat_hit", 3, t_issue=1.0))[0] is False
+        assert step((7, 5.0), op("gat_hit", 7, t_issue=5.0))[0] is False
+
+
+class TestCounters:
+    def test_counter_apply_requires_presence(self):
+        legal, state = step((7, 5.0), op("counter_apply", 8, t_issue=1.0))
+        assert legal and state == (8, 5.0)  # keeps the deadline
+        assert step(ABSENT, op("counter_apply", 8))[0] is False
+        assert step((7, 5.0),
+                    op("counter_apply", 8, t_issue=5.0))[0] is False
+
+    def test_counter_create_always_legal(self):
+        legal, state = step(ABSENT, op("counter_create", 8, expire=3.0))
+        assert legal and state == (8, 3.0)
+        # Over a live item it may apply in place or evict-then-create;
+        # the spec tracks the later-expiring serialization.
+        legal, state = step((7, 5.0), op("counter_create", 8, t_issue=1.0,
+                                         expire=3.0))
+        assert legal and state == (8, 5.0)
+        legal, state = step((7, 5.0), op("counter_create", 8, t_issue=1.0))
+        assert legal and state == (8, 0.0)
+
+    def test_counter_create_over_expired_creates_fresh(self):
+        legal, state = step((7, 5.0), op("counter_create", 8, t_issue=6.0,
+                                         expire=9.0))
+        assert legal and state == (8, 9.0)
+
+    def test_counter_apply_unknown_restock(self):
+        legal, state = step(ABSENT, op("counter_apply", 8),
+                            allow_unknown=True)
+        assert legal and state == (8, 0.0)

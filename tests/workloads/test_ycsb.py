@@ -9,6 +9,7 @@ from repro.workloads.ycsb import (
     WORKLOAD_B,
     WORKLOAD_C,
     WORKLOAD_D,
+    WORKLOAD_E,
     WORKLOAD_F,
     YCSBWorkload,
     generate_ycsb_ops,
@@ -22,7 +23,7 @@ def gen(workload, n=4000, keys=500):
 
 class TestPresets:
     def test_all_core_workloads_present(self):
-        assert set(CORE_WORKLOADS) == {"A", "B", "C", "D", "F"}
+        assert set(CORE_WORKLOADS) == {"A", "B", "C", "D", "E", "F"}
 
     def test_mix_must_sum_to_one(self):
         with pytest.raises(ValueError):
@@ -40,6 +41,16 @@ class TestPresets:
 
     def test_c_read_only(self):
         assert all(o.kind == "get" for o in gen(WORKLOAD_C))
+
+    def test_e_mix_and_scan_shape(self):
+        ops = gen(WORKLOAD_E)
+        scans = [o for o in ops if o.kind == "scan"]
+        assert 0.92 < len(scans) / len(ops) < 0.98
+        inserts = sum(1 for o in ops if o.kind == "set")
+        assert 0.02 < inserts / len(ops) < 0.08
+        for o in scans:
+            assert 1 <= len(o.keys) <= WORKLOAD_E.max_scan_len
+            assert o.key == o.keys[0]
 
     def test_f_has_rmw(self):
         ops = gen(WORKLOAD_F)
