@@ -58,6 +58,61 @@ def test_store_producer_consumer_throughput(benchmark):
     assert total == sum(range(20_000))
 
 
+def test_opstream_generation_throughput(benchmark):
+    """Vectorized op-stream generation (bulk numpy draws + batch key
+    materialization). The per-op reference loop it replaced is timed
+    once alongside; the ratio lands in ``extra_info`` and the streams
+    must stay op-for-op identical."""
+    import time
+
+    from repro.workloads.generator import (
+        WorkloadSpec,
+        _generate_ops_ref,
+        generate_ops,
+    )
+
+    spec = WorkloadSpec(num_ops=100_000, num_keys=4096, value_length=512,
+                        seed=7, value_sizes=((256, 0.5), (4 * KB, 0.5)))
+    ops = benchmark(generate_ops, spec)
+    assert len(ops) == 100_000
+    t0 = time.perf_counter()
+    ref = _generate_ops_ref(spec)
+    ref_s = time.perf_counter() - t0
+    assert ops == ref
+    best = benchmark.stats.stats.min
+    benchmark.extra_info["ref_loop_s"] = ref_s
+    benchmark.extra_info["speedup_vs_ref_loop"] = ref_s / best
+    print(f"\n  vectorized {best * 1e3:.1f} ms vs reference loop "
+          f"{ref_s * 1e3:.1f} ms ({ref_s / best:.1f}x)")
+
+
+def test_hot_object_churn(benchmark):
+    """Allocation churn of the slotted per-op records (Op, ReqResult,
+    OpRecord) — every simulated operation creates these, so their
+    construction cost is pure hot-path overhead. ``__slots__`` keeps
+    them dict-free; the assertion pins that."""
+    from repro.client.request import OpRecord, ReqResult
+    from repro.workloads.generator import Op
+
+    def churn(n=50_000):
+        key = b"key:0000000001"
+        acc = 0
+        for _ in range(n):
+            op = Op("get", key, 512)
+            res = ReqResult(op="get", api="get", status="HIT",
+                            value_length=512, latency=1e-6,
+                            blocked_time=0.0)
+            rec = OpRecord(op="get", api="get", key_length=14,
+                           value_length=512, status="HIT", t_issue=0.0,
+                           t_complete=1e-6, blocked_time=0.0)
+            acc += op.value_length + res.value_length + rec.value_length
+        return acc
+
+    total = benchmark(churn)
+    assert total == 50_000 * 3 * 512
+    assert not hasattr(Op("get", b"k", 1), "__dict__")
+
+
 def test_full_stack_ops_per_second(benchmark):
     """End-to-end cost of one simulated Set/Get through every layer."""
     from repro import build_cluster, profiles

@@ -21,7 +21,7 @@ import os
 from pathlib import Path
 
 from repro.core.cluster import ClusterSpec
-from repro.core.profiles import H_RDMA_OPT_NONB_I
+from repro.core.profiles import FATCACHE, H_RDMA_OPT_NONB_I
 from repro.harness.runner import RunConfig
 from repro.units import KB, MB
 from repro.workloads.generator import WorkloadSpec
@@ -32,6 +32,16 @@ NUM_CLIENTS = 4
 OPS_PER_CLIENT = 500
 NUM_KEYS = 2048
 VALUE_LEN = 8 * KB
+
+# The paper's full-scale testbed: 32 servers, 100 concurrent clients
+# (SC'16 §V). Fewer ops per client than the 4x4 row keeps the wall
+# time CI-sized while the topology (3200 connections, 32-way key
+# distribution) is the real thing.
+PAPER_SERVERS = 32
+PAPER_CLIENTS = 100
+PAPER_OPS = 40
+PAPER_KEYS = 8192
+PAPER_VALUE = 4 * KB
 
 
 def _ycsb_cluster_run(profile: bool = False):
@@ -115,3 +125,80 @@ def test_macro_ycsb_profiled(benchmark):
     }, indent=2))
     print(f"\n  wrote {out}; "
           f"{events / stats.min:,.0f} events/sec (best, profiled)")
+
+
+def _paper_scale_cfg(profile, num_clients=PAPER_CLIENTS, **kw):
+    return RunConfig(
+        profile=profile,
+        workload=WorkloadSpec(num_ops=PAPER_OPS, num_keys=PAPER_KEYS,
+                              value_length=PAPER_VALUE, seed=42),
+        cluster=ClusterSpec(num_servers=PAPER_SERVERS,
+                            num_clients=num_clients,
+                            server_mem=4 * MB, ssd_limit=16 * MB),
+        ycsb="A", **kw)
+
+
+def _record_throughput(benchmark, events, result):
+    stats = benchmark.stats.stats
+    benchmark.extra_info["events_per_run"] = events
+    benchmark.extra_info["events_per_sec_mean"] = events / stats.mean
+    benchmark.extra_info["events_per_sec_best"] = events / stats.min
+    benchmark.extra_info["p99_latency_s"] = result.summary["p99_latency"]
+    print(f"\n  {events} events/run; "
+          f"{events / stats.min:,.0f} events/sec (best); "
+          f"sim p99 {result.summary['p99_latency'] * 1e6:.1f} us")
+
+
+def test_macro_paper_scale(benchmark):
+    """The paper's 32-server x 100-client YCSB-A testbed, single
+    simulator, hybrid non-blocking profile — the scale the figures
+    were measured at."""
+    last = {}
+
+    def run():
+        result = _paper_scale_cfg(H_RDMA_OPT_NONB_I).run()
+        last["result"] = result
+        return len(result.records), result.events_processed
+
+    records, events = benchmark(run)
+    assert records == PAPER_CLIENTS * PAPER_OPS
+    _record_throughput(benchmark, events, last["result"])
+
+
+def test_macro_paper_scale_sharded(benchmark):
+    """The same 32x100 scale split into event domains (1 client domain
+    + 8 server domains, serial driver) on the IPoIB hybrid profile —
+    sharding supports IPoIB designs only. Events/run exceeds the
+    single-simulator count by the capture/inject bookkeeping; compare
+    the wall-clock column against ``test_macro_paper_scale`` for the
+    coordination overhead this machine pays (or recovers, with
+    ``shard_workers`` on a many-core host)."""
+    last = {}
+
+    def run():
+        result = _paper_scale_cfg(FATCACHE, shard_domains=9).run()
+        last["result"] = result
+        return len(result.records), result.events_processed
+
+    records, events = benchmark(run)
+    assert records == PAPER_CLIENTS * PAPER_OPS
+    _record_throughput(benchmark, events, last["result"])
+
+
+def test_macro_stretch_1k_clients(benchmark):
+    """Stretch row: 1024 simulated clients against 32 servers (32k
+    connections). Tracks whether client-count scaling stays linear in
+    events/sec as the hot-path work grows."""
+    last = {}
+
+    def run():
+        cfg = _paper_scale_cfg(H_RDMA_OPT_NONB_I, num_clients=1024)
+        cfg.workload = WorkloadSpec(num_ops=4, num_keys=PAPER_KEYS,
+                                    value_length=1 * KB, seed=42)
+        result = cfg.run()
+        last["result"] = result
+        return len(result.records), result.events_processed
+
+    records, events = benchmark(run)
+    assert records == 1024 * 4
+    _record_throughput(benchmark, events, last["result"])

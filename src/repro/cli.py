@@ -92,13 +92,36 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--theta", type=float, default=0.8)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--pattern", default="basic",
-                   choices=("basic", "counter", "ttl-churn"),
+                   choices=("basic", "counter", "ttl-churn", "hot-storm"),
                    help="stream shape: basic get/set mix, counter "
-                        "(incr/decr-heavy), or ttl-churn (expiring "
-                        "stores + gat/touch refreshes)")
+                        "(incr/decr-heavy), ttl-churn (expiring "
+                        "stores + gat/touch refreshes), or hot-storm "
+                        "(rotating single-key flash crowd on the zipf "
+                        "base mix)")
     p.add_argument("--ttl", type=float, default=0.0, metavar="SECONDS",
                    help="relative TTL attached to stores (0: none; "
                         "ttl-churn defaults to 50ms)")
+    p.add_argument("--storm-fraction", type=float, default=0.3,
+                   help="hot-storm: share of ops redirected to the "
+                        "storm key (default 0.3)")
+    p.add_argument("--storm-phase-ops", type=int, default=100,
+                   help="hot-storm: ops per client between storm-key "
+                        "rotations (default 100)")
+    p.add_argument("--shard-domains", type=int, default=1, metavar="D",
+                   help="split the run into 1 client event domain + "
+                        "min(D-1, servers) server domains "
+                        "(conservative-lookahead parallel simulation; "
+                        "IPoIB profiles only; default 1 = single "
+                        "simulator)")
+    p.add_argument("--shard-workers", type=int, default=0, metavar="W",
+                   help="sharded runs: fork W multiprocessing workers "
+                        "(>=2) instead of driving all domains serially "
+                        "in-process (default 0 = serial)")
+    p.add_argument("--client-stagger", default=None, metavar="TIME",
+                   help="delay client i's first op by i*TIME (e.g. 13ns):"
+                        " breaks exact-timestamp ties so sharded runs "
+                        "match the single-simulator oracle byte-for-byte "
+                        "(default: no stagger)")
 
 
 def _workload_spec(args) -> WorkloadSpec:
@@ -115,6 +138,8 @@ def _workload_spec(args) -> WorkloadSpec:
         seed=args.seed,
         pattern=getattr(args, "pattern", "basic"),
         ttl=getattr(args, "ttl", 0.0),
+        storm_fraction=getattr(args, "storm_fraction", 0.3),
+        storm_phase_ops=getattr(args, "storm_phase_ops", 100),
     )
 
 
@@ -158,8 +183,13 @@ def _build(args, spec: WorkloadSpec, observe: bool = False,
         profile=profile,
         profile_sample=profile_sample,
     )
+    stagger = getattr(args, "client_stagger", None)
     return RunConfig(profile=profile_key, workload=spec,
-                     cluster=cluster_spec, fault_plan=_fault_plan(args))
+                     cluster=cluster_spec, fault_plan=_fault_plan(args),
+                     shard_domains=getattr(args, "shard_domains", 1),
+                     shard_workers=getattr(args, "shard_workers", 0),
+                     client_stagger=(parse_time(stagger)
+                                     if stagger is not None else 0.0))
 
 
 def _print_summary(title: str, result) -> None:

@@ -106,13 +106,18 @@ class ClientConfig:
     write_mode: str = "sync"
 
 
-@dataclass
+@dataclass(slots=True)
 class ServerConn:
     """One connection from this client to one server."""
 
     index: int
     endpoint: Endpoint
     server: Optional[MemcachedServer]  # None => remote credits unavailable
+    #: Cached ``endpoint.supports_one_sided`` (a per-op property call
+    #: otherwise) — the transport kind never changes on a live conn.
+    one_sided: bool = False
+    #: Cached ``server.config.early_ack`` (False for remote conns).
+    early_ack: bool = False
     # -- client-side health view (driven by completion timeouts only) ------
     healthy: bool = True
     consecutive_timeouts: int = 0
@@ -121,15 +126,22 @@ class ServerConn:
     ejected_until: Optional[float] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _EngineJob:
+    """One queued client-engine dispatch.
+
+    Jobs live only from ``_issue`` to the engine loop's unpack, so the
+    client recycles them through a free list (``_job_new``) — one of the
+    pooled hot-path objects that keep the per-op allocation count flat.
+    """
+
     req: MemcachedReq
     conn: ServerConn
     #: When the request entered the client pipeline (profiling only).
     t_queued: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _MgetJob:
     """A batched multi-get for one server connection."""
 
@@ -168,6 +180,14 @@ class MemcachedClient:
         #: In-flight replica propagations per server index (the lag gauge).
         self._replica_outstanding: Dict[int, int] = {}
         self._recorded_ids: set[int] = set()
+        #: Free list of recycled :class:`_EngineJob` instances.
+        self._job_pool: List[_EngineJob] = []
+        #: key -> ServerConn memo, valid only while no server was ever
+        #: ejected (``_route`` bypasses it afterwards).
+        self._route_cache: Dict[bytes, ServerConn] = {}
+        #: True once any connection was ever ejected; while False the
+        #: router takes a straight-line path with no health scans.
+        self._had_ejections = False
         #: Opt-in consistency-history hook (see ``repro.consistency``):
         #: an object with ``on_issue(client, ReqResult, parent=-1)`` and
         #: ``on_complete(client, ReqResult, user=True, parent=-1)``.
@@ -189,6 +209,7 @@ class MemcachedClient:
         # live metrics (no-ops when observability is disabled)
         reg = self.obs.registry
         labels = dict(client=name)
+        self._metrics_on = reg.enabled
         self._m_issued = reg.counter("client_ops_issued", **labels)
         self._m_completed = reg.counter("client_ops_completed", **labels)
         self._m_blocked = reg.counter("client_blocked_seconds", **labels)
@@ -209,7 +230,10 @@ class MemcachedClient:
 
     def add_server(self, endpoint: Endpoint,
                    server: Optional[MemcachedServer] = None) -> None:
-        conn = ServerConn(len(self._conns), endpoint, server)
+        conn = ServerConn(len(self._conns), endpoint, server,
+                          one_sided=endpoint.supports_one_sided,
+                          early_ack=(server is not None
+                                     and server.config.early_ack))
         self._conns.append(conn)
         self._router = None  # rebuilt on next use
         self.obs.registry.gauge(
@@ -243,17 +267,30 @@ class MemcachedClient:
     def _route(self, key: bytes) -> Optional[ServerConn]:
         """Pick the connection for a key, routing around ejected servers
         (dead-server rehash). Returns None when every server is ejected."""
-        if not self._conns:
+        conns = self._conns
+        if not conns:
             raise RuntimeError(f"{self.name}: no servers configured")
-        if self._router is None:
-            self._router = make_router(self.config.router, len(self._conns))
+        router = self._router
+        if router is None:
+            router = self._router = make_router(self.config.router,
+                                                len(conns))
+        if not self._had_ejections:
+            # Healthy-cluster fast path: no ejection has ever happened,
+            # so the per-op health scans cannot change anything — and the
+            # key-to-connection map is static, so it is memoized outright
+            # (workloads re-route the same hot keys constantly).
+            cache = self._route_cache
+            conn = cache.get(key)
+            if conn is None:
+                conn = cache[key] = conns[router.server_for(key)]
+            return conn
         self._restore_expired_ejections()
-        if all(c.healthy for c in self._conns):
-            return self._conns[self._router.server_for(key)]
-        alive = {c.index for c in self._conns if c.healthy}
+        if all(c.healthy for c in conns):
+            return conns[router.server_for(key)]
+        alive = {c.index for c in conns if c.healthy}
         if not alive:
             return None
-        return self._conns[self._router.server_for(key, alive)]
+        return conns[router.server_for(key, alive)]
 
     def _replica_conns(self, key: bytes) -> List[ServerConn]:
         """Preference-ordered replica connections for ``key`` (primary
@@ -424,7 +461,7 @@ class MemcachedClient:
         self._op_begin(req)
         t0 = self.sim.now
         yield self.sim.timeout(self.config.api_overhead)
-        self._engine_queue.put(_EngineJob(req, conn))
+        self._engine_queue.put(self._job_new(req, conn, 0.0))
         timeout = self.config.request_timeout
         if timeout is None:
             yield req.complete
@@ -537,7 +574,7 @@ class MemcachedClient:
             self._outstanding[req.req_id] = req
             self._op_begin(req)
             self._job_meta[req.req_id] = (0, delay, "set", 0, 0, None)
-            self._engine_queue.put(_EngineJob(req, conn, t_queued=t0))
+            self._engine_queue.put(self._job_new(req, conn, t0))
             reqs.append(req)
         self._account_many(reqs, self.sim.now - t0)
         for req in reqs:
@@ -635,10 +672,21 @@ class MemcachedClient:
         if req.api == "replica":
             yield from self._await_replica(req)
             return
-        yield from self._recover(req)
+        # Inline _recover's no-fault-handling path (request_timeout
+        # unset): _finish runs once per non-blocking op, and the two
+        # delegating generator frames are measurable there.
+        if self.config.request_timeout is None:
+            if not req.complete.processed:
+                sim = self.sim
+                t0 = sim._now
+                yield req.complete
+                self._account_block(req, sim._now - t0)
+        else:
+            yield from self._recover(req)
         if self._replica_subs:
             yield from self._await_replica_acks(req)
-        yield from self._handle_miss(req)
+        if req.op == "get" and self.backend is not None:
+            yield from self._handle_miss(req)
         self._finalize(req)
 
     def test(self, req: MemcachedReq) -> bool:
@@ -760,10 +808,11 @@ class MemcachedClient:
                cas_token: int = 0, delta: int = 0,
                initial: Optional[int] = None):
         self._ensure_started()
-        req = MemcachedReq(self.sim, self._next_req_id, op, key,
-                           value_length, api)
-        self._next_req_id += 1
-        req.t_issue = self.sim.now
+        sim = self.sim
+        req_id = self._next_req_id
+        req = MemcachedReq(sim, req_id, op, key, value_length, api)
+        self._next_req_id = req_id + 1
+        t0 = req.t_issue = sim._now
         req.expiration = expiration
         req.auto_create = initial is not None
         if self._profiler.enabled:
@@ -771,24 +820,24 @@ class MemcachedClient:
         if self.recorder is not None:
             self.recorder.on_issue(self.name, req.result())
         if self.t_first_issue is None:
-            self.t_first_issue = self.sim.now
+            self.t_first_issue = t0
         conn = self._route(key)
-        self._outstanding[req.req_id] = req
+        self._outstanding[req_id] = req
         self._op_begin(req)
-        t0 = self.sim.now
-        yield self.sim.timeout(self.config.api_overhead)
+        yield sim.timeout(self.config.api_overhead)
+        now = sim._now
         if conn is None:  # every server ejected: fail fast
             req.server_index = -1
-            self._account_block(req, self.sim.now - t0)
-            req.t_api_return = self.sim.now
+            self._account_block(req, now - t0)
+            req.t_api_return = now
             self._fail_server_down(req)
             return req
         req.server_index = conn.index
-        self._engine_queue.put(_EngineJob(req, conn, t_queued=req.t_issue))
-        self._account_block(req, self.sim.now - t0)
-        req.t_api_return = self.sim.now
-        self._job_meta[req.req_id] = (flags, expiration, mode, cas_token,
-                                      delta, initial)
+        self._engine_queue.put(self._job_new(req, conn, t0))
+        self._account_block(req, now - t0)
+        req.t_api_return = now
+        self._job_meta[req_id] = (flags, expiration, mode, cas_token,
+                                  delta, initial)
         if self._replication > 1:
             if op in ("set", "delete", "incr", "decr"):
                 subs = self._fan_out(req, conn, flags, expiration, mode,
@@ -847,8 +896,7 @@ class MemcachedClient:
             sub.complete.callbacks.append(
                 lambda _ev, s=sub, c=conn, p=req.req_id:
                     self._replica_done(s, c, p))
-            self._engine_queue.put(_EngineJob(sub, conn,
-                                              t_queued=self.sim.now))
+            self._engine_queue.put(self._job_new(sub, conn, self.sim.now))
             self._m_replica_writes.inc()
             subs.append(sub)
         return subs
@@ -965,6 +1013,7 @@ class MemcachedClient:
         if threshold and conn.healthy and \
                 conn.consecutive_timeouts >= threshold:
             conn.healthy = False
+            self._had_ejections = True
             conn.ejected_until = (
                 None if self.config.eject_duration is None
                 else self.sim.now + self.config.eject_duration)
@@ -998,7 +1047,7 @@ class MemcachedClient:
             if self._replication > 1 and req.op == "get":
                 self._note_replica_read(req.key, conn)
         req.server_index = conn.index
-        self._engine_queue.put(_EngineJob(req, conn, t_queued=self.sim.now))
+        self._engine_queue.put(self._job_new(req, conn, self.sim.now))
         return True
 
     def _fail_server_down(self, req: MemcachedReq) -> None:
@@ -1071,20 +1120,35 @@ class MemcachedClient:
     def _account_block(self, req: MemcachedReq, dt: float) -> None:
         req.blocked_time += dt
         self.total_blocked += dt
-        self._m_blocked.inc(dt)
+        if self._metrics_on:
+            self._m_blocked.inc(dt)
 
     def _op_begin(self, req: MemcachedReq) -> None:
-        self._m_issued.inc()
+        if self._metrics_on:
+            self._m_issued.inc()
         if self.obs.tracer.enabled:
             self._op_spans[req.req_id] = self.obs.tracer.begin(
                 f"{req.api}:{req.op}", tid=self.name, pid="client",
                 cat="op", async_=True, req_id=req.req_id)
 
     def _op_end(self, req: MemcachedReq) -> None:
-        self._m_completed.inc()
+        if self._metrics_on:
+            self._m_completed.inc()
         span = self._op_spans.pop(req.req_id, None)
         if span is not None:
             span.end(status=req.status)
+
+    def _job_new(self, req: MemcachedReq, conn: ServerConn,
+                 t_queued: float) -> _EngineJob:
+        """An :class:`_EngineJob` from the free list (or a fresh one)."""
+        pool = self._job_pool
+        if pool:
+            job = pool.pop()
+            job.req = req
+            job.conn = conn
+            job.t_queued = t_queued
+            return job
+        return _EngineJob(req, conn, t_queued)
 
     def _finalize(self, req: MemcachedReq, record: bool = True) -> None:
         """Record a completed user-visible operation (idempotent)."""
@@ -1106,32 +1170,47 @@ class MemcachedClient:
     # -- engine -------------------------------------------------------------------
 
     def _engine(self):
+        # Everything read per job is hoisted once: the loop runs for
+        # every operation the client ever issues and each attribute walk
+        # in here is a per-op cost.
+        sim = self.sim
+        timeout = sim.timeout
+        queue_get = self._engine_queue.get
+        engine_cpu = self.config.engine_cpu
+        model_registration = self.config.model_registration
+        profiler = self._profiler
+        job_meta_get = self._job_meta.get
+        pool = self._job_pool
+        _DEFAULT_META = (0, 0.0, "set", 0, 0, None)
         while True:
-            job = yield self._engine_queue.get()
-            if self.config.engine_cpu:
-                yield self.sim.timeout(self.config.engine_cpu)
+            job = yield queue_get()
+            if engine_cpu:
+                yield timeout(engine_cpu)
             if isinstance(job, _MgetJob):
-                if self._profiler.enabled:
-                    now = self.sim.now
+                if profiler.enabled:
+                    now = sim.now
                     for r in job.reqs:
                         if r.trace_id is not None:
-                            self._profiler.record(r.trace_id, "client_queue",
-                                                  job.t_queued, now)
+                            profiler.record(r.trace_id, "client_queue",
+                                            job.t_queued, now)
                 self._engine_mget(job.reqs, job.conn)
                 continue
             req, conn = job.req, job.conn
             if req.trace_id is not None:
-                self._profiler.record(
+                profiler.record(
                     req.trace_id, self._pstage(req) + "client_queue",
-                    job.t_queued, self.sim.now)
+                    job.t_queued, sim.now)
+            # The job carried its payload to this unpack; recycle it.
+            job.req = job.conn = None  # type: ignore[assignment]
+            pool.append(job)
             # get, not pop: a retry reissues the same request and needs
             # the meta again; _finalize/_fail_server_down clean it up.
             flags, expiration, mode, cas_token, delta, initial = \
-                self._job_meta.get(req.req_id, (0, 0.0, "set", 0, 0, None))
-            if self.config.model_registration and req.op in ("set", "get"):
+                job_meta_get(req.req_id, _DEFAULT_META)
+            if model_registration and req.op in ("set", "get"):
                 cost = self._acquire_buffer(req)
                 if cost > 0:
-                    yield self.sim.timeout(cost)
+                    yield timeout(cost)
             if req.op == "set":
                 yield from self._engine_set(req, conn, flags, expiration,
                                             mode, cas_token)
@@ -1180,28 +1259,30 @@ class MemcachedClient:
                     cas_token: int = 0):
         ep = conn.endpoint
         replica = req.api == "replica"
-        if not replica and ep.supports_one_sided and conn.server is not None:
+        if not replica and conn.one_sided and conn.server is not None:
             header = SetRequest(req_id=req.req_id, op="set", key=req.key,
                                 value_length=req.value_length, flags=flags,
                                 expiration=expiration, mode=mode,
                                 cas_token=cas_token, inline_value=False,
                                 trace_id=req.trace_id)
             msg_h = ep.send(header, header.header_bytes)
-            self._profile_msg(req, msg_h)
+            if req.trace_id is not None:
+                self._profile_msg(req, msg_h)
             # Flow control: a server receive buffer must be free before
             # the engine may RDMA-write the value.
             credit = conn.server.credits.request()
-            t_credit = self.sim.now
+            t_credit = self.sim._now
             yield credit
             if req.trace_id is not None:
                 self._profiler.record(req.trace_id,
                                       self._pstage(req) + "credit",
-                                      t_credit, self.sim.now)
+                                      t_credit, self.sim._now)
             arrival = ValueArrival(req_id=req.req_id,
                                    nbytes=req.value_length, credit=credit)
             msg_v = ep.send(arrival, req.value_length, one_sided=True)
-            self._profile_msg(req, msg_v)
-            if not conn.server.config.early_ack:
+            if req.trace_id is not None:
+                self._profile_msg(req, msg_v)
+            if not conn.early_ack:
                 # Existing runtime: no buffered-ack arrives; the buffer
                 # is reusable once the value has left the client NIC.
                 self._arm(req.buffer_safe, msg_v.on_wire)
@@ -1217,14 +1298,16 @@ class MemcachedClient:
                                 cas_token=cas_token, inline_value=True,
                                 replica=replica, trace_id=req.trace_id)
             msg = ep.send(header, header.header_bytes + req.value_length)
-            self._profile_msg(req, msg)
+            if req.trace_id is not None:
+                self._profile_msg(req, msg)
             self._arm(req.buffer_safe, msg.on_wire)
 
     def _engine_get(self, req: MemcachedReq, conn: ServerConn) -> None:
         header = GetRequest(req_id=req.req_id, op="get", key=req.key,
                             trace_id=req.trace_id)
         msg = conn.endpoint.send(header, header.header_bytes)
-        self._profile_msg(req, msg)
+        if req.trace_id is not None:
+            self._profile_msg(req, msg)
         self._arm(req.buffer_safe, msg.on_wire)
 
     def _engine_mget(self, reqs: List[MemcachedReq],
@@ -1300,17 +1383,25 @@ class MemcachedClient:
     # -- response pump ---------------------------------------------------------------
 
     def _pump(self, conn: ServerConn):
+        # Per-response loop: one iteration per server response this
+        # connection ever receives, so the lookups below are hoisted.
+        sim = self.sim
+        timeout = sim.timeout
+        recv = conn.endpoint.recv
+        outstanding = self._outstanding
+        conn_index = conn.index
         while True:
-            delivery = yield conn.endpoint.recv()
+            delivery = yield recv()
             if delivery.recv_cpu:
-                yield self.sim.timeout(delivery.recv_cpu)
-            if isinstance(delivery.payload, BufferAck):
-                pending = self._outstanding.get(delivery.payload.req_id)
+                yield timeout(delivery.recv_cpu)
+            payload = delivery.payload
+            if type(payload) is BufferAck:
+                pending = outstanding.get(payload.req_id)
                 if pending is not None and not pending.buffer_safe.triggered:
                     pending.buffer_safe.succeed()
                 continue
-            response: Response = delivery.payload
-            req = self._outstanding.pop(response.req_id, None)
+            response: Response = payload
+            req = outstanding.pop(response.req_id, None)
             if req is None:
                 # Late response for an op already declared SERVER_DOWN,
                 # or the duplicate answer of a retried request.
@@ -1323,12 +1414,14 @@ class MemcachedClient:
             # after a failover reissue, the response of the *first*
             # attempt can still arrive, and history/consistency checks
             # need the server that actually served the op.
-            req.server_index = conn.index
-            req.stages.update(response.stages)
+            req.server_index = conn_index
+            stages = response.stages
+            req.stages.update(stages)
             # Network + delivery share of the server's response stage.
+            now = sim._now
             req.stages["server_response"] = (
-                response.stages.get("server_response", 0.0)
-                + (self.sim.now - response.sent_at))
+                stages.get("server_response", 0.0)
+                + (now - response.sent_at))
             if response.op in ("get", "gat") and response.status == HIT:
                 req.value_length = response.value_length
             elif response.op in ("incr", "decr") and \
@@ -1336,7 +1429,7 @@ class MemcachedClient:
                 req.value_length = response.value_length
             req.counter_value = response.counter_value
             req.cas_token = response.cas_token
-            req.t_complete = self.sim.now
+            req.t_complete = now
             req.complete.succeed(response)
 
     # -- metrics --------------------------------------------------------------

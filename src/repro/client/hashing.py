@@ -7,8 +7,19 @@ import hashlib
 from typing import AbstractSet, List, Optional, Sequence
 
 
+# Key hashes are pure functions of the key bytes and workloads re-route
+# the same (zipf-hot) keys constantly, so the per-byte Python loop below
+# is memoized. Bounded: the cache resets rather than evicts when it
+# fills, which keeps the common steady-state lookup a single dict hit.
+_HASH_CACHE: dict = {}
+_HASH_CACHE_MAX = 1 << 20
+
+
 def one_at_a_time(key: bytes) -> int:
     """Jenkins one-at-a-time hash — libmemcached's default key hash."""
+    h = _HASH_CACHE.get(key)
+    if h is not None:
+        return h
     h = 0
     for b in key:
         h = (h + b) & 0xFFFFFFFF
@@ -17,6 +28,9 @@ def one_at_a_time(key: bytes) -> int:
     h = (h + (h << 3)) & 0xFFFFFFFF
     h ^= h >> 11
     h = (h + (h << 15)) & 0xFFFFFFFF
+    if len(_HASH_CACHE) >= _HASH_CACHE_MAX:
+        _HASH_CACHE.clear()
+    _HASH_CACHE[key] = h
     return h
 
 

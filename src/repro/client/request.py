@@ -9,7 +9,7 @@ from repro.server.protocol import Response
 from repro.sim import Event, Simulator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReqResult:
     """Uniform completion view of one operation.
 
@@ -82,9 +82,9 @@ class MemcachedReq:
         #: which API issued it: "set"/"get"/"iset"/"iget"/"bset"/"bget"
         self.api = api
         #: Triggers when the operation's completion reaches the client.
-        self.complete: Event = sim.event()
+        self.complete: Event = Event(sim)
         #: Triggers when the user's key/value buffers may be reused.
-        self.buffer_safe: Event = sim.event()
+        self.buffer_safe: Event = Event(sim)
         self.status: Optional[str] = None
         self.response: Optional[Response] = None
         #: CAS token observed on the last get / assigned by the store.
@@ -163,7 +163,7 @@ class MemcachedReq:
         return f"<MemcachedReq #{self.req_id} {self.api} {self.key!r} {state}>"
 
 
-@dataclass
+@dataclass(slots=True)
 class OpRecord:
     """Immutable per-operation record kept for metrics."""
 

@@ -33,7 +33,7 @@ __all__ = ["HistoryEvent", "HistoryRecorder", "record_run",
            "to_jsonl", "from_jsonl"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HistoryEvent:
     """One completed (or still-pending at run end) client operation."""
 

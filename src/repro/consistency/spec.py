@@ -65,7 +65,7 @@ def as_state(token: int, expire_at: float = 0.0) -> State:
     return (token, expire_at)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpecOp:
     """One operation of a (key, server) sub-history.
 

@@ -49,11 +49,12 @@ KINDS = (CRASH, PARTITION, LINK_DEGRADE, SSD_SLOWDOWN)
 _ALIASES = {"link": LINK_DEGRADE, "ssd": SSD_SLOWDOWN,
             "blackhole": PARTITION}
 
-_TIME_SUFFIXES = (("us", 1e-6), ("ms", 1e-3), ("s", 1.0))
+_TIME_SUFFIXES = (("ns", 1e-9), ("us", 1e-6), ("ms", 1e-3), ("s", 1.0))
 
 
 def parse_time(text: str) -> float:
-    """Parse ``"5ms"`` / ``"200us"`` / ``"1.5s"`` / ``"0.01"`` (seconds)."""
+    """Parse ``"13ns"`` / ``"5ms"`` / ``"200us"`` / ``"1.5s"`` /
+    ``"0.01"`` (seconds)."""
     text = text.strip()
     for suffix, scale in _TIME_SUFFIXES:
         if text.endswith(suffix):

@@ -49,6 +49,10 @@ class RunResult:
     #: :class:`~repro.obs.profile.ProfileReport` for the measured run
     #: when the cluster was built with ``profile=True``; None otherwise.
     profile: Optional[object] = None
+    #: Total events the simulator(s) behind this run have processed —
+    #: cumulative over the run's lifetime (warmup included; summed over
+    #: every domain on sharded runs). The numerator of events/sec.
+    events_processed: int = 0
 
     @property
     def ops(self) -> int:
@@ -108,6 +112,24 @@ class RunConfig:
     #: Keyword overrides applied to a default :class:`ClusterSpec`
     #: (e.g. ``{"num_servers": 4}``) when ``cluster`` is not given.
     spec_overrides: Dict[str, object] = field(default_factory=dict)
+    #: Shard the cluster into event domains (conservative-lookahead
+    #: parallel simulation; :mod:`repro.harness.sharded`). 1 keeps the
+    #: classic single-simulator run; ``D >= 2`` builds one client
+    #: domain plus ``min(D - 1, num_servers)`` server domains. IPoIB
+    #: transports only — the single-simulator path stays the oracle.
+    shard_domains: int = 1
+    #: Sharded runs only: 0/1 drives all domains serially in-process
+    #: (the byte-identical reference mode); ``>= 2`` forks that many
+    #: multiprocessing workers and coordinates them over pipes.
+    shard_workers: int = 0
+    #: Delay client ``i``'s first operation by ``i * client_stagger``
+    #: seconds (each phase). Zero — the default — changes nothing. A few
+    #: nanoseconds break the lock-step symmetry of identical clients all
+    #: starting at t=0, which is what makes distinct simulated events
+    #: collide on exactly equal timestamps; tie-free schedules are the
+    #: regime where sharded runs are byte-identical to the
+    #: single-simulator oracle (see :mod:`repro.harness.sharded`).
+    client_stagger: float = 0.0
 
     # -- build -------------------------------------------------------------
 
@@ -141,6 +163,13 @@ class RunConfig:
         """
         if self.workload is None:
             raise ValueError("RunConfig.run() needs a workload")
+        if self.shard_domains > 1:
+            if cluster is not None:
+                raise ValueError(
+                    "sharded runs build their own per-domain clusters; "
+                    "don't pass cluster= with shard_domains > 1")
+            from repro.harness import sharded
+            return sharded.run_sharded(self)
         if cluster is None:
             cluster = self.build()
         if self.warmup_ops > 0:
@@ -179,6 +208,13 @@ class RunConfig:
         ``fault_plan`` is armed right before the drivers start, so its
         event times are relative to the measured run's start.
         """
+        if self.shard_domains > 1:
+            if cluster is not None:
+                raise ValueError(
+                    "sharded runs build their own per-domain clusters; "
+                    "don't pass cluster= with shard_domains > 1")
+            from repro.harness import sharded
+            return sharded.run_sharded_streams(self, per_client_ops)
         if cluster is None:
             cluster = self.build()
         return self._run_streams(cluster, per_client_ops,
@@ -199,12 +235,16 @@ class RunConfig:
         if fault_plan is not None:
             cluster.inject_faults(fault_plan)
         drivers = []
-        for client, ops in zip(cluster.clients, per_client_ops):
+        stagger = self.client_stagger
+        for index, (client, ops) in enumerate(
+                zip(cluster.clients, per_client_ops)):
             if api == BLOCKING:
                 gen = _drive_blocking(client, ops,
-                                      mget_batch=self.mget_batch)
+                                      mget_batch=self.mget_batch,
+                                      delay=index * stagger)
             else:
-                gen = _drive_nonblocking(client, ops, api, self.window)
+                gen = _drive_nonblocking(client, ops, api, self.window,
+                                         delay=index * stagger)
             drivers.append(sim.spawn(gen, name=f"driver-{client.name}"))
         done = sim.all_of(drivers)
         sim.run(until=done)
@@ -215,7 +255,8 @@ class RunConfig:
                     - min(r.t_issue for r in records))
         result = RunResult(profile_key=cluster.profile.key, api=api,
                            records=records, span=span,
-                           obs=cluster.obs if cluster.obs.enabled else None)
+                           obs=cluster.obs if cluster.obs.enabled else None,
+                           events_processed=sim.events_processed)
         result.summary = metrics.summarize(records)
         if measured and cluster.obs.profiler.enabled:
             result.profile = cluster.obs.profiler.report()
@@ -245,10 +286,13 @@ def setup_cluster(profile: DesignProfile, spec: WorkloadSpec,
                      spec_overrides=dict(spec_overrides)).build()
 
 
-def _drive_blocking(client, ops: Sequence[Op], mget_batch: int = 0):
+def _drive_blocking(client, ops: Sequence[Op], mget_batch: int = 0,
+                    delay: float = 0.0):
     """Blocking driver; with ``mget_batch`` > 1, consecutive reads are
     coalesced into memcached_mget batches (how production web tiers
     fetch the many keys of one page render)."""
+    if delay > 0:
+        yield client.sim.timeout(delay)
     pending_reads: list = []
 
     def flush_reads():
@@ -292,43 +336,53 @@ def _drive_blocking(client, ops: Sequence[Op], mget_batch: int = 0):
     yield from client.quiesce()
 
 
-def _drive_nonblocking(client, ops: Sequence[Op], api: str, window: int):
+def _drive_nonblocking(client, ops: Sequence[Op], api: str, window: int,
+                       delay: float = 0.0):
+    if delay > 0:
+        yield client.sim.timeout(delay)
     issue_set = client.iset if api == NONB_I else client.bset
     issue_get = client.iget if api == NONB_I else client.bget
     inflight = deque()
+    # Hot per-op loop: hoist the bound methods and the sim handle so the
+    # driver adds as little as possible on top of the client work.
+    wait = client.wait
+    popleft = inflight.popleft
+    append = inflight.append
+    sim = client.sim
     for op in ops:
         if len(inflight) >= window:
-            yield from client.wait(inflight.popleft())
-        if op.kind == "get":
+            yield from wait(popleft())
+        kind = op.kind
+        if kind == "get":
             req = yield from issue_get(op.key)
-        elif op.kind == "rmw":
+        elif kind == "rmw":
             # The read must complete before the dependent write issues.
             read = yield from issue_get(op.key)
-            yield from client.wait(read)
+            yield from wait(read)
             req = yield from issue_set(op.key, op.value_length)
-        elif op.kind in ("scan", "incr", "decr", "gat", "touch"):
+        elif kind in ("scan", "incr", "decr", "gat", "touch"):
             # No non-blocking variants of these APIs — run them inline
             # (they complete before returning; nothing joins the window).
-            if op.kind == "scan":
+            if kind == "scan":
                 yield from client.mget(list(op.keys) or [op.key])
-            elif op.kind == "incr":
+            elif kind == "incr":
                 yield from client.incr(op.key, op.delta,
                                        initial=op.initial)
-            elif op.kind == "decr":
+            elif kind == "decr":
                 yield from client.decr(op.key, op.delta,
                                        initial=op.initial)
-            elif op.kind == "gat":
-                yield from client.gat(op.key, client.sim.now + op.ttl)
+            elif kind == "gat":
+                yield from client.gat(op.key, sim._now + op.ttl)
             else:
-                yield from client.touch(op.key, client.sim.now + op.ttl)
+                yield from client.touch(op.key, sim._now + op.ttl)
             continue
         else:
-            expiration = client.sim.now + op.ttl if op.ttl else 0.0
+            expiration = sim._now + op.ttl if op.ttl else 0.0
             req = yield from issue_set(op.key, op.value_length,
                                        expiration=expiration)
-        inflight.append(req)
+        append(req)
     while inflight:
-        yield from client.wait(inflight.popleft())
+        yield from wait(popleft())
     # Drain background work (async replica propagation); a no-op — zero
     # sim events — when nothing is outstanding.
     yield from client.quiesce()

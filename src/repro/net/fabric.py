@@ -16,6 +16,7 @@ contention in the 100-client throughput experiment (Fig 7c).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable, Dict, Optional
 
 from repro.net.params import LinkParams
@@ -24,7 +25,7 @@ from repro.obs.tracer import NULL_SPAN
 from repro.sim import Event, Resource, Simulator, Timeout
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One transfer over the fabric.
 
@@ -52,16 +53,23 @@ class NIC:
                  obs: Optional[Observability] = None):
         self.sim = sim
         self.node = node
-        self.params = params
+        self.params = params  # property: also derives the hot constants
         #: Serializes outbound messages (the DMA/wire is one pipe).
         self.tx = Resource(sim, capacity=1)
         #: Called with each delivered Message; installed by the transport.
         self.deliver: Optional[Callable[[Message], None]] = None
+        #: Sharded-domain hook (see :mod:`repro.harness.sharded`): when
+        #: set, ``_tx_done`` hands ``(nic, msg)`` to the router instead
+        #: of scheduling the wire-latency delivery timeout, so the domain
+        #: coordinator controls when and in what order deliveries land.
+        self.delivery_router: Optional[Callable[["NIC", Message], None]] = None
         # traffic accounting
         self.bytes_sent = 0
         self.messages_sent = 0
         # live metrics (no-ops when observability is disabled)
         self.obs = obs or NULL_OBS
+        self._metrics_on = self.obs.registry.enabled
+        self._tracer = self.obs.tracer
         reg = self.obs.registry
         labels = dict(node=node.name, link=params.name)
         self._m_bytes = reg.counter("nic_bytes_sent", **labels)
@@ -69,6 +77,21 @@ class NIC:
         self._m_tx_wait = reg.histogram("nic_tx_wait_seconds", **labels)
         reg.gauge("nic_tx_backlog",
                   fn=lambda: self.tx.in_use + self.tx.queue_length, **labels)
+
+    @property
+    def params(self) -> LinkParams:
+        return self._params
+
+    @params.setter
+    def params(self, params: LinkParams) -> None:
+        # The transmit pipeline reads per-message constants from flat
+        # attributes instead of walking ``self.params.*`` per call; the
+        # setter keeps them coherent when a fault injector swaps the
+        # LinkParams mid-run (link_degrade and its restoration).
+        self._params = params
+        self._latency = params.latency
+        self._cpu_send = params.cpu_send
+        self._serialize = params.serialize_time
 
     def transmit(self, dst: "NIC", nbytes: int, payload: Any = None,
                  one_sided: bool = False, recv_cpu: float = 0.0) -> Message:
@@ -82,52 +105,76 @@ class NIC:
         synchronously, which preserves FIFO grant order (spawn order and
         call order were already identical).
         """
-        msg = Message(src=self, dst=dst, nbytes=nbytes, payload=payload,
-                      one_sided=one_sided, recv_cpu=recv_cpu)
         sim = self.sim
-        msg.on_wire = Event(sim)
-        msg.delivered = Event(sim)
-        t_queued = sim.now
+        msg = Message(self, dst, nbytes, payload, one_sided, recv_cpu,
+                      Event(sim), Event(sim))
+        t_queued = sim._now
         req = self.tx.request()
-        req.callbacks.append(
-            lambda _ev: self._tx_granted(msg, req, t_queued))
+        # partial, not a lambda: callbacks receive the event argument,
+        # which the trailing _ev parameter absorbs without the extra
+        # Python frame a lambda would add to every hop of the chain.
+        req.callbacks.append(partial(self._tx_granted, msg, req, t_queued))
         return msg
 
-    def _tx_granted(self, msg: Message, req, t_queued: float) -> None:
+    def _tx_granted(self, msg: Message, req, t_queued: float,
+                    _ev=None) -> None:
         sim = self.sim
-        self._m_tx_wait.observe(sim.now - t_queued)
-        tracer = self.obs.tracer
+        if self._metrics_on:
+            self._m_tx_wait.observe(sim._now - t_queued)
+        tracer = self._tracer
         if tracer.enabled:
             span = tracer.begin(
                 "tx", tid=f"{self.node.name}/{self.params.name}", pid="net",
                 cat="net", bytes=msg.nbytes)
         else:
             span = NULL_SPAN
-        busy = self.params.cpu_send + self.params.serialize_time(msg.nbytes)
+        busy = self._cpu_send + self._serialize(msg.nbytes)
         if busy > 0:
             Timeout(sim, busy).callbacks.append(
-                lambda _ev: self._tx_done(msg, req, span))
+                partial(self._tx_done, msg, req, span))
         else:
             self._tx_done(msg, req, span)
 
-    def _tx_done(self, msg: Message, req, span) -> None:
+    def _tx_done(self, msg: Message, req, span, _ev=None) -> None:
         self.tx.release(req)
-        span.end()
-        self.bytes_sent += msg.nbytes
+        nbytes = msg.nbytes
+        self.bytes_sent += nbytes
         self.messages_sent += 1
-        self._m_bytes.inc(msg.nbytes)
-        self._m_msgs.inc()
-        msg.on_wire.succeed(msg)
-        Timeout(self.sim, self.params.latency).callbacks.append(
-            lambda _ev: self._delivered(msg))
+        if span is not NULL_SPAN:
+            span.end()
+        if self._metrics_on:
+            self._m_bytes.inc(nbytes)
+            self._m_msgs.inc()
+        # Inlined msg.on_wire.succeed(msg): the event is fresh and only
+        # ever triggered here, so the double-trigger check cannot fire.
+        ev = msg.on_wire
+        ev._ok = True
+        ev._value = msg
+        sim = self.sim
+        sim._schedule_now(ev)
+        router = self.delivery_router
+        if router is None:
+            Timeout(sim, self._latency).callbacks.append(
+                partial(self._delivered, msg))
+        else:
+            router(self, msg)
 
-    def _delivered(self, msg: Message) -> None:
-        msg.delivered.succeed(msg)
-        if msg.dst.deliver is not None:
-            msg.dst.deliver(msg)
-        elif msg.payload is not None and hasattr(msg.payload, "deliver"):
-            # Self-routing frames (RDMA / IPoIB) dispatch themselves.
-            msg.payload.deliver(msg)
+    def _delivered(self, msg: Message, _ev=None) -> None:
+        # Inlined msg.delivered.succeed(msg) (see _tx_done).
+        ev = msg.delivered
+        ev._ok = True
+        ev._value = msg
+        self.sim._schedule_now(ev)
+        deliver = msg.dst.deliver
+        if deliver is not None:
+            deliver(msg)
+        else:
+            payload = msg.payload
+            if payload is not None:
+                # Self-routing frames (RDMA / IPoIB) dispatch themselves.
+                route = getattr(payload, "deliver", None)
+                if route is not None:
+                    route(msg)
 
 
 class Node:

@@ -16,7 +16,7 @@ from repro.net.fabric import Message, NIC
 from repro.sim import Mailbox, Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class Delivery:
     """What a receiver pulls out of its inbox."""
 
@@ -28,7 +28,7 @@ class Delivery:
     one_sided: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _StreamFrame:
     dst: "IPoIBEndpoint"
     payload: Any

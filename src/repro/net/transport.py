@@ -50,7 +50,7 @@ class Endpoint:
         raise NotImplementedError
 
 
-@dataclass
+@dataclass(slots=True)
 class _RdmaEpFrame:
     """Self-routing frame for endpoint-level RDMA transfers."""
 
@@ -59,9 +59,11 @@ class _RdmaEpFrame:
     one_sided: bool
 
     def deliver(self, msg: Message) -> None:
-        recv_cpu = 0.0 if self.one_sided else self.dst.params.cpu_recv
+        # msg.recv_cpu was computed at send time (0.0 for one-sided);
+        # re-deriving it here walked dst.params per delivery.
         self.dst.inbox.put(Delivery(payload=self.payload, nbytes=msg.nbytes,
-                                    recv_cpu=recv_cpu, one_sided=self.one_sided))
+                                    recv_cpu=msg.recv_cpu,
+                                    one_sided=self.one_sided))
 
 
 class RdmaEndpoint(Endpoint):

@@ -33,7 +33,7 @@ ERROR = "ERROR"
 SERVER_DOWN = "SERVER_DOWN"
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     req_id: int
     op: str
@@ -48,7 +48,7 @@ class Request:
         return REQUEST_HEADER_BYTES + len(self.key)
 
 
-@dataclass
+@dataclass(slots=True)
 class SetRequest(Request):
     value_length: int = 0
     flags: int = 0
@@ -71,13 +71,13 @@ class SetRequest(Request):
         self.op = "set"
 
 
-@dataclass
+@dataclass(slots=True)
 class GetRequest(Request):
     def __post_init__(self):
         self.op = "get"
 
 
-@dataclass
+@dataclass(slots=True)
 class DeleteRequest(Request):
     #: True for replica-propagation copies of a client delete (the
     #: removal counterpart of ``SetRequest.replica``).
@@ -87,7 +87,7 @@ class DeleteRequest(Request):
         self.op = "delete"
 
 
-@dataclass
+@dataclass(slots=True)
 class TouchRequest(Request):
     """memcached's ``touch``: refresh an item's expiration in place."""
 
@@ -97,7 +97,7 @@ class TouchRequest(Request):
         self.op = "touch"
 
 
-@dataclass
+@dataclass(slots=True)
 class CounterRequest(Request):
     """memcached's ``incr``/``decr`` (meta-protocol arithmetic).
 
@@ -121,7 +121,7 @@ class CounterRequest(Request):
         self.op = self.direction
 
 
-@dataclass
+@dataclass(slots=True)
 class GatRequest(Request):
     """memcached's ``gat``: get-and-touch in one round trip."""
 
@@ -133,7 +133,7 @@ class GatRequest(Request):
         self.op = "gat"
 
 
-@dataclass
+@dataclass(slots=True)
 class FlushRequest(Request):
     """memcached's ``flush_all``: epoch-invalidate the whole cache.
 
@@ -149,7 +149,7 @@ class FlushRequest(Request):
         self.key = b""
 
 
-@dataclass
+@dataclass(slots=True)
 class StatsRequest(Request):
     """memcached's ``stats`` command: fetch server counters."""
 
@@ -158,7 +158,7 @@ class StatsRequest(Request):
         self.key = b""
 
 
-@dataclass
+@dataclass(slots=True)
 class MultiGetRequest(Request):
     """libmemcached's ``memcached_mget``: one request, many keys.
 
@@ -180,7 +180,7 @@ class MultiGetRequest(Request):
                 + sum(len(k) + 8 for _, k in self.entries))
 
 
-@dataclass
+@dataclass(slots=True)
 class ValueArrival:
     """Marks the landing of an RDMA-written SET value in a server buffer.
 
@@ -195,7 +195,7 @@ class ValueArrival:
     credit: Any = None
 
 
-@dataclass
+@dataclass(slots=True)
 class BufferAck:
     """Optimized-server notification that a SET's value is staged.
 
@@ -212,7 +212,7 @@ class BufferAck:
         return 32
 
 
-@dataclass
+@dataclass(slots=True)
 class Response:
     req_id: int
     op: str

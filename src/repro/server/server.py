@@ -35,6 +35,7 @@ from repro.server.protocol import (
     MISS,
     NOT_FOUND,
     OK,
+    RESPONSE_HEADER_BYTES,
     STORED,
     TOUCHED,
     BufferAck,
@@ -143,6 +144,14 @@ class ServerStats:
     def add_stage(self, name: str, dt: float) -> None:
         self.stage_time[name] = self.stage_time.get(name, 0.0) + dt
 
+    def add_stages(self, stages: Dict[str, float]) -> None:
+        """Accumulate a whole per-op stage dict in one call (the per-op
+        handlers sit on the hot path; one frame beats one per stage)."""
+        stage_time = self.stage_time
+        get = stage_time.get
+        for name, dt in stages.items():
+            stage_time[name] = get(name, 0.0) + dt
+
 
 class MemcachedServer:
     """One Memcached server instance bound to a fabric node."""
@@ -217,6 +226,9 @@ class MemcachedServer:
         self._m_dropped_rx = reg.counter("server_rx_dropped", **labels)
         self._m_replica_applies = reg.counter("replica_propagations",
                                               **labels)
+        #: Cached registry-enabled flag: the NULL counters' .inc() calls
+        #: are real method calls, measurable on the per-request path.
+        self._metrics_on = reg.enabled
 
     # -- wiring -----------------------------------------------------------
 
@@ -322,8 +334,16 @@ class MemcachedServer:
     # -- receive path ---------------------------------------------------------
 
     def _rx_pump(self, endpoint: Endpoint):
+        # One iteration per frame this connection ever receives; the
+        # per-frame lookups below are hoisted once.
+        recv = endpoint.recv
+        prof = self.obs.profiler
+        prof_on = prof.enabled
+        get_priority = self.config.get_priority
+        queue_put = self._queue.put
+        ep_key = id(endpoint)
         while True:
-            delivery = yield endpoint.recv()
+            delivery = yield recv()
             if not (self.alive and self.reachable):
                 # Crashed or partitioned: the frame vanishes. No CPU is
                 # charged — nobody is listening.
@@ -333,21 +353,20 @@ class MemcachedServer:
             if isinstance(payload, ValueArrival):
                 # req_ids are unique per client connection only; key the
                 # rendezvous by (connection, req_id).
-                key = (id(endpoint), payload.req_id)
+                key = (ep_key, payload.req_id)
                 ev = self._value_events.setdefault(key, self.sim.event())
                 ev.succeed(payload)
             elif isinstance(payload, Request):
-                prof = self.obs.profiler
-                if prof.enabled:
+                if prof_on:
                     for tid, px in self._trace_targets(payload):
                         prof.open_stage(tid, px + "server_queue")
-                if self.config.get_priority:
+                if get_priority:
                     # Reads skip ahead of writes (0 beats 1); gat rides
                     # the read lane — its TTL refresh never flushes.
                     rank = 0 if payload.op in ("get", "mget", "gat") else 1
-                    self._queue.put((delivery, endpoint), priority=rank)
+                    queue_put((delivery, endpoint), priority=rank)
                 else:
-                    self._queue.put((delivery, endpoint))
+                    queue_put((delivery, endpoint))
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unexpected payload {payload!r}")
 
@@ -385,8 +404,15 @@ class MemcachedServer:
         # worker generation, and this loop runs once per request.
         tracer = self.obs.tracer
         parse_cost = self.config.costs.parse
+        metrics_on = self._metrics_on
+        sim = self.sim
+        timeout = sim.timeout
+        queue_get = self._queue.get
+        prof = self.obs.profiler
+        prof_on = prof.enabled
+        tracer_on = tracer.enabled
         while True:
-            got = yield self._queue.get()
+            got = yield queue_get()
             if got is _POISON:
                 if gen != self._generation or not self.alive:
                     return  # crash teardown: this worker's pool is gone
@@ -396,16 +422,15 @@ class MemcachedServer:
                 self._queue.put(got)
                 return
             delivery, endpoint = got
-            start = self.sim.now
+            start = sim._now
             self._busy_workers += 1
             request = delivery.payload
-            prof = self.obs.profiler
             targets = ()
-            if prof.enabled:
+            if prof_on:
                 targets = self._trace_targets(request)
                 for ptid, px in targets:
                     prof.close_stage(ptid, px + "server_queue")
-            if tracer.enabled:
+            if tracer_on:
                 if getattr(request, "trace_id", None) is not None:
                     span = tracer.begin(request.op, tid=tid, pid="server",
                                         cat="request",
@@ -418,16 +443,18 @@ class MemcachedServer:
             else:
                 span = NULL_SPAN
             if delivery.recv_cpu:
-                yield self.sim.timeout(delivery.recv_cpu)
-            yield self.sim.timeout(parse_cost)
+                yield timeout(delivery.recv_cpu)
+            yield timeout(parse_cost)
             for ptid, px in targets:
-                prof.record(ptid, px + "server_cpu", start, self.sim.now)
+                prof.record(ptid, px + "server_cpu", start, sim._now)
+            # Dispatch ordered by hot-path frequency: SETs (including
+            # replica applies) and GETs dominate every workload mix.
             if isinstance(request, SetRequest):
                 yield from self._handle_set(request, endpoint)
-            elif isinstance(request, MultiGetRequest):
-                yield from self._handle_mget(request, endpoint)
             elif isinstance(request, GetRequest):
                 yield from self._handle_get(request, endpoint)
+            elif isinstance(request, MultiGetRequest):
+                yield from self._handle_mget(request, endpoint)
             elif isinstance(request, DeleteRequest):
                 yield from self._handle_delete(request, endpoint)
             elif isinstance(request, TouchRequest):
@@ -442,15 +469,19 @@ class MemcachedServer:
                 yield from self._handle_stats(request, endpoint)
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown request {request!r}")
-            span.end()
+            if span is not NULL_SPAN:
+                span.end()
             self._busy_workers -= 1
-            busy = self.sim.now - start
+            busy = sim._now - start
             self.stats.busy_time += busy
-            m_busy.inc(busy)
+            if metrics_on:
+                m_busy.inc(busy)
 
     # -- SET -----------------------------------------------------------------
 
     def _handle_set(self, request: SetRequest, endpoint: Endpoint):
+        sim = self.sim
+        timeout = sim.timeout
         costs = self.config.costs
         stages: Dict[str, float] = {}
         prof = self.obs.profiler
@@ -467,104 +498,108 @@ class MemcachedServer:
             credit = arrival.credit
         # Copy the value out of the receive buffer (staging on the
         # optimized server, directly toward the chunk otherwise).
-        t_copy = self.sim.now
-        yield self.sim.timeout(request.value_length / costs.memcpy_bandwidth)
+        t_copy = sim._now
+        yield timeout(request.value_length / costs.memcpy_bandwidth)
         if ptid is not None:
-            prof.record(ptid, px + "ram", t_copy, self.sim.now)
+            prof.record(ptid, px + "ram", t_copy, sim._now)
         if credit is not None and self.config.early_ack:
             # Optimized runtime: the receive buffer is free *now*; the
             # client engine's next value transfer can proceed while we do
             # the expensive slab work below. Notify the client that its
             # buffers are reusable (what bset blocks on — Section V-B1).
-            if credit.granted_at is not None:
-                self._m_credit_hold.observe(self.sim.now - credit.granted_at)
+            if credit.granted_at is not None and self._metrics_on:
+                self._m_credit_hold.observe(sim._now - credit.granted_at)
             self._release_credit(credit)
             credit = None
             if self.reachable:
                 ack = BufferAck(req_id=request.req_id)
                 endpoint.send(ack, ack.header_bytes, one_sided=True)
 
-        t0 = self.sim.now
-        yield self.sim.timeout(costs.slab_alloc_cpu)
+        t0 = sim._now
+        yield timeout(costs.slab_alloc_cpu)
         if ptid is not None:
-            prof.record(ptid, px + "index", t0, self.sim.now)
-        t_store = self.sim.now
+            prof.record(ptid, px + "index", t0, sim._now)
+        t_store = sim._now
         item, info = yield from self.manager.store(
             request.key, request.value_length, request.flags,
             request.expiration, mode=request.mode,
             cas_token=request.cas_token)
-        stages["slab_alloc"] = self.sim.now - t0
+        stages["slab_alloc"] = sim._now - t0
         if ptid is not None:
             # Store time beyond the alloc CPU is flush/eviction I/O wait.
-            prof.record(ptid, px + "ssd", t_store, self.sim.now)
+            prof.record(ptid, px + "ssd", t_store, sim._now)
 
-        t0 = self.sim.now
-        yield self.sim.timeout(costs.lru_update)
-        stages["cache_update"] = self.sim.now - t0
+        t0 = sim._now
+        yield timeout(costs.lru_update)
+        stages["cache_update"] = sim._now - t0
         if ptid is not None:
-            prof.record(ptid, px + "index", t0, self.sim.now)
+            prof.record(ptid, px + "index", t0, sim._now)
 
         if credit is not None:
-            if credit.granted_at is not None:
-                self._m_credit_hold.observe(self.sim.now - credit.granted_at)
+            if credit.granted_at is not None and self._metrics_on:
+                self._m_credit_hold.observe(sim._now - credit.granted_at)
             self._release_credit(credit)
         if request.replica:
             # Replica-apply path: same slab work, separate accounting —
             # user-visible SET counters stay comparable across R values.
             self.stats.replica_applies += 1
-            self._m_replica_applies.inc()
+            if self._metrics_on:
+                self._m_replica_applies.inc()
         else:
             self.stats.sets += 1
-            self._m_sets.inc()
-        for k, v in stages.items():
-            self.stats.add_stage(k, v)
+            if self._metrics_on:
+                self._m_sets.inc()
+        self.stats.add_stages(stages)
         yield from self._respond(endpoint, request, info.status, 0, stages,
                                  cas_token=item.cas if item else 0)
 
     # -- GET ------------------------------------------------------------------
 
     def _handle_get(self, request: GetRequest, endpoint: Endpoint):
+        sim = self.sim
+        timeout = sim.timeout
         costs = self.config.costs
         stages: Dict[str, float] = {}
         prof = self.obs.profiler
         ptid = request.trace_id if prof.enabled else None
-        t0 = self.sim.now
-        yield self.sim.timeout(costs.hash_lookup)
+        t0 = sim._now
+        yield timeout(costs.hash_lookup)
         if ptid is not None:
-            prof.record(ptid, "index", t0, self.sim.now)
+            prof.record(ptid, "index", t0, sim._now)
         item = self.manager.lookup(request.key)
         if item is not None:
-            t_load = self.sim.now
+            t_load = sim._now
             was_ssd = item.on_ssd
             yield from self.manager.load_value(item, trace=ptid)
             if ptid is not None:
                 # A RAM hit serves at memcpy speed; the SSD path's device
                 # time is nested under this span as ``ssd.io``.
                 prof.record(ptid, "ssd" if was_ssd else "ram",
-                            t_load, self.sim.now)
-        stages["cache_check_load"] = self.sim.now - t0
+                            t_load, sim._now)
+        stages["cache_check_load"] = sim._now - t0
 
         self.stats.gets += 1
-        self._m_gets.inc()
+        if self._metrics_on:
+            self._m_gets.inc()
         if item is None:
             self.stats.get_misses += 1
-            self._m_misses.inc()
-            for k, v in stages.items():
-                self.stats.add_stage(k, v)
+            if self._metrics_on:
+                self._m_misses.inc()
+            self.stats.add_stages(stages)
             yield from self._respond(endpoint, request, MISS, 0, stages)
             return
 
-        t0 = self.sim.now
-        yield self.sim.timeout(costs.lru_update)
+        t0 = sim._now
+        yield timeout(costs.lru_update)
         self.manager.touch(item)
-        stages["cache_update"] = self.sim.now - t0
+        stages["cache_update"] = sim._now - t0
         if ptid is not None:
-            prof.record(ptid, "index", t0, self.sim.now)
+            prof.record(ptid, "index", t0, sim._now)
 
         self.stats.get_hits += 1
-        self._m_hits.inc()
-        for k, v in stages.items():
-            self.stats.add_stage(k, v)
+        if self._metrics_on:
+            self._m_hits.inc()
+        self.stats.add_stages(stages)
         yield from self._respond(endpoint, request, HIT, item.value_length,
                                  stages, cas_token=item.cas)
 
@@ -572,43 +607,47 @@ class MemcachedServer:
 
     def _handle_mget(self, request: MultiGetRequest, endpoint: Endpoint):
         """memcached_mget: stream one response per requested key."""
+        sim = self.sim
+        timeout = sim.timeout
         costs = self.config.costs
         prof = self.obs.profiler
         traces = request.traces if prof.enabled else ()
         for i, (req_id, key) in enumerate(request.entries):
             stages: Dict[str, float] = {}
             ptid = traces[i] if i < len(traces) else None
-            t0 = self.sim.now
-            yield self.sim.timeout(costs.hash_lookup)
+            t0 = sim._now
+            yield timeout(costs.hash_lookup)
             if ptid is not None:
-                prof.record(ptid, "index", t0, self.sim.now)
+                prof.record(ptid, "index", t0, sim._now)
             item = self.manager.lookup(key)
             if item is not None:
-                t_load = self.sim.now
+                t_load = sim._now
                 was_ssd = item.on_ssd
                 yield from self.manager.load_value(item, trace=ptid)
                 if ptid is not None:
                     prof.record(ptid, "ssd" if was_ssd else "ram",
-                                t_load, self.sim.now)
-            stages["cache_check_load"] = self.sim.now - t0
+                                t_load, sim._now)
+            stages["cache_check_load"] = sim._now - t0
             self.stats.gets += 1
-            self._m_gets.inc()
+            if self._metrics_on:
+                self._m_gets.inc()
             sub = GetRequest(req_id=req_id, op="get", key=key, trace_id=ptid)
             if item is None:
                 self.stats.get_misses += 1
-                self._m_misses.inc()
+                if self._metrics_on:
+                    self._m_misses.inc()
                 yield from self._respond(endpoint, sub, MISS, 0, stages)
                 continue
-            t0 = self.sim.now
-            yield self.sim.timeout(costs.lru_update)
+            t0 = sim._now
+            yield timeout(costs.lru_update)
             self.manager.touch(item)
-            stages["cache_update"] = self.sim.now - t0
+            stages["cache_update"] = sim._now - t0
             if ptid is not None:
-                prof.record(ptid, "index", t0, self.sim.now)
+                prof.record(ptid, "index", t0, sim._now)
             self.stats.get_hits += 1
-            self._m_hits.inc()
-            for k, v in stages.items():
-                self.stats.add_stage(k, v)
+            if self._metrics_on:
+                self._m_hits.inc()
+            self.stats.add_stages(stages)
             yield from self._respond(endpoint, sub, HIT, item.value_length,
                                      stages, cas_token=item.cas)
 
@@ -783,29 +822,33 @@ class MemcachedServer:
                  cas_token: int = 0, counter_value: int = 0):
         if not self.alive:
             return  # crashed mid-request: the response never forms
+        sim = self.sim
         prof = self.obs.profiler
         ptid = request.trace_id if prof.enabled else None
         px = ("replica." if getattr(request, "replica", False) else "")
-        t_prep = self.sim.now
-        yield self.sim.timeout(self.config.costs.response_prep)
+        t_prep = sim._now
+        response_prep = self.config.costs.response_prep
+        yield sim.timeout(response_prep)
         if ptid is not None:
-            prof.record(ptid, px + "server_cpu", t_prep, self.sim.now)
+            prof.record(ptid, px + "server_cpu", t_prep, sim._now)
         if not (self.alive and self.reachable):
             return  # died or partitioned during prep: response dropped
+        # The handler's ``stages`` dict is handed over as-is: every
+        # caller is done mutating it by this point, and it dies with the
+        # response on the client side (no copy on the per-op path).
         response = Response(req_id=request.req_id, op=request.op,
                             status=status, value_length=value_length,
-                            stages=dict(stages), sent_at=self.sim.now,
+                            stages=stages, sent_at=sim._now,
                             server_name=self.name, cas_token=cas_token,
                             counter_value=counter_value)
-        nbytes = response.header_bytes + value_length
+        nbytes = RESPONSE_HEADER_BYTES + value_length
         # GET responses carry the value via an RDMA write into the
         # client's buffer (one-sided); on IPoIB this degrades to a stream
         # send, both exactly as in the respective real designs.
         msg = endpoint.send(response, nbytes, one_sided=True)
         if ptid is not None:
             profile_message(prof, ptid, prof.clock, msg, px)
-        self.stats.add_stage("server_response",
-                             self.config.costs.response_prep)
+        self.stats.add_stage("server_response", response_prep)
 
     # -- experiment setup ------------------------------------------------------
 

@@ -24,6 +24,7 @@ checks: pass ``fast_lane=False`` or set ``REPRO_SIM_LEGACY_HEAP=1``.
 
 from __future__ import annotations
 
+import gc
 import heapq
 import os
 from collections import deque
@@ -37,6 +38,18 @@ from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+
+#: The drain loop allocates heavily (events, messages, generator frames)
+#: and the hot objects are either cycle-free or die with the run, so the
+#: cyclic collector's periodic young-gen scans are nearly pure overhead
+#: mid-drain (~15% of wall time on the macro bench). ``run()`` therefore
+#: pauses automatic collection while draining and forces a bounded sweep
+#: every ``_GC_SWEEP_MASK + 1`` events so multi-million-event runs cannot
+#: accumulate unbounded cyclic garbage. ``REPRO_SIM_GC=1`` keeps the
+#: collector running normally (A/B and leak-hunting escape hatch).
+_GC_PAUSE = not os.environ.get("REPRO_SIM_GC")
+_GC_SWEEP_MASK = (1 << 20) - 1
+_gc_collect = gc.collect
 
 
 class Simulator:
@@ -123,6 +136,23 @@ class Simulator:
         else:
             _heappush(self._queue, (when, next(self._counter), event))
 
+    def post_at(self, event: Event, when: float) -> None:
+        """Schedule an already-triggered ``event`` at absolute time
+        ``when`` (strictly in the future).
+
+        This is the injection port of the sharded-domain runtime
+        (:mod:`repro.harness.sharded`): deliveries generated in another
+        event domain are handed in pre-triggered, and the coordinator's
+        injection order assigns the tie-break counters — equal-time
+        injections process in exactly the order they were posted.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"post_at({when}) is in the past (now={self._now})")
+        if not event.triggered:
+            raise SimulationError("post_at() needs a triggered event")
+        _heappush(self._queue, (when, next(self._counter), event))
+
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if none)."""
         if self._lane:
@@ -151,88 +181,40 @@ class Simulator:
             self._unhandled.clear()
             raise exc
 
-    def run(self, until: Union[None, float, Event] = None) -> Any:
-        """Run until the schedule drains, a deadline, or an event.
+    def run_window(self, before: float) -> int:
+        """Process every event scheduled strictly before ``before``.
 
-        * ``until=None`` — run until no events remain.
-        * ``until=<float>`` — run until the clock would pass that time
-          (the clock is then set to exactly ``until``).
-        * ``until=<Event>`` — run until that event is processed; returns
-          its value (raising if it failed).
-
-        The drain loops below repeat :meth:`step`'s pop-and-dispatch
-        inline: one method call plus redundant emptiness checks per event
-        is the difference between this engine and the hardware ceiling,
-        so ``run`` pays the duplication once instead of per event.
+        The sharded-domain coordinator's inner loop
+        (:mod:`repro.harness.sharded`): each domain repeatedly drains one
+        conservative-lookahead window, then the coordinator exchanges the
+        cross-domain deliveries the window generated. Unlike
+        :meth:`run`, the bound is *exclusive* (events due exactly at
+        ``before`` stay queued — they may race with deliveries injected
+        for that instant) and the clock is left at the last processed
+        event rather than advanced to the bound. The caller owns GC
+        pausing; this loop does none. Returns the number of events
+        processed.
         """
         lane = self._lane
         queue = self._queue
         lane_pop = lane.popleft
         unhandled = self._unhandled
         processed = 0
-        if isinstance(until, Event):
-            stop = until
-            if stop.sim is not self:
-                raise SimulationError("until-event belongs to another simulator")
-            try:
-                while stop.callbacks is not None:  # i.e. not stop.processed
-                    if lane:
-                        if queue and queue[0][0] <= self._now:
-                            event = _heappop(queue)[2]
-                        else:
-                            event = lane_pop()
-                    elif queue:
-                        when, _, event = _heappop(queue)
-                        self._now = when
-                    else:
-                        raise SimulationError(
-                            "schedule drained before until-event triggered"
-                            " (deadlock?)"
-                        )
-                    processed += 1
-                    # Inlined Event._process (no subclass overrides it).
-                    callbacks = event.callbacks
-                    event.callbacks = None
-                    if len(callbacks) == 1:
-                        callbacks[0](event)
-                    else:
-                        for cb in callbacks:
-                            cb(event)
-                    if not event._ok and not event.defused:
-                        unhandled.append(event._value)
-                    if unhandled:
-                        exc = unhandled[0]
-                        unhandled.clear()
-                        raise exc
-            finally:
-                self.events_processed += processed
-            stop.defused = True
-            if stop.ok:
-                return stop.value
-            raise stop.value
-        deadline = float("inf") if until is None else float(until)
-        if deadline < self._now:
-            raise SimulationError(f"until={deadline} is in the past (now={self._now})")
         try:
+            now = self._now  # local clock mirror (see run())
             while True:
-                # Lane events are always due at the current time (<= the
-                # deadline, since the clock never passes it).
                 if lane:
-                    if queue and queue[0][0] <= self._now:
+                    if queue and queue[0][0] <= now:
                         event = _heappop(queue)[2]
                     else:
                         event = lane_pop()
                 elif queue:
-                    # Pop first, push back past-deadline items: the
-                    # push-back happens at most once per run() while the
-                    # peek-then-pop it replaces double-touched the heap
-                    # root on every event.
                     item = _heappop(queue)
                     when = item[0]
-                    if when > deadline:
+                    if when >= before:
                         _heappush(queue, item)
                         break
-                    self._now = when
+                    now = self._now = when
                     event = item[2]
                 else:
                     break
@@ -253,6 +235,130 @@ class Simulator:
                     raise exc
         finally:
             self.events_processed += processed
+        return processed
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run until the schedule drains, a deadline, or an event.
+
+        * ``until=None`` — run until no events remain.
+        * ``until=<float>`` — run until the clock would pass that time
+          (the clock is then set to exactly ``until``).
+        * ``until=<Event>`` — run until that event is processed; returns
+          its value (raising if it failed).
+
+        The drain loops below repeat :meth:`step`'s pop-and-dispatch
+        inline: one method call plus redundant emptiness checks per event
+        is the difference between this engine and the hardware ceiling,
+        so ``run`` pays the duplication once instead of per event.
+        """
+        lane = self._lane
+        queue = self._queue
+        lane_pop = lane.popleft
+        unhandled = self._unhandled
+        processed = 0
+        # Pause the cyclic collector for the duration of the drain (see
+        # _GC_PAUSE above); a bounded manual sweep keeps memory flat on
+        # runs long enough to matter.
+        gc_paused = _GC_PAUSE and gc.isenabled()
+        if isinstance(until, Event):
+            stop = until
+            if stop.sim is not self:
+                raise SimulationError("until-event belongs to another simulator")
+            if gc_paused:
+                gc.disable()
+            try:
+                now = self._now  # local clock mirror (see deadline loop)
+                while stop.callbacks is not None:  # i.e. not stop.processed
+                    if lane:
+                        if queue and queue[0][0] <= now:
+                            event = _heappop(queue)[2]
+                        else:
+                            event = lane_pop()
+                    elif queue:
+                        when, _, event = _heappop(queue)
+                        now = self._now = when
+                    else:
+                        raise SimulationError(
+                            "schedule drained before until-event triggered"
+                            " (deadlock?)"
+                        )
+                    processed += 1
+                    if not (processed & _GC_SWEEP_MASK) and gc_paused:
+                        _gc_collect(1)
+                    # Inlined Event._process (no subclass overrides it).
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for cb in callbacks:
+                            cb(event)
+                    if not event._ok and not event.defused:
+                        unhandled.append(event._value)
+                    if unhandled:
+                        exc = unhandled[0]
+                        unhandled.clear()
+                        raise exc
+            finally:
+                self.events_processed += processed
+                if gc_paused:
+                    gc.enable()
+            stop.defused = True
+            if stop.ok:
+                return stop.value
+            raise stop.value
+        deadline = float("inf") if until is None else float(until)
+        if deadline < self._now:
+            raise SimulationError(f"until={deadline} is in the past (now={self._now})")
+        if gc_paused:
+            gc.disable()
+        try:
+            # ``now`` mirrors self._now so the (dominant) lane pops read
+            # a local instead of an attribute; writes go through both.
+            now = self._now
+            while True:
+                # Lane events are always due at the current time (<= the
+                # deadline, since the clock never passes it).
+                if lane:
+                    if queue and queue[0][0] <= now:
+                        event = _heappop(queue)[2]
+                    else:
+                        event = lane_pop()
+                elif queue:
+                    # Pop first, push back past-deadline items: the
+                    # push-back happens at most once per run() while the
+                    # peek-then-pop it replaces double-touched the heap
+                    # root on every event.
+                    item = _heappop(queue)
+                    when = item[0]
+                    if when > deadline:
+                        _heappush(queue, item)
+                        break
+                    now = self._now = when
+                    event = item[2]
+                else:
+                    break
+                processed += 1
+                if not (processed & _GC_SWEEP_MASK) and gc_paused:
+                    _gc_collect(1)
+                # Inlined Event._process (no subclass overrides it).
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for cb in callbacks:
+                        cb(event)
+                if not event._ok and not event.defused:
+                    unhandled.append(event._value)
+                if unhandled:
+                    exc = unhandled[0]
+                    unhandled.clear()
+                    raise exc
+        finally:
+            self.events_processed += processed
+            if gc_paused:
+                gc.enable()
         if deadline != float("inf"):
             self._now = deadline
         return None

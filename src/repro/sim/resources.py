@@ -30,7 +30,13 @@ class Request(Event):
     __slots__ = ("resource", "granted_at")
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.sim)
+        # Flattened Event.__init__ — one Request per resource claim
+        # (tx slots, server credits), squarely on the per-message path.
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self.defused = False
         self.resource = resource
         #: Sim time the slot was granted (None while queued). Lets
         #: holders report hold durations (e.g. credit hold time) without
@@ -63,23 +69,33 @@ class Resource:
 
     def request(self) -> Request:
         req = Request(self)
-        if len(self._holders) < self.capacity:
-            self._holders.add(req)
-            req.granted_at = self.sim.now
-            req.succeed()
+        holders = self._holders
+        if len(holders) < self.capacity:
+            holders.add(req)
+            sim = self.sim
+            req.granted_at = sim._now
+            # Inlined req.succeed(): the request is fresh, so the
+            # double-trigger check cannot fire.
+            req._ok = True
+            req._value = None
+            sim._schedule_now(req)
         else:
             self._waiting.append(req)
         return req
 
     def release(self, req: Request) -> None:
-        if req not in self._holders:
+        holders = self._holders
+        if req not in holders:
             raise SimulationError("releasing a request that does not hold the resource")
-        self._holders.remove(req)
+        holders.remove(req)
         if self._waiting:
             nxt = self._waiting.popleft()
-            self._holders.add(nxt)
-            nxt.granted_at = self.sim.now
-            nxt.succeed()
+            holders.add(nxt)
+            sim = self.sim
+            nxt.granted_at = sim._now
+            nxt._ok = True
+            nxt._value = None
+            sim._schedule_now(nxt)
 
     def cancel(self, req: Request) -> None:
         """Withdraw a queued (not yet granted) request."""
@@ -298,7 +314,12 @@ class Mailbox:
     def put(self, item: Any) -> None:
         getters = self._getters
         if getters:
-            getters.popleft().succeed(item)
+            # Inlined succeed(): a parked getter event is fresh by
+            # construction, so the double-trigger check cannot fire.
+            ev = getters.popleft()
+            ev._ok = True
+            ev._value = item
+            self.sim._schedule_now(ev)
         else:
             self.items.append(item)
 

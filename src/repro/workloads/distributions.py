@@ -9,9 +9,33 @@ as YCSB's scrambled-zipfian does.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
+
+
+@lru_cache(maxsize=64)
+def _zipf_cdf(num_keys: int, theta: float) -> np.ndarray:
+    """Normalized zipf CDF, shared across samplers (do not mutate).
+
+    Every client of a workload builds a sampler over the same keyspace;
+    the O(num_keys) weight/cumsum pass only depends on (num_keys,
+    theta), so paper-scale runs (100+ clients) pay it once.
+    """
+    ranks = np.arange(1, num_keys + 1, dtype=np.float64)
+    cdf = np.cumsum(ranks ** -theta)
+    cdf /= cdf[-1]
+    cdf.setflags(write=False)
+    return cdf
+
+
+@lru_cache(maxsize=64)
+def _zipf_perm(num_keys: int, scramble: int) -> np.ndarray:
+    """Rank-to-key scramble, shared across same-perm-seed samplers."""
+    perm = np.random.default_rng(scramble + 0x5EED).permutation(num_keys)
+    perm.setflags(write=False)
+    return perm
 
 
 class UniformSampler:
@@ -46,14 +70,10 @@ class ZipfSampler:
         self.num_keys = num_keys
         self.theta = theta
         self._rng = np.random.default_rng(seed)
-        ranks = np.arange(1, num_keys + 1, dtype=np.float64)
-        weights = ranks ** -theta
-        self._cdf = np.cumsum(weights)
-        self._cdf /= self._cdf[-1]
+        self._cdf = _zipf_cdf(num_keys, theta)
         # Fixed permutation scatters hot ranks across the keyspace.
         scramble = seed if perm_seed is None else perm_seed
-        self._perm = np.random.default_rng(scramble + 0x5EED).permutation(
-            num_keys)
+        self._perm = _zipf_perm(num_keys, scramble)
 
     def sample(self, n: int) -> np.ndarray:
         return self._perm[self.sample_ranks(n)]

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+from typing import List
+
+import numpy as np
+
 
 class Keyspace:
     """A dense keyspace ``prefix:00000042`` of ``size`` keys.
@@ -22,6 +26,20 @@ class Keyspace:
         if not 0 <= index < self.size:
             raise IndexError(f"key index {index} out of range")
         return (self._fmt % index).encode()
+
+    def keys_for(self, indices) -> List[bytes]:
+        """Materialize keys for an index array, formatting each *unique*
+        index once (zipf streams repeat hot indices heavily, so this is
+        the bulk path the vectorized generators use)."""
+        arr = np.asarray(indices)
+        if arr.size == 0:
+            return []
+        uniq, inverse = np.unique(arr, return_inverse=True)
+        if uniq[0] < 0 or uniq[-1] >= self.size:
+            raise IndexError("key index out of range")
+        fmt = self._fmt
+        table = [(fmt % i).encode() for i in uniq.tolist()]
+        return [table[j] for j in inverse.tolist()]
 
     def __len__(self) -> int:
         return self.size

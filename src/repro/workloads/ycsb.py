@@ -71,6 +71,9 @@ CORE_WORKLOADS = {w.name: w for w in
                    WORKLOAD_E, WORKLOAD_F)}
 
 
+_OP_KIND = {"read": "get", "update": "set", "rmw": "rmw"}
+
+
 def generate_ycsb_ops(workload: YCSBWorkload, num_ops: int, num_keys: int,
                       value_length: int, seed: int = 0,
                       client_index: int = 0) -> List[Op]:
@@ -79,7 +82,99 @@ def generate_ycsb_ops(workload: YCSBWorkload, num_ops: int, num_keys: int,
     Inserts (workload D) create fresh keys beyond the preloaded
     keyspace; the *latest* distribution skews reads toward the most
     recently inserted/loaded records, as YCSB defines it.
+
+    All draws are made in bulk (same RNG streams and consumption order
+    as the original per-op loop, kept as ``_generate_ycsb_ops_ref`` for
+    the equivalence tests); workloads without scans or inserts (A, B,
+    C, F) take a fully vectorized path.
     """
+    rng = np.random.default_rng(seed + 7919 * client_index + 13)
+    keyspace = Keyspace(num_keys)
+    zipf = ZipfSampler(num_keys, theta=workload.theta,
+                       seed=seed + 7919 * client_index)
+    kinds = rng.choice(
+        ["read", "update", "insert", "rmw", "scan"],
+        size=num_ops,
+        p=[workload.read_fraction, workload.update_fraction,
+           workload.insert_fraction, workload.rmw_fraction,
+           workload.scan_fraction])
+    scan_lens = rng.integers(1, workload.max_scan_len + 1, size=num_ops)
+    zipf_draws = zipf.sample(num_ops)
+    rank_draws = zipf.sample_ranks(num_ops)
+    latest = workload.distribution == "latest"
+
+    kind_list = kinds.tolist()
+    if "scan" not in kind_list and "insert" not in kind_list:
+        # Fast path: every op consumes exactly one key pick, nothing
+        # grows the keyspace. Materialize keys in bulk and map kinds.
+        if latest:
+            # total is constant (no inserts): newest-first skew over
+            # the preloaded keyspace alone.
+            indices = num_keys - 1 - (rank_draws % num_keys)
+        else:
+            indices = zipf_draws
+        keys = keyspace.keys_for(indices)
+        kind_map = _OP_KIND
+        # Op is frozen, so repeated (kind, key) pairs — frequent under
+        # zipf skew — can share one instance instead of reallocating.
+        memo = {}
+        ops = []
+        append = ops.append
+        for kk, k in zip(kind_list, keys):
+            op = memo.get((kk, k))
+            if op is None:
+                op = memo[(kk, k)] = Op(kind_map[kk], k, value_length)
+            append(op)
+        return ops
+
+    # General path (scans and/or inserts present): same per-op walk,
+    # but all draws are plain pre-pulled Python scalars.
+    zipf_list = zipf_draws.tolist()
+    rank_list = rank_draws.tolist()
+    scan_list = scan_lens.tolist()
+    zpos = 0   # next unconsumed zipf draw
+    rpos = 0   # next unconsumed rank draw
+    ops: List[Op] = []
+    append = ops.append
+    key_of = keyspace.key
+    inserted = 0  # keys appended past the initial keyspace
+    for n, kind in enumerate(kind_list):
+        if kind == "scan":
+            # A scan of length L from a zipf-chosen start becomes one
+            # multi-get over the L consecutive preloaded keys.
+            start = zipf_list[zpos]
+            zpos += 1
+            if start > num_keys - 1:
+                start = num_keys - 1
+            end = min(start + scan_list[n], num_keys)
+            keys = tuple(key_of(i) for i in range(start, end))
+            append(Op("scan", keys[0], value_length, keys=keys))
+            continue
+        if kind == "insert":
+            append(Op("set", _insert_key(client_index, inserted),
+                      value_length))
+            inserted += 1
+            continue
+        if latest:
+            # Skew toward the most recent records: draw a zipf rank and
+            # count backwards from the newest key.
+            total = num_keys + inserted
+            back = rank_list[rpos] % total
+            rpos += 1
+            index = total - 1 - back
+        else:
+            index = zipf_list[zpos]
+            zpos += 1
+        key = (key_of(index) if index < num_keys
+               else _insert_key(client_index, index - num_keys))
+        append(Op(_OP_KIND[kind], key, value_length))
+    return ops
+
+
+def _generate_ycsb_ops_ref(workload: YCSBWorkload, num_ops: int,
+                           num_keys: int, value_length: int, seed: int = 0,
+                           client_index: int = 0) -> List[Op]:
+    """Reference per-op-loop implementation (the equivalence oracle)."""
     rng = np.random.default_rng(seed + 7919 * client_index + 13)
     keyspace = Keyspace(num_keys)
     zipf = ZipfSampler(num_keys, theta=workload.theta,
@@ -98,8 +193,6 @@ def generate_ycsb_ops(workload: YCSBWorkload, num_ops: int, num_keys: int,
 
     def pick_key() -> bytes:
         if workload.distribution == "latest":
-            # Skew toward the most recent records: draw a zipf rank and
-            # count backwards from the newest key.
             total = num_keys + inserted
             back = int(next(rank_draws)) % total
             index = total - 1 - back
@@ -117,8 +210,6 @@ def generate_ycsb_ops(workload: YCSBWorkload, num_ops: int, num_keys: int,
         elif kind == "rmw":
             ops.append(Op("rmw", pick_key(), value_length))
         elif kind == "scan":
-            # A scan of length L from a zipf-chosen start becomes one
-            # multi-get over the L consecutive preloaded keys.
             start = min(int(next(zipf_draws)), num_keys - 1)
             end = min(start + int(scan_lens[n]), num_keys)
             keys = tuple(keyspace.key(i) for i in range(start, end))
