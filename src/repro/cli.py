@@ -20,7 +20,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterSpec, ReplicationConfig
 from repro.core.profiles import ALL_PROFILES
 from repro.faults import FaultPlan, parse_time
 from repro.harness import figures
@@ -76,6 +76,14 @@ def _add_cluster_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-active-expiry", action="store_true",
                    help="disable the background TTL sweeper (expired "
                         "items are then reclaimed only on access)")
+    p.add_argument("--consensus", action="store_true",
+                   help="run the Raft membership group: crash/partition "
+                        "faults drive leader elections and epoch-stamped "
+                        "view changes that clients route by")
+    p.add_argument("--hlc", action="store_true",
+                   help="stamp writes with hybrid logical clocks and "
+                        "merge replicas last-writer-wins (convergent "
+                        "async replication + anti-entropy resync)")
 
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
@@ -171,12 +179,16 @@ def _build(args, spec: WorkloadSpec, observe: bool = False,
         ssd_limit=args.ssd_limit_mb * MB,
         device=DEVICES[args.device],
         async_flush=args.async_flush,
-        router=getattr(args, "router", "modulo"),
         request_timeout=_request_timeout(args),
         max_retries=getattr(args, "max_retries", 2),
         eject_duration=parse_time(eject) if eject is not None else None,
-        replication_factor=getattr(args, "replication", 1),
-        write_mode=getattr(args, "write_mode", "sync"),
+        replication=ReplicationConfig(
+            factor=getattr(args, "replication", 1),
+            write_mode=getattr(args, "write_mode", "sync"),
+            router=getattr(args, "router", "modulo"),
+            consensus=getattr(args, "consensus", False),
+            hlc=getattr(args, "hlc", False),
+        ),
         active_expiry=not getattr(args, "no_active_expiry", False),
         observe=observe,
         trace=trace,
@@ -492,6 +504,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--out", default=None, metavar="DIR",
                         help="write failing histories (JSONL) and "
                              "repro lines here")
+    fuzz_p.add_argument("--eventual", action="store_true",
+                        help="fuzz the eventual-consistency band instead: "
+                             "partition-heavy async/HLC scenarios checked "
+                             "for post-quiesce convergence")
     fuzz_p.set_defaults(func=cmd_fuzz)
 
     exp_p = sub.add_parser("export",
@@ -537,6 +553,12 @@ def _add_consistency_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--counter-ops", action="store_true",
                    help="mix incr/decr (with and without auto-create) "
                         "into the fuzz stream")
+    p.add_argument("--consensus", action="store_true",
+                   help="run the Raft membership group during the replay")
+    p.add_argument("--hlc", action="store_true",
+                   help="HLC-stamped writes with last-writer-wins merge; "
+                        "with --write-mode async the history is checked "
+                        "for eventual convergence instead")
     p.add_argument("--history-out", default=None, metavar="FILE",
                    help="also write the recorded history as JSONL")
 
@@ -562,6 +584,8 @@ def cmd_check_consistency(args) -> int:
         ssd_limit_mb=args.ssd_limit_mb,
         ttl_ops=args.ttl_ops,
         counter_ops=args.counter_ops,
+        consensus=args.consensus,
+        hlc=args.hlc,
     )
     print(repro_line(scn))
     report, events, _recorder = run_scenario(scn)
@@ -579,28 +603,39 @@ def cmd_check_consistency(args) -> int:
 
 
 def cmd_fuzz(args) -> int:
-    from repro.consistency import fuzz_seeds, to_jsonl
+    from repro.consistency import (derive, derive_eventual, fuzz_seeds,
+                                   to_jsonl)
 
     if ":" in args.seeds:
         lo, hi = args.seeds.split(":", 1)
         seeds = list(range(int(lo), int(hi)))
     else:
         seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    eventual = getattr(args, "eventual", False)
 
     def progress(result) -> None:
         mark = "ok  " if result.ok else "FAIL"
         scn = result.scenario
         faults = ";".join(scn.fault_specs) or "-"
+        extras = ""
+        if scn.consensus:
+            extras += "/raft"
+        if scn.hlc:
+            extras += "/hlc"
         print(f"  seed {result.seed:>4} {mark} R={scn.replication} "
-              f"{scn.write_mode}/{scn.router}"
+              f"{scn.write_mode}/{scn.router}{extras}"
               f"{'' if scn.fast_lane else '/legacy'} faults={faults} "
-              f"({result.report.ops_checked} ops)")
+              f"({result.report.mode}: {result.report.verdict}, "
+              f"{result.report.ops_checked} ops)")
 
-    print(f"fuzzing {len(seeds)} seed(s)...")
+    band = "eventual-convergence" if eventual else "linearizability"
+    print(f"fuzzing {len(seeds)} seed(s) [{band} band]...")
     results = fuzz_seeds(seeds, shrink_failures=not args.no_shrink,
-                         progress=progress)
+                         progress=progress,
+                         derive_fn=derive_eventual if eventual else derive)
     failures = [r for r in results if not r.ok]
     if args.out:
+        import json as _json
         from pathlib import Path
 
         out = Path(args.out)
@@ -612,8 +647,11 @@ def cmd_fuzz(args) -> int:
             lines.append(r.repro or "")
         (out / "repro.txt").write_text(
             "\n".join(lines) + ("\n" if lines else ""))
-        print(f"wrote {len(failures)} failing histories + repro.txt "
-              f"to {out}")
+        (out / "reports.json").write_text(_json.dumps(
+            {str(r.seed): r.report.to_dict() for r in results},
+            indent=2, sort_keys=True) + "\n")
+        print(f"wrote {len(failures)} failing histories, repro.txt, and "
+              f"reports.json to {out}")
     print(f"\n{len(results) - len(failures)}/{len(results)} seeds clean")
     for r in failures:
         print(f"  seed {r.seed}: {r.report.violations[0]}")

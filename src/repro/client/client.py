@@ -104,6 +104,9 @@ class ClientConfig:
     #: caller); "async": ack after the primary alone, replica copies
     #: propagate through the engine in the background.
     write_mode: str = "sync"
+    #: Stamp every set/delete with a hybrid logical clock so replicas
+    #: merge last-writer-wins (HLC-convergent async replication).
+    hlc: bool = False
 
 
 @dataclass(slots=True)
@@ -156,12 +159,27 @@ class MemcachedClient:
     def __init__(self, sim: Simulator, name: str = "client0",
                  config: Optional[ClientConfig] = None,
                  backend: Optional[BackendDatabase] = None,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 origin: int = 0):
         self.sim = sim
         self.name = name
         self.config = config or ClientConfig()
         self.backend = backend
         self.obs = obs or NULL_OBS
+        #: This client's node id — the final HLC tiebreak, so two
+        #: clients stamping at the same instant still totally order.
+        self.origin = origin
+        if self.config.hlc:
+            from repro.consensus.hlc import HybridLogicalClock
+            self._hlc = HybridLogicalClock(sim, origin)
+        else:
+            self._hlc = None
+        #: Latest consensus-committed membership view observed (see
+        #: :meth:`apply_view`); epoch 0 = no view yet (static ring).
+        self._view_epoch = 0
+        #: Server indices the current view excludes, or None when the
+        #: view includes everyone (keeps the no-ejection fast path).
+        self._view_excludes: Optional[frozenset] = None
         #: Causal request profiler (NULL_PROFILER unless enabled).
         self._profiler = self.obs.profiler
         self._conns: List[ServerConn] = []
@@ -264,9 +282,31 @@ class MemcachedClient:
                 conn.consecutive_timeouts = 0
                 conn.ejected_until = None
 
+    def apply_view(self, epoch: int, alive) -> None:
+        """Observe a consensus-committed membership view.
+
+        Called by the :class:`~repro.consensus.RaftGroup` publication
+        bus (after its notify delay). Monotonic on ``epoch``: stale
+        republications — e.g. from a just-elected leader re-announcing —
+        are ignored. A view that excludes servers overrides the static
+        ring the way ejection does, but from *committed* knowledge
+        rather than per-client timeout guessing."""
+        if epoch <= self._view_epoch:
+            return
+        self._view_epoch = epoch
+        excluded = frozenset(range(len(self._conns))) - frozenset(alive)
+        self._view_excludes = excluded or None
+        self._route_cache.clear()
+
+    @property
+    def view_epoch(self) -> int:
+        """Epoch of the latest membership view observed (0 = none)."""
+        return self._view_epoch
+
     def _route(self, key: bytes) -> Optional[ServerConn]:
         """Pick the connection for a key, routing around ejected servers
-        (dead-server rehash). Returns None when every server is ejected."""
+        (dead-server rehash) and servers the committed membership view
+        excludes. Returns None when no server is routable."""
         conns = self._conns
         if not conns:
             raise RuntimeError(f"{self.name}: no servers configured")
@@ -274,7 +314,7 @@ class MemcachedClient:
         if router is None:
             router = self._router = make_router(self.config.router,
                                                 len(conns))
-        if not self._had_ejections:
+        if not self._had_ejections and self._view_excludes is None:
             # Healthy-cluster fast path: no ejection has ever happened,
             # so the per-op health scans cannot change anything — and the
             # key-to-connection map is static, so it is memoized outright
@@ -285,24 +325,36 @@ class MemcachedClient:
                 conn = cache[key] = conns[router.server_for(key)]
             return conn
         self._restore_expired_ejections()
+        excludes = self._view_excludes
         if all(c.healthy for c in conns):
-            return conns[router.server_for(key)]
-        alive = {c.index for c in conns if c.healthy}
+            if excludes is None:
+                return conns[router.server_for(key)]
+            alive = {c.index for c in conns} - excludes
+        else:
+            alive = {c.index for c in conns if c.healthy}
+            if excludes is not None:
+                alive -= excludes
         if not alive:
             return None
         return conns[router.server_for(key, alive)]
 
     def _replica_conns(self, key: bytes) -> List[ServerConn]:
         """Preference-ordered replica connections for ``key`` (primary
-        first), skipping ejected servers. Empty when all are ejected."""
+        first), skipping ejected and view-excluded servers. Empty when
+        none are routable."""
         if self._router is None:
             self._router = make_router(self.config.router, len(self._conns))
         self._restore_expired_ejections()
         alive = None
         if not all(c.healthy for c in self._conns):
             alive = {c.index for c in self._conns if c.healthy}
-            if not alive:
-                return []
+        excludes = self._view_excludes
+        if excludes is not None:
+            if alive is None:
+                alive = {c.index for c in self._conns}
+            alive -= excludes
+        if alive is not None and not alive:
+            return []
         n = min(self._replication, len(self._conns))
         return [self._conns[i]
                 for i in self._router.replicas_for(key, n, alive)]
@@ -573,7 +625,7 @@ class MemcachedClient:
                 self.t_first_issue = t0
             self._outstanding[req.req_id] = req
             self._op_begin(req)
-            self._job_meta[req.req_id] = (0, delay, "set", 0, 0, None)
+            self._job_meta[req.req_id] = (0, delay, "set", 0, 0, None, None)
             self._engine_queue.put(self._job_new(req, conn, t0))
             reqs.append(req)
         self._account_many(reqs, self.sim.now - t0)
@@ -815,6 +867,15 @@ class MemcachedClient:
         t0 = req.t_issue = sim._now
         req.expiration = expiration
         req.auto_create = initial is not None
+        # One HLC stamp per user write, drawn at issue time so the
+        # recorded history sees it even if the op never completes.
+        # Every replica copy shares it, so all copies of this write
+        # merge identically everywhere. Counters are excluded: incr/
+        # decr are commutative server-side arithmetic, not
+        # last-writer-wins values.
+        hlc = None
+        if self._hlc is not None and op in ("set", "delete"):
+            hlc = req.hlc = self._hlc.stamp()
         if self._profiler.enabled:
             req.trace_id = self._profiler.maybe_start(op, api)
         if self.recorder is not None:
@@ -837,11 +898,12 @@ class MemcachedClient:
         self._account_block(req, now - t0)
         req.t_api_return = now
         self._job_meta[req_id] = (flags, expiration, mode, cas_token,
-                                  delta, initial)
+                                  delta, initial, hlc)
         if self._replication > 1:
             if op in ("set", "delete", "incr", "decr"):
                 subs = self._fan_out(req, conn, flags, expiration, mode,
-                                     delta=delta, initial=initial)
+                                     delta=delta, initial=initial,
+                                     hlc=hlc)
                 if self._sync_writes and subs:
                     self._replica_subs[req.req_id] = subs
             elif op == "get":
@@ -859,7 +921,8 @@ class MemcachedClient:
     def _fan_out(self, req: MemcachedReq, primary: ServerConn,
                  flags: int, expiration: float, mode: str,
                  delta: int = 0,
-                 initial: Optional[int] = None) -> List[MemcachedReq]:
+                 initial: Optional[int] = None,
+                 hlc: Optional[tuple] = None) -> List[MemcachedReq]:
         """Queue replica copies of a write on the engine.
 
         CAS tokens are per-server, so replica copies of a ``cas`` write
@@ -885,12 +948,13 @@ class MemcachedClient:
             # up under the ``replica.`` prefix of the parent's tree.
             sub.trace_id = req.trace_id
             sub.server_index = conn.index
+            sub.hlc = hlc  # replica copies share the parent's stamp
             if self.recorder is not None:
                 self.recorder.on_issue(self.name, sub.result(),
                                        parent=req.req_id)
             self._outstanding[sub.req_id] = sub
             self._job_meta[sub.req_id] = (flags, expiration, rmode, 0,
-                                          delta, initial)
+                                          delta, initial, hlc)
             self._replica_outstanding[conn.index] = (
                 self._replica_outstanding.get(conn.index, 0) + 1)
             sub.complete.callbacks.append(
@@ -1181,7 +1245,7 @@ class MemcachedClient:
         profiler = self._profiler
         job_meta_get = self._job_meta.get
         pool = self._job_pool
-        _DEFAULT_META = (0, 0.0, "set", 0, 0, None)
+        _DEFAULT_META = (0, 0.0, "set", 0, 0, None, None)
         while True:
             job = yield queue_get()
             if engine_cpu:
@@ -1205,7 +1269,7 @@ class MemcachedClient:
             pool.append(job)
             # get, not pop: a retry reissues the same request and needs
             # the meta again; _finalize/_fail_server_down clean it up.
-            flags, expiration, mode, cas_token, delta, initial = \
+            flags, expiration, mode, cas_token, delta, initial, hlc = \
                 job_meta_get(req.req_id, _DEFAULT_META)
             if model_registration and req.op in ("set", "get"):
                 cost = self._acquire_buffer(req)
@@ -1213,11 +1277,11 @@ class MemcachedClient:
                     yield timeout(cost)
             if req.op == "set":
                 yield from self._engine_set(req, conn, flags, expiration,
-                                            mode, cas_token)
+                                            mode, cas_token, hlc)
             elif req.op == "get":
                 self._engine_get(req, conn)
             elif req.op == "delete":
-                self._engine_delete(req, conn)
+                self._engine_delete(req, conn, hlc)
             elif req.op == "touch":
                 header = TouchRequest(req_id=req.req_id, op="touch",
                                       key=req.key, expiration=expiration,
@@ -1256,7 +1320,7 @@ class MemcachedClient:
 
     def _engine_set(self, req: MemcachedReq, conn: ServerConn,
                     flags: int, expiration: float, mode: str = "set",
-                    cas_token: int = 0):
+                    cas_token: int = 0, hlc: Optional[tuple] = None):
         ep = conn.endpoint
         replica = req.api == "replica"
         if not replica and conn.one_sided and conn.server is not None:
@@ -1264,7 +1328,7 @@ class MemcachedClient:
                                 value_length=req.value_length, flags=flags,
                                 expiration=expiration, mode=mode,
                                 cas_token=cas_token, inline_value=False,
-                                trace_id=req.trace_id)
+                                hlc=hlc, trace_id=req.trace_id)
             msg_h = ep.send(header, header.header_bytes)
             if req.trace_id is not None:
                 self._profile_msg(req, msg_h)
@@ -1296,7 +1360,8 @@ class MemcachedClient:
                                 value_length=req.value_length, flags=flags,
                                 expiration=expiration, mode=mode,
                                 cas_token=cas_token, inline_value=True,
-                                replica=replica, trace_id=req.trace_id)
+                                replica=replica, hlc=hlc,
+                                trace_id=req.trace_id)
             msg = ep.send(header, header.header_bytes + req.value_length)
             if req.trace_id is not None:
                 self._profile_msg(req, msg)
@@ -1322,9 +1387,10 @@ class MemcachedClient:
             self._profile_msg(r, msg)
             self._arm(r.buffer_safe, msg.on_wire)
 
-    def _engine_delete(self, req: MemcachedReq, conn: ServerConn) -> None:
+    def _engine_delete(self, req: MemcachedReq, conn: ServerConn,
+                       hlc: Optional[tuple] = None) -> None:
         header = DeleteRequest(req_id=req.req_id, op="delete", key=req.key,
-                               replica=req.api == "replica",
+                               replica=req.api == "replica", hlc=hlc,
                                trace_id=req.trace_id)
         msg = conn.endpoint.send(header, header.header_bytes)
         self._profile_msg(req, msg)

@@ -38,6 +38,8 @@ class ReqResult:
     counter_value: int = 0
     #: True for incr/decr issued with an ``initial`` (auto-create).
     auto_create: bool = False
+    #: HLC stamp the write carried (HLC-convergent clusters only).
+    hlc: Optional[tuple] = None
 
     #: Statuses that mean the operation did what was asked.
     _OK = frozenset({"STORED", "HIT", "DELETED", "TOUCHED", "OK"})
@@ -70,7 +72,7 @@ class MemcachedReq:
         "status", "response", "cas_token",
         "t_issue", "t_api_return", "t_complete",
         "blocked_time", "stages", "server_index", "trace_id",
-        "expiration", "counter_value", "auto_create",
+        "expiration", "counter_value", "auto_create", "hlc",
     )
 
     def __init__(self, sim: Simulator, req_id: int, op: str, key: bytes,
@@ -105,6 +107,8 @@ class MemcachedReq:
         self.counter_value: int = 0
         #: incr/decr issued with auto-create (``initial`` given).
         self.auto_create: bool = False
+        #: HLC stamp carried by a set/delete (HLC clusters only).
+        self.hlc: Optional[tuple] = None
 
     @property
     def done(self) -> bool:
@@ -145,7 +149,8 @@ class MemcachedReq:
                              t_issue=self.t_issue, t_complete=0.0,
                              expiration=self.expiration,
                              counter_value=self.counter_value,
-                             auto_create=self.auto_create)
+                             auto_create=self.auto_create,
+                             hlc=self.hlc)
         return ReqResult(op=self.op, api=self.api, status=self.status or "?",
                          value_length=self.value_length,
                          latency=self.latency,
@@ -156,7 +161,8 @@ class MemcachedReq:
                          t_issue=self.t_issue, t_complete=self.t_complete,
                          expiration=self.expiration,
                          counter_value=self.counter_value,
-                         auto_create=self.auto_create)
+                         auto_create=self.auto_create,
+                         hlc=self.hlc)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = self.status or ("pending" if not self.done else "done")

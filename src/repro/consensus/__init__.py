@@ -1,0 +1,30 @@
+"""Consensus-owned membership and convergent write stamping.
+
+Two building blocks live here:
+
+* :class:`RaftGroup` / :class:`RaftNode` — a minimal Raft group
+  colocated with the data servers that owns cluster membership: leader
+  election with randomized timeouts, log replication, term fencing, and
+  epoch-stamped :class:`View` changes published to clients.
+* :class:`HybridLogicalClock` — the write-stamp source behind
+  last-writer-wins convergence for async replication.
+
+Enable both through :class:`repro.core.cluster.ReplicationConfig`
+(``consensus=True`` / ``hlc=True``); see ``docs/consensus.md``.
+"""
+
+from repro.consensus.hlc import HybridLogicalClock, Stamp, later
+from repro.consensus.raft import (CANDIDATE, FOLLOWER, LEADER, RaftGroup,
+                                  RaftNode, View)
+
+__all__ = [
+    "HybridLogicalClock",
+    "Stamp",
+    "later",
+    "RaftGroup",
+    "RaftNode",
+    "View",
+    "FOLLOWER",
+    "CANDIDATE",
+    "LEADER",
+]

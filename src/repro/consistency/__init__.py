@@ -1,5 +1,6 @@
-"""Client-observed histories, per-key linearizability checking, and
-fault-schedule fuzzing (see ``docs/consistency.md``).
+"""Client-observed histories, per-key linearizability checking,
+eventual-convergence checking, and fault-schedule fuzzing (see
+``docs/consistency.md``).
 
 * :mod:`repro.consistency.history` — opt-in recording of every
   client-visible operation as an invocation/response interval.
@@ -7,22 +8,26 @@ fault-schedule fuzzing (see ``docs/consistency.md``).
   cache spec (eviction-aware).
 * :mod:`repro.consistency.checker` — cheap always-on invariants plus a
   Wing–Gong linearization search.
+* :mod:`repro.consistency.eventual` — post-quiesce convergence checking
+  for HLC-convergent async replication (see ``docs/consensus.md``).
 * :mod:`repro.consistency.fuzz` — randomized fault-schedule scenarios,
   shrinking, and ``repro check --seed N`` repro lines.
 """
 
 from repro.consistency.checker import (ConsistencyReport, Violation,
                                        check_history, check_run)
+from repro.consistency.eventual import check_convergence
 from repro.consistency.fuzz import (FuzzResult, Scenario, derive,
-                                    fuzz_seeds, repro_line, run_scenario,
-                                    shrink)
+                                    derive_eventual, fuzz_seeds, repro_line,
+                                    run_scenario, shrink)
 from repro.consistency.history import (HistoryEvent, HistoryRecorder,
                                        from_jsonl, record_run, to_jsonl)
 
 __all__ = [
     "ConsistencyReport", "Violation", "check_history", "check_run",
-    "FuzzResult", "Scenario", "derive", "fuzz_seeds", "repro_line",
-    "run_scenario", "shrink",
+    "check_convergence",
+    "FuzzResult", "Scenario", "derive", "derive_eventual", "fuzz_seeds",
+    "repro_line", "run_scenario", "shrink",
     "HistoryEvent", "HistoryRecorder", "from_jsonl", "record_run",
     "to_jsonl",
 ]

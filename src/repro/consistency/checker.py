@@ -42,7 +42,7 @@ pass carries the conservative rules for those.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.consistency.history import HistoryEvent
@@ -84,17 +84,26 @@ class Violation:
                 f"{self.detail}")
 
 
-@dataclass
+@dataclass(frozen=True)
 class ConsistencyReport:
-    """Outcome of checking one history."""
+    """Immutable outcome of checking one history.
 
-    violations: List[Violation] = field(default_factory=list)
+    ``mode`` names the consistency model that was checked:
+    ``"linearizable"`` (this module) or ``"eventual"``
+    (:mod:`repro.consistency.eventual` — post-quiesce convergence of
+    HLC-convergent async replication). Checkers accumulate into a
+    mutable :class:`_Builder` and freeze it on return.
+    """
+
+    mode: str = "linearizable"
+    violations: Tuple[Violation, ...] = ()
     ops_checked: int = 0
     keys_checked: int = 0
     pairs_searched: int = 0
     #: (key, server) pairs whose search exceeded the node budget or the
-    #: op cap — invariants still ran for them.
-    undecided: List[Tuple[str, int]] = field(default_factory=list)
+    #: op cap — invariants still ran for them. Eventual mode anchors
+    #: key-level entries to server ``-1``.
+    undecided: Tuple[Tuple[str, int], ...] = ()
     #: HIT tokens with no recorded apply (lost acks, retry duplicates,
     #: resync) — permitted, but surfaced.
     unattributed_reads: int = 0
@@ -105,13 +114,66 @@ class ConsistencyReport:
     def ok(self) -> bool:
         return not self.violations
 
+    @property
+    def verdict(self) -> str:
+        return "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+
     def summary(self) -> str:
-        verdict = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
-        return (f"consistency: {verdict} — {self.ops_checked} ops, "
+        return (f"consistency: {self.verdict} — {self.ops_checked} ops, "
                 f"{self.keys_checked} keys, {self.pairs_searched} "
                 f"(key,server) searches, {self.unattributed_reads} "
                 f"unattributed reads, {self.possibly_applied} "
                 f"possibly-applied, {len(self.undecided)} undecided")
+
+    def to_dict(self) -> dict:
+        """JSON-ready shape for CI artifacts (stable key set)."""
+        return {
+            "mode": self.mode,
+            "ok": self.ok,
+            "verdict": self.verdict,
+            "ops_checked": self.ops_checked,
+            "keys_checked": self.keys_checked,
+            "pairs_searched": self.pairs_searched,
+            "unattributed_reads": self.unattributed_reads,
+            "possibly_applied": self.possibly_applied,
+            "undecided": [list(pair) for pair in self.undecided],
+            "violations": [
+                {"kind": v.kind, "key": v.key, "server": v.server,
+                 "detail": v.detail}
+                for v in self.violations],
+        }
+
+
+class _Builder:
+    """Mutable accumulator with the frozen report's attribute names, so
+    the pass functions write ``report.violations.append(...)`` etc.
+    without caring which phase they run in."""
+
+    __slots__ = ("mode", "violations", "ops_checked", "keys_checked",
+                 "pairs_searched", "undecided", "unattributed_reads",
+                 "possibly_applied")
+
+    def __init__(self, mode: str = "linearizable",
+                 ops_checked: int = 0) -> None:
+        self.mode = mode
+        self.violations: List[Violation] = []
+        self.ops_checked = ops_checked
+        self.keys_checked = 0
+        self.pairs_searched = 0
+        self.undecided: List[Tuple[str, int]] = []
+        self.unattributed_reads = 0
+        self.possibly_applied = 0
+
+    def freeze(self) -> ConsistencyReport:
+        return ConsistencyReport(
+            mode=self.mode,
+            violations=tuple(self.violations),
+            ops_checked=self.ops_checked,
+            keys_checked=self.keys_checked,
+            pairs_searched=self.pairs_searched,
+            undecided=tuple(self.undecided),
+            unattributed_reads=self.unattributed_reads,
+            possibly_applied=self.possibly_applied)
 
 
 def _label(ev: HistoryEvent) -> str:
@@ -137,7 +199,7 @@ def check_history(events: Sequence[HistoryEvent],
     search (invariants only).
     """
     initial_tokens = initial_tokens or {}
-    report = ConsistencyReport(ops_checked=len(events))
+    report = _Builder(ops_checked=len(events))
 
     # -- index ------------------------------------------------------------
     by_key: Dict[str, List[HistoryEvent]] = defaultdict(list)
@@ -173,7 +235,7 @@ def check_history(events: Sequence[HistoryEvent],
                 and ev.status in _POSSIBLY_APPLIED for ev in evs)
             _search_key(key, evs, initial_tokens, applies_by_server,
                         report, wg_budget, max_wg_ops, allow_unknown)
-    return report
+    return report.freeze()
 
 
 # -- invariant pass ---------------------------------------------------------
@@ -526,15 +588,26 @@ def _linearize(ops: List[SpecOp], init_state, budget: int,
 def check_run(cluster, recorder, *, full: bool = True,
               **kw) -> ConsistencyReport:
     """Finish ``recorder`` and check its history against ``cluster``'s
-    configured write mode. Publishes checker counters/timings on the
+    configured consistency model: the linearizability checker normally,
+    the eventual-convergence checker when the cluster runs
+    HLC-convergent async replication (``replication.hlc`` with
+    ``write_mode="async"`` — LWW merge only promises convergence, not
+    linearizability). Publishes checker counters/timings on the
     cluster's observability registry when enabled."""
     import time
 
     events = recorder.finish()
     t0 = time.perf_counter()
-    report = check_history(events, recorder.initial_tokens,
-                           write_mode=cluster.spec.write_mode,
-                           full=full, **kw)
+    rep = cluster.spec.replication
+    if rep.hlc and rep.write_mode == "async":
+        from repro.consistency.eventual import check_convergence
+
+        report = check_convergence(cluster, events,
+                                   initial_tokens=recorder.initial_tokens)
+    else:
+        report = check_history(events, recorder.initial_tokens,
+                               write_mode=cluster.spec.write_mode,
+                               full=full, **kw)
     elapsed = time.perf_counter() - t0
     if cluster.obs.enabled:
         reg = cluster.obs.registry

@@ -1,0 +1,196 @@
+"""Eventual-consistency checking for HLC-convergent async replication.
+
+Linearizability is the wrong yardstick for ``write_mode="async"`` with
+last-writer-wins merge: the system deliberately acks before replicas
+apply and resolves conflicts by hybrid-logical-clock order, so stale
+reads are expected *during* the run. What the design does promise is
+**convergence**: once the run quiesces (all writes done, all faults
+healed, anti-entropy resync finished), every replica of a key holds the
+same copy, and that copy is justified by the HLC order of the writes
+that were actually issued.
+
+:func:`check_convergence` verifies exactly that, post-quiesce, by
+reading replica state directly (a zero-cost, non-mutating walk — no
+lookups, no LRU touches) and comparing it against the recorded history:
+
+* *diverged* — the replicas of a key (``replicas_for`` under the full
+  membership view) disagree on presence, stamp, or value length.
+* *lost-write* — the converged state is older than the newest
+  **acknowledged** stamped write (the floor): an acked ``set`` outranks
+  the surviving copy, or an acked ``delete`` outranks it and no
+  delete candidate can justify the absence.
+* *unjustified-winner* — the surviving stamp names no recorded write
+  (at-least-once delivery can duplicate applies but never invent them).
+
+Unacknowledged writes (``SERVER_DOWN``/``PENDING``) are *candidates*
+but not floor: they may or may not have applied, so they can justify a
+winner but are never owed one. Keys touched by unstamped mutations
+(incr/decr, touch, gat) are reported undecided rather than guessed at;
+a ``flush_all`` anywhere in the history makes every key undecided.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Sequence, Set
+
+from repro.consistency.checker import ConsistencyReport, Violation, _Builder
+from repro.consistency.history import HistoryEvent
+from repro.server.item import DEAD
+
+__all__ = ["check_convergence"]
+
+#: Statuses that mean a stamped write was acknowledged to the client.
+#: ``NOT_FOUND`` on a delete still records the tombstone, so it counts.
+_ACKED_SET = ("STORED",)
+_ACKED_DELETE = ("DELETED", "NOT_FOUND")
+#: Mutations that carry no HLC stamp — keys they touch are undecided.
+_UNSTAMPED_MUTATIONS = ("incr", "decr", "touch", "gat")
+
+
+def _replica_state(server, key: bytes, now: float):
+    """Non-mutating snapshot of one replica's copy of ``key``:
+    ``("present", hlc, value_length)`` or ``("absent",)``.
+
+    Replicates the manager's logical-liveness predicate (TTL deadline,
+    pending ``flush_all`` epoch) without calling ``lookup`` — the
+    checker must observe, never perturb."""
+    mgr = server.manager
+    item = mgr.table.get(key)
+    if item is None or item.location == DEAD:
+        return ("absent",)
+    if item.expiration and now >= item.expiration:
+        return ("absent",)
+    flush_at = mgr._flush_at
+    if flush_at is not None and now >= flush_at and item.created < flush_at:
+        return ("absent",)
+    return ("present", item.hlc, item.value_length)
+
+
+def check_convergence(cluster, events: Sequence[HistoryEvent], *,
+                      initial_tokens: Optional[Dict] = None
+                      ) -> ConsistencyReport:
+    """Check post-quiesce convergence of ``cluster`` against the
+    recorded ``events``; returns a frozen :class:`ConsistencyReport`
+    with ``mode="eventual"``.
+
+    Must run after the simulation has quiesced past every fault's heal
+    (in-flight writes and anti-entropy resync complete) — mid-run state
+    is legitimately divergent. ``initial_tokens`` is accepted for
+    interface symmetry with :func:`~repro.consistency.checker.
+    check_history`; preload-era copies are recognized by their ``None``
+    stamp instead.
+    """
+    del initial_tokens  # preload copies are identified by hlc=None
+    report = _Builder(mode="eventual", ops_checked=len(events))
+    now = cluster.sim.now
+    r = cluster.spec.replication.factor
+    router = cluster._client_router()
+
+    #: key -> every stamp a set/delete carried (any status: at-least-once
+    #: delivery means an unacked write may still have applied).
+    set_stamps: Dict[str, Set[tuple]] = defaultdict(set)
+    delete_stamps: Dict[str, Set[tuple]] = defaultdict(set)
+    #: stamp -> value_length (replica subs share the parent's stamp and
+    #: length, so this is well defined).
+    stamp_lengths: Dict[tuple, int] = {}
+    #: key -> newest acknowledged stamp (the convergence floor).
+    floor: Dict[str, tuple] = {}
+    undecided_keys: Set[str] = set()
+    flushed = False
+
+    for ev in events:
+        if ev.op == "flush":
+            flushed = True
+            continue
+        if ev.op in _UNSTAMPED_MUTATIONS:
+            undecided_keys.add(ev.key)
+            continue
+        if ev.hlc is None:
+            continue
+        if ev.op == "set":
+            set_stamps[ev.key].add(ev.hlc)
+            stamp_lengths[ev.hlc] = ev.value_length
+            acked = ev.status in _ACKED_SET
+        elif ev.op == "delete":
+            delete_stamps[ev.key].add(ev.hlc)
+            acked = ev.status in _ACKED_DELETE
+        else:
+            continue
+        if ev.status in ("SERVER_DOWN", "PENDING"):
+            report.possibly_applied += 1
+        if acked and (ev.key not in floor or ev.hlc > floor[ev.key]):
+            floor[ev.key] = ev.hlc
+
+    keys = sorted(set(set_stamps) | set(delete_stamps) | undecided_keys)
+    report.keys_checked = len(keys)
+
+    for key in keys:
+        if flushed or key in undecided_keys:
+            report.undecided.append((key, -1))
+            continue
+        key_bytes = key.encode("latin-1")
+        replicas = list(router.replicas_for(key_bytes, r))
+        states = []
+        for idx in replicas:
+            states.append(_replica_state(cluster.servers[idx], key_bytes,
+                                         now))
+            report.pairs_searched += 1
+        if len(set(states)) > 1:
+            detail = ", ".join(
+                f"server {idx}: {state}"
+                for idx, state in zip(replicas, states))
+            report.violations.append(Violation(
+                "diverged", key, replicas[0],
+                f"replicas disagree after quiesce — {detail}"))
+            continue
+        _judge_winner(key, states[0], replicas[0], set_stamps[key],
+                      delete_stamps[key], stamp_lengths, floor.get(key),
+                      report)
+    return report.freeze()
+
+
+def _judge_winner(key: str, state: tuple, primary: int,
+                  sets: Set[tuple], deletes: Set[tuple],
+                  stamp_lengths: Dict[tuple, int],
+                  key_floor: Optional[tuple], report) -> None:
+    """The replicas agree on ``state`` — is that winner justified by
+    the HLC order of the recorded writes?"""
+    if state[0] == "present":
+        _, hlc, value_length = state
+        if hlc is None:
+            # Preload-era copy survived: fine only if no stamped write
+            # was ever acknowledged (unacked ones may all have failed).
+            if key_floor is not None:
+                report.violations.append(Violation(
+                    "lost-write", key, primary,
+                    f"preload copy (no stamp) survived but a write "
+                    f"stamped {key_floor} was acknowledged"))
+            return
+        if hlc not in sets:
+            report.violations.append(Violation(
+                "unjustified-winner", key, primary,
+                f"surviving stamp {hlc} names no recorded set"))
+            return
+        if stamp_lengths.get(hlc) != value_length:
+            report.violations.append(Violation(
+                "unjustified-winner", key, primary,
+                f"surviving copy length {value_length} != "
+                f"{stamp_lengths.get(hlc)} written under stamp {hlc}"))
+            return
+        if key_floor is not None and hlc < key_floor:
+            report.violations.append(Violation(
+                "lost-write", key, primary,
+                f"survivor stamped {hlc} but a newer write stamped "
+                f"{key_floor} was acknowledged"))
+        return
+    # Absent: justified unless the newest acked write was a set with no
+    # delete candidate (acked or not) late enough to have removed it.
+    if key_floor is None:
+        return
+    if any(d >= key_floor for d in deletes):
+        return
+    report.violations.append(Violation(
+        "lost-write", key, primary,
+        f"key absent after quiesce but a write stamped {key_floor} "
+        f"was acknowledged and no delete outranks it"))

@@ -26,16 +26,17 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.consistency.checker import ConsistencyReport, check_history
+from repro.consistency.eventual import check_convergence
 from repro.consistency.history import HistoryEvent, HistoryRecorder
-from repro.core.cluster import ClusterSpec, build_cluster
+from repro.core.cluster import ClusterSpec, ReplicationConfig, build_cluster
 from repro.core.profiles import H_RDMA_OPT_NONB_I
 from repro.faults import FaultPlan
 from repro.sim import Simulator
 from repro.units import MB
 from repro.workloads.keyspace import Keyspace
 
-__all__ = ["Scenario", "FuzzResult", "derive", "run_scenario",
-           "fuzz_seeds", "shrink", "repro_line"]
+__all__ = ["Scenario", "FuzzResult", "derive", "derive_eventual",
+           "run_scenario", "fuzz_seeds", "shrink", "repro_line"]
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,12 @@ class Scenario:
     ttl_ops: bool = False
     #: Mix in incr/decr (with and without auto-create).
     counter_ops: bool = False
+    #: Run the Raft membership group (view-driven client routing).
+    consensus: bool = False
+    #: Stamp writes with hybrid logical clocks (LWW merge); with
+    #: ``write_mode="async"`` this switches the run to the
+    #: eventual-convergence checker.
+    hlc: bool = False
 
     def to_cli_args(self) -> List[str]:
         """The exact ``repro check`` flags reproducing this scenario."""
@@ -84,6 +91,10 @@ class Scenario:
             args.append("--ttl-ops")
         if self.counter_ops:
             args.append("--counter-ops")
+        if self.consensus:
+            args.append("--consensus")
+        if self.hlc:
+            args.append("--hlc")
         for spec in self.fault_specs:
             args += ["--fault", spec]
         return args
@@ -121,6 +132,49 @@ def derive(seed: int) -> Scenario:
         # across seeds recorded before these knobs existed.
         ttl_ops=rng.random() < 0.5,
         counter_ops=rng.random() < 0.5,
+    )
+
+
+def derive_eventual(seed: int) -> Scenario:
+    """Expand one fuzz seed into a partition-heavy **eventual-mode**
+    scenario: async writes with HLC stamps, R ∈ {2, 3}, and a healing
+    partition plan (every partition heals, one server at a time, so
+    anti-entropy resync always runs and the post-quiesce convergence
+    check is meaningful).
+
+    A separate derivation keeps the existing :func:`derive` grid
+    byte-stable — adding draws there would silently reshuffle every
+    recorded seed. Crash faults are excluded: a crash wipes RAM, and
+    while tombstones are modeled as journaled alongside the consensus
+    log, data loss plus at-least-once retries makes "which writes must
+    survive" ambiguous — partitions keep the band's oracle exact.
+    """
+    rng = random.Random(seed ^ 0x0E7E_A711)
+    num_servers = 3
+    specs = []
+    t = 0.002 + rng.random() * 0.002
+    for _ in range(rng.choice((1, 1, 2))):
+        duration = 0.002 + rng.random() * 0.003
+        specs.append(f"partition:server={rng.randrange(num_servers)},"
+                     f"at={t:.6f},duration={duration:.6f}")
+        # Non-overlapping with slack: the previous heal's resync settles
+        # before the next partition opens.
+        t += duration + 0.002 + rng.random() * 0.002
+    return Scenario(
+        seed=seed,
+        num_servers=num_servers,
+        num_clients=rng.choice((1, 2)),
+        ops_per_client=rng.choice((80, 120)),
+        value_length=rng.choice((1024, 4096)),
+        replication=rng.choice((2, 3)),
+        write_mode="async",
+        router=rng.choice(("modulo", "ketama")),
+        fast_lane=bool(rng.getrandbits(1)),
+        fault_specs=tuple(specs),
+        ttl_ops=False,
+        counter_ops=False,
+        consensus=bool(rng.getrandbits(1)),
+        hlc=True,
     )
 
 
@@ -200,18 +254,33 @@ def _drive(client, scn: Scenario, rng: random.Random, keyspace: Keyspace):
 def run_scenario(scn: Scenario, *, full: bool = True
                  ) -> Tuple[ConsistencyReport, List[HistoryEvent],
                             HistoryRecorder]:
-    """Build, preload, record, drive, quiesce, and check one scenario."""
+    """Build, preload, record, drive, quiesce, and check one scenario.
+
+    Eventual-mode scenarios (``hlc`` with async writes) are checked for
+    post-quiesce convergence instead of linearizability: after the
+    drivers finish, the simulation keeps running past the last fault's
+    heal (plus a settling margin for failure detection, view
+    propagation, and anti-entropy resync) before the replica states are
+    compared. The extension is a bounded ``timeout`` — with consensus
+    on, Raft tickers run forever, so draining the event queue would
+    never terminate.
+    """
     sim = Simulator(fast_lane=scn.fast_lane)
     spec = ClusterSpec(
         num_servers=scn.num_servers,
         num_clients=scn.num_clients,
         server_mem=scn.server_mem_mb * MB,
         ssd_limit=scn.ssd_limit_mb * MB,
-        router=scn.router,
         request_timeout=scn.request_timeout,
         eject_duration=scn.eject_duration,
-        replication_factor=min(scn.replication, scn.num_servers),
-        write_mode=scn.write_mode,
+        replication=ReplicationConfig(
+            factor=min(scn.replication, scn.num_servers),
+            write_mode=scn.write_mode,
+            router=scn.router,
+            consensus=scn.consensus,
+            hlc=scn.hlc,
+            raft_seed=scn.seed,
+        ),
     )
     cluster = build_cluster(H_RDMA_OPT_NONB_I, spec=spec, sim=sim,
                             value_length_for=lambda _k: scn.value_length)
@@ -219,8 +288,9 @@ def run_scenario(scn: Scenario, *, full: bool = True
     cluster.preload([(keyspace.key(i), scn.value_length)
                      for i in range(scn.num_keys)])
     recorder = HistoryRecorder().attach(cluster)
-    if scn.fault_specs:
-        FaultPlan.parse(scn.fault_specs).inject(cluster)
+    plan = FaultPlan.parse(scn.fault_specs) if scn.fault_specs else None
+    if plan is not None:
+        plan.inject(cluster)
     drivers = [
         sim.spawn(_drive(client, scn,
                          random.Random((scn.seed << 8) ^ (index * 0x9E37)),
@@ -228,11 +298,21 @@ def run_scenario(scn: Scenario, *, full: bool = True
                   name=f"fuzz-{client.name}")
         for index, client in enumerate(cluster.clients)]
     sim.run(until=sim.all_of(drivers))
+    eventual = scn.hlc and scn.write_mode == "async"
+    if eventual:
+        horizon = max((ev.at + (ev.duration or 0.0)
+                       for ev in plan.events), default=0.0) if plan else 0.0
+        settle = max(0.0, horizon - sim.now) + 0.01
+        sim.run(until=sim.timeout(settle))
     events = recorder.finish()
     recorder.detach()
-    report = check_history(events, recorder.initial_tokens,
-                           write_mode=cluster.spec.write_mode,
-                           faults=bool(scn.fault_specs), full=full)
+    if eventual:
+        report = check_convergence(cluster, events,
+                                   initial_tokens=recorder.initial_tokens)
+    else:
+        report = check_history(events, recorder.initial_tokens,
+                               write_mode=cluster.spec.write_mode,
+                               faults=bool(scn.fault_specs), full=full)
     return report, events, recorder
 
 
@@ -303,12 +383,18 @@ class FuzzResult:
 
 def fuzz_seeds(seeds: Sequence[int], *, shrink_failures: bool = True,
                keep_history: bool = False,
-               progress: Optional[Callable[[FuzzResult], None]] = None
+               progress: Optional[Callable[[FuzzResult], None]] = None,
+               derive_fn: Callable[[int], Scenario] = derive
                ) -> List[FuzzResult]:
-    """Fuzz every seed; shrink failures and attach their repro lines."""
+    """Fuzz every seed; shrink failures and attach their repro lines.
+
+    ``derive_fn`` selects the seed-expansion grid: :func:`derive`
+    (default, linearizable-mode) or :func:`derive_eventual`
+    (partition-heavy HLC/async convergence band).
+    """
     results = []
     for seed in seeds:
-        scenario = derive(seed)
+        scenario = derive_fn(seed)
         report, events, _recorder = run_scenario(scenario)
         result = FuzzResult(seed=seed, scenario=scenario, report=report)
         if not report.ok:

@@ -56,6 +56,10 @@ class HistoryEvent:
     expiration: float = 0.0
     #: incr/decr issued with an ``initial`` (auto-create allowed).
     auto_create: bool = False
+    #: HLC stamp carried by a set/delete on HLC-convergent clusters
+    #: (``(physical, logical, origin)``); None otherwise. The eventual
+    #: checker justifies the post-quiesce winner against these.
+    hlc: Optional[tuple] = None
 
     @property
     def interval(self) -> Tuple[float, float]:
@@ -166,6 +170,7 @@ class HistoryRecorder:
             parent=parent,
             expiration=res.expiration,
             auto_create=res.auto_create,
+            hlc=res.hlc,
         )
 
 
@@ -192,5 +197,8 @@ def from_jsonl(text: str) -> List[HistoryEvent]:
     for line in text.splitlines():
         line = line.strip()
         if line:
-            events.append(HistoryEvent(**json.loads(line)))
+            d = json.loads(line)
+            if d.get("hlc") is not None:
+                d["hlc"] = tuple(d["hlc"])  # JSON arrays round-trip
+            events.append(HistoryEvent(**d))
     return events

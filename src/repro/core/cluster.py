@@ -10,6 +10,7 @@ for miss penalties.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -29,6 +30,62 @@ from repro.storage.params import (
     SATA_SSD,
 )
 from repro.units import GB, MB, MS
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Every replication knob in one typed place.
+
+    Replaces the flat ``router``/``replication_factor``/``write_mode``
+    kwargs that used to sprawl over :class:`ClusterSpec` (those survive
+    as :class:`DeprecationWarning` shims), and adds the consensus /
+    convergence extensions:
+
+    * ``consensus`` — run a :class:`~repro.consensus.RaftGroup` over
+      the server nodes that owns membership and ring epochs; clients
+      subscribe to committed views instead of relying purely on
+      ejection heuristics.
+    * ``hlc`` — stamp every write with a hybrid logical clock and merge
+      replicas last-writer-wins, so concurrent async writes under a
+      partition converge (anti-entropy resync becomes a bidirectional
+      LWW merge).
+    """
+
+    #: Copies of each key (primary + factor-1 ring/probe successors).
+    factor: int = 1
+    #: "sync": writes ack after every replica; "async": after the
+    #: primary alone, replicas propagate in the background.
+    write_mode: str = "sync"
+    #: Client request router: "modulo" (libmemcached default) or
+    #: "ketama" (consistent hashing; required for clean failover).
+    router: str = "modulo"
+    #: Consensus-owned membership (Raft group on the server nodes).
+    consensus: bool = False
+    #: Hybrid-logical-clock stamps + last-writer-wins replica merge.
+    hlc: bool = False
+    #: Raft election timeout range (seconds, randomized per node).
+    election_timeout: Tuple[float, float] = (1.5e-3, 3.0e-3)
+    #: Raft leader heartbeat period (seconds).
+    heartbeat_interval: float = 0.5e-3
+    #: Delay from view commit to each client observing it (seconds).
+    view_notify_delay: float = 10e-6
+    #: Seed for the per-node election-timeout RNGs.
+    raft_seed: int = 0
+    #: Period of the background anti-entropy gossip rounds (seconds;
+    #: HLC clusters only, 0 disables). Each round is a cluster-wide
+    #: pairwise LWW merge between live servers, so replicas that missed
+    #: writes (degraded fan-out while a peer was ejected or excluded by
+    #: a view) converge without waiting for the next fault heal.
+    anti_entropy_interval: float = 2e-3
+
+    def __post_init__(self):
+        if self.factor < 1:
+            raise ValueError(
+                f"replication factor must be >= 1, got {self.factor}")
+        if self.write_mode not in ("sync", "async"):
+            raise ValueError(
+                f"write_mode must be 'sync' or 'async', "
+                f"got {self.write_mode!r}")
 
 
 @dataclass
@@ -67,9 +124,8 @@ class ClusterSpec:
     expiry_interval: float = 0.005
     expiry_budget: int = 128
     record_ops: bool = True
-    #: Client request router: "modulo" (libmemcached default) or
-    #: "ketama" (consistent hashing; required for clean failover).
-    router: str = "modulo"
+    #: Deprecated: use ``replication=ReplicationConfig(router=...)``.
+    router: Optional[str] = None
     # -- client fault tolerance (None keeps the pre-fault fast path) -------
     #: Per-request completion timeout (seconds); enables timeout/retry/
     #: ejection/failover on every client.
@@ -80,12 +136,14 @@ class ClusterSpec:
     #: Re-probe an ejected server after this many seconds (None: never).
     eject_duration: Optional[float] = None
     # -- replication (R=1 keeps single-copy behaviour and cost) -------------
-    #: Copies of each key (primary + R-1 ring/probe successors). Must be
-    #: in ``[1, num_servers]``.
-    replication_factor: int = 1
-    #: "sync": writes ack after every replica; "async": after the
-    #: primary alone, replicas propagate in the background.
-    write_mode: str = "sync"
+    #: Deprecated: use ``replication=ReplicationConfig(factor=...)``.
+    replication_factor: Optional[int] = None
+    #: Deprecated: use ``replication=ReplicationConfig(write_mode=...)``.
+    write_mode: Optional[str] = None
+    #: The replication configuration (factor, write mode, router,
+    #: consensus membership, HLC convergence). ``None`` builds one from
+    #: the deprecated flat kwargs above (or all defaults).
+    replication: Optional[ReplicationConfig] = None
     #: Live metrics registry + gauge sampler (see :mod:`repro.obs`).
     observe: bool = False
     #: Sim-time span tracing (Chrome ``trace_event`` export).
@@ -99,6 +157,44 @@ class ClusterSpec:
     #: Gauge-sampling period in seconds; defaults to 100 µs when
     #: ``observe`` is on and no interval is given.
     sample_interval: Optional[float] = None
+
+    def __post_init__(self):
+        # Resolve the deprecated flat replication kwargs against the
+        # typed ReplicationConfig, then backfill them so every existing
+        # reader (spec.router / spec.replication_factor /
+        # spec.write_mode) keeps working unchanged.
+        legacy = {}
+        if self.router is not None:
+            legacy["router"] = self.router
+        if self.replication_factor is not None:
+            legacy["factor"] = self.replication_factor
+        if self.write_mode is not None:
+            legacy["write_mode"] = self.write_mode
+        if self.replication is None:
+            if legacy:
+                warnings.warn(
+                    "ClusterSpec(router=/replication_factor=/write_mode=)"
+                    " is deprecated; use "
+                    "ClusterSpec(replication=ReplicationConfig(...))",
+                    DeprecationWarning, stacklevel=3)
+            self.replication = ReplicationConfig(
+                factor=legacy.get("factor", 1),
+                write_mode=legacy.get("write_mode", "sync"),
+                router=legacy.get("router", "modulo"))
+        else:
+            # dataclasses.replace() passes the backfilled flat fields
+            # back in alongside `replication`; accept them silently when
+            # consistent, reject a genuine conflict.
+            for name in ("factor", "write_mode", "router"):
+                if name in legacy \
+                        and legacy[name] != getattr(self.replication, name):
+                    raise TypeError(
+                        f"ClusterSpec: legacy {name}={legacy[name]!r} "
+                        f"conflicts with replication="
+                        f"{self.replication!r}; drop the legacy kwarg")
+        self.router = self.replication.router
+        self.replication_factor = self.replication.factor
+        self.write_mode = self.replication.write_mode
 
 
 class Cluster:
@@ -116,6 +212,9 @@ class Cluster:
         self.backend = backend
         self.fabric = fabric
         self.obs = obs or NULL_OBS
+        #: :class:`repro.consensus.RaftGroup` when the spec enables
+        #: consensus-owned membership; None otherwise.
+        self.raft = None
 
     def run(self, until=None):
         return self.sim.run(until=until)
@@ -131,10 +230,17 @@ class Cluster:
     # -- experiment setup ----------------------------------------------------
 
     def _client_router(self):
-        """A router configured exactly as the clients route requests."""
+        """A router configured exactly as the clients route requests.
+        Memoized: ketama rings are costly to build and anti-entropy
+        asks for one every round."""
         router_name = (self.clients[0].config.router if self.clients
                        else self.spec.router)
-        return make_router(router_name, len(self.servers))
+        key = (router_name, len(self.servers))
+        if getattr(self, "_router_cache_key", None) != key:
+            self._router_cache_key = key
+            self._router_cache = make_router(router_name,
+                                             len(self.servers))
+        return self._router_cache
 
     def preload(self, pairs: Sequence[Tuple[bytes, int]]) -> int:
         """Load key-value pairs into the servers, routed exactly as the
@@ -183,25 +289,92 @@ class Cluster:
         if not (target.alive and target.reachable):
             return 0
         router = self._client_router()
-        table = target.manager.table
-        copied = 0
-        for donor in self.servers:
-            if donor is target or not (donor.alive and donor.reachable):
-                continue
-            for key, value_length, expiration, numeric in \
-                    donor.manager.live_items():
-                if key in table:
+        if self.spec.replication.hlc:
+            copied = self._resync_hlc(index, target, router, r)
+        else:
+            table = target.manager.table
+            copied = 0
+            for donor in self.servers:
+                if donor is target or not (donor.alive and donor.reachable):
                     continue
-                if index not in router.replicas_for(key, r):
-                    continue
-                target.manager.preload(key, value_length,
-                                       expiration=expiration,
-                                       numeric=numeric)
-                copied += 1
+                for key, value_length, expiration, numeric in \
+                        donor.manager.live_items():
+                    if key in table:
+                        continue
+                    if index not in router.replicas_for(key, r):
+                        continue
+                    target.manager.preload(key, value_length,
+                                           expiration=expiration,
+                                           numeric=numeric)
+                    copied += 1
         if copied:
             self.obs.registry.counter(
                 "resync_items", server=str(index)).inc(copied)
         return copied
+
+    def _resync_hlc(self, index: int, target, router, r: int) -> int:
+        """Bidirectional last-writer-wins merge between the rejoined
+        server and every live peer.
+
+        Items *and* tombstones flow both ways, each transfer gated by
+        HLC order (:meth:`~repro.server.hybrid.HybridSlabManager
+        .merge_item` / ``apply_tombstone``) and restricted to keys the
+        receiving side replicates. One direction alone is wrong: the
+        rejoined server may hold the only surviving copy of a write it
+        acked just before the fault cut it off."""
+        copied = 0
+        for donor_index, donor in enumerate(self.servers):
+            if donor is target or not (donor.alive and donor.reachable):
+                continue
+            copied += self._merge_lww(donor, target, index, router, r)
+            copied += self._merge_lww(target, donor, donor_index,
+                                      router, r)
+        return copied
+
+    @staticmethod
+    def _merge_lww(src, dst, dst_index: int, router, r: int) -> int:
+        moved = 0
+        dst_manager = dst.manager
+        for key, value_length, expiration, numeric, hlc in \
+                src.manager.live_items_with_hlc():
+            if dst_index not in router.replicas_for(key, r):
+                continue
+            if dst_manager.merge_item(key, value_length,
+                                      expiration=expiration,
+                                      numeric=numeric, hlc=hlc):
+                moved += 1
+        for key, stamp in src.manager.tombstones.items():
+            if dst_index not in router.replicas_for(key, r):
+                continue
+            if dst_manager.apply_tombstone(key, stamp):
+                moved += 1
+        return moved
+
+    def run_anti_entropy(self) -> int:
+        """One background gossip round: pairwise last-writer-wins merge
+        between every ordered pair of live servers.
+
+        Heal-time resync only repairs the server that rejoined; it never
+        touches divergence between peers that stayed up — stand-in
+        writes that landed off the replica set during a partition, or
+        fan-outs degraded by a client still ejecting/excluding the
+        healed server. Periodic gossip (HLC clusters only) is what makes
+        those converge without another fault event."""
+        r = min(self.replication_factor, len(self.servers))
+        if r <= 1 or not self.spec.replication.hlc:
+            return 0
+        router = self._client_router()
+        live = [(i, s) for i, s in enumerate(self.servers)
+                if s.alive and s.reachable]
+        moved = 0
+        for _, src in live:
+            for dst_index, dst in live:
+                if dst is src:
+                    continue
+                moved += self._merge_lww(src, dst, dst_index, router, r)
+        if moved:
+            self.obs.registry.counter("anti_entropy_items").inc(moved)
+        return moved
 
     def reset_metrics(self, registry: bool = False) -> None:
         """Zero run-scoped counters on clients AND servers, so
@@ -307,12 +480,13 @@ def build_cluster(profile: DesignProfile,
                               failure_threshold=spec.failure_threshold,
                               eject_duration=spec.eject_duration,
                               replication_factor=spec.replication_factor,
-                              write_mode=spec.write_mode)
+                              write_mode=spec.write_mode,
+                              hlc=spec.replication.hlc)
     n_nodes = spec.client_nodes or spec.num_clients
     clients = []
     for i in range(spec.num_clients):
         client = MemcachedClient(sim, name=f"client{i}", config=client_cfg,
-                                 backend=backend, obs=obs)
+                                 backend=backend, obs=obs, origin=i)
         client_node = fabric.node(f"cnode{i % n_nodes}")
         for j, server in enumerate(servers):
             server_node = fabric.node(f"snode{j}")
@@ -326,5 +500,33 @@ def build_cluster(profile: DesignProfile,
             client.add_server(cli_ep, server)
         clients.append(client)
 
-    return Cluster(sim, profile, spec, servers, clients, backend, fabric,
-                   obs=obs)
+    cluster = Cluster(sim, profile, spec, servers, clients, backend,
+                      fabric, obs=obs)
+    rep = spec.replication
+    if rep.consensus:
+        # Consensus is control-plane machinery between the server
+        # nodes; import lazily so replication-free builds never pay for
+        # (or depend on) it.
+        from repro.consensus import RaftGroup
+        cluster.raft = RaftGroup(
+            sim, servers,
+            [fabric.node(f"snode{i}") for i in range(spec.num_servers)],
+            obs.registry,
+            heartbeat_interval=rep.heartbeat_interval,
+            election_timeout=rep.election_timeout,
+            view_notify_delay=rep.view_notify_delay,
+            seed=rep.raft_seed)
+        for client in clients:
+            cluster.raft.subscribe(client.apply_view)
+            obs.registry.gauge(
+                "client_view_epoch",
+                fn=(lambda c=client: float(c.view_epoch)),
+                client=client.name)
+    if rep.hlc and rep.anti_entropy_interval > 0:
+        def _anti_entropy_loop():
+            while True:
+                yield sim.timeout(rep.anti_entropy_interval)
+                cluster.run_anti_entropy()
+
+        sim.spawn(_anti_entropy_loop(), name="anti-entropy")
+    return cluster

@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core import metrics
-from repro.core.cluster import Cluster, ClusterSpec, build_cluster
+from repro.core.cluster import (Cluster, ClusterSpec, ReplicationConfig,
+                                build_cluster)
 from repro.core.profiles import BLOCKING, NONB_B, NONB_I, DesignProfile
 from repro.client.request import OpRecord
 from repro.workloads.generator import Op, WorkloadSpec, generate_ops, make_dataset
@@ -109,6 +110,11 @@ class RunConfig:
     #: the raw events in ``RunResult.history``. Off by default — the
     #: hot path stays recorder-free.
     check_consistency: bool = False
+    #: Replication configuration override. When set it wins over both
+    #: ``cluster.replication`` and any legacy routing fields — the one
+    #: knob experiments flip between sync/async/consensus variants
+    #: without rebuilding the whole ClusterSpec.
+    replication: Optional[ReplicationConfig] = None
     #: Keyword overrides applied to a default :class:`ClusterSpec`
     #: (e.g. ``{"num_servers": 4}``) when ``cluster`` is not given.
     spec_overrides: Dict[str, object] = field(default_factory=dict)
@@ -141,10 +147,22 @@ class RunConfig:
         """
         value_length_for = (self.workload.value_length_for
                             if self.workload is not None else None)
-        cluster = build_cluster(self.profile, spec=self.cluster,
+        spec = self.cluster
+        overrides = self.spec_overrides
+        if self.replication is not None:
+            if spec is not None:
+                # Clear the backfilled legacy fields so replace() does
+                # not carry the old routing into a conflict check.
+                spec = dataclasses.replace(
+                    spec, replication=self.replication, router=None,
+                    replication_factor=None, write_mode=None)
+            else:
+                overrides = dict(overrides)
+                overrides["replication"] = self.replication
+        cluster = build_cluster(self.profile, spec=spec,
                                 sim=self.sim,
                                 value_length_for=value_length_for,
-                                **self.spec_overrides)
+                                **overrides)
         if self.preload and self.workload is not None:
             cluster.preload(make_dataset(self.workload))
         return cluster
@@ -233,6 +251,7 @@ class RunConfig:
             from repro.consistency import HistoryRecorder
             recorder = HistoryRecorder().attach(cluster)
         if fault_plan is not None:
+            fault_injected_at = sim.now
             cluster.inject_faults(fault_plan)
         drivers = []
         stagger = self.client_stagger
@@ -248,6 +267,18 @@ class RunConfig:
             drivers.append(sim.spawn(gen, name=f"driver-{client.name}"))
         done = sim.all_of(drivers)
         sim.run(until=done)
+        rep = cluster.spec.replication
+        if (recorder is not None and fault_plan is not None
+                and rep.hlc and rep.write_mode == "async"):
+            # The eventual-convergence checker needs the post-quiesce
+            # state: run past the last fault's heal plus a settling
+            # margin (failure detection, view propagation, anti-entropy
+            # resync). Bounded timeout — with consensus on, Raft tickers
+            # never drain the event queue.
+            horizon = max((ev.at + (ev.duration or 0.0)
+                           for ev in fault_plan.events), default=0.0)
+            settle = max(0.0, fault_injected_at + horizon - sim.now) + 0.01
+            sim.run(until=sim.timeout(settle))
         records = cluster.all_records()
         span = 0.0
         if records:

@@ -143,6 +143,11 @@ def _validate(cfg) -> Tuple[ClusterSpec, int]:
         raise ShardingUnsupported(
             "replication resync reads peer server state out-of-band; "
             "sharded runs require replication_factor=1")
+    if spec.replication.consensus:
+        raise ShardingUnsupported(
+            "the Raft membership group exchanges heartbeats between "
+            "server nodes, which sharding places in separate event "
+            "domains; run consensus single-simulator")
     if spec.profile:
         raise ShardingUnsupported(
             "per-request causal profiling stitches spans across client "

@@ -141,6 +141,11 @@ class HybridSlabManager:
                                        min_chunk=min_chunk,
                                        growth_factor=growth_factor)
         self.table: Dict[bytes, Item] = {}
+        #: HLC-mode delete markers: key -> the largest delete stamp seen.
+        #: Consulted by the last-writer-wins merge so a write that lost
+        #: to a delete cannot resurrect the key. Modeled as journaled
+        #: alongside the consensus log — survives :meth:`wipe`.
+        self.tombstones: Dict[bytes, tuple] = {}
         self.device = device
         self.hybrid = device is not None
         self.io_policy = io_policy
@@ -278,7 +283,7 @@ class HybridSlabManager:
 
     def store(self, key: bytes, value_length: int, flags: int = 0,
               expiration: float = 0.0, mode: str = "set",
-              cas_token: int = 0):
+              cas_token: int = 0, hlc=None):
         """Generator: allocate a chunk (flushing/evicting as needed) and
         insert the item. Returns ``(Item | None, StoreInfo)``.
 
@@ -288,6 +293,12 @@ class HybridSlabManager:
         matches the live item's token. Failed preconditions return
         ``(None, info)`` with ``info.status`` set, before any memory is
         allocated.
+
+        With an ``hlc`` stamp, the write merges last-writer-wins: if the
+        current item (or a tombstone) carries a stamp at least as large,
+        the write is a no-op that still answers STORED — the caller's
+        write *happened*, it just lost the conflict race. Equal stamps
+        keep the installed copy (idempotent at-least-once retries).
         """
         info = StoreInfo()
         existing = self._live(key)
@@ -304,7 +315,15 @@ class HybridSlabManager:
             if existing.cas != cas_token:
                 info.status = "EXISTS"
                 return None, info
+        if hlc is not None:
+            tomb = self.tombstones.get(key)
+            if tomb is not None and tomb >= hlc:
+                return None, info  # lost to a newer delete
+            if existing is not None and existing.hlc is not None \
+                    and existing.hlc >= hlc:
+                return existing, info  # lost to a newer write
         item = Item(key, value_length, flags, expiration)
+        item.hlc = hlc
         cls = self.allocator.class_for(item.total_size)
         if cls is None:
             raise ValueError(
@@ -324,6 +343,8 @@ class HybridSlabManager:
         item.last_access = self.sim.now
         cls.lru.insert_head(item)
         self.stats.stores += 1
+        if hlc is not None:
+            self.tombstones.pop(key, None)  # the write outranked it
         if expiration:
             self._arm_expiry(expiration)
         return item, info
@@ -490,10 +511,19 @@ class HybridSlabManager:
             return None
         return item
 
-    def delete(self, key: bytes) -> bool:
+    def delete(self, key: bytes, hlc=None) -> bool:
         # Through _live, not the raw table: deleting a logically-expired
         # key must answer NOT_FOUND (the dead entry is still reclaimed).
         item = self._live(key)
+        if hlc is not None:
+            if item is not None and item.hlc is not None \
+                    and item.hlc > hlc:
+                # A newer write already outranks this delete: leave the
+                # item, but still ack — the delete happened and lost.
+                return True
+            tomb = self.tombstones.get(key)
+            if tomb is None or hlc > tomb:
+                self.tombstones[key] = hlc
         if item is None:
             return False
         self._remove_item(item)
@@ -510,6 +540,9 @@ class HybridSlabManager:
             self._remove_item(item)
         self.table.clear()
         self._flush_at = None  # a pending flush epoch dies with the data
+        # Tombstones deliberately survive: they are modeled as journaled
+        # with the consensus log, so an acked delete cannot resurrect
+        # through a crash + anti-entropy resync.
         return len(items)
 
     def _remove_item(self, item: Item, keep_table: bool = False) -> None:
@@ -835,7 +868,8 @@ class HybridSlabManager:
 
     def preload(self, key: bytes, value_length: int,
                 expiration: float = 0.0,
-                numeric: Optional[int] = None) -> None:
+                numeric: Optional[int] = None,
+                hlc: Optional[tuple] = None) -> None:
         """Insert without simulated I/O time (experiment setup only).
 
         Applies the identical state transitions as :meth:`store` —
@@ -847,6 +881,7 @@ class HybridSlabManager:
         """
         item = Item(key, value_length, expiration=expiration)
         item.numeric = numeric
+        item.hlc = hlc
         self._cas_counter += 1
         item.cas = self._cas_counter
         cls = self.allocator.class_for(item.total_size)
@@ -920,6 +955,65 @@ class HybridSlabManager:
             if self._expired(item):
                 continue
             yield key, item.value_length, item.expiration, item.numeric
+
+    def live_items_with_hlc(self):
+        """:meth:`live_items` plus each item's HLC stamp — the donor
+        walk of the bidirectional last-writer-wins resync."""
+        for key, item in self.table.items():
+            if item.location == DEAD:
+                continue
+            if self._expired(item):
+                continue
+            yield (key, item.value_length, item.expiration, item.numeric,
+                   item.hlc)
+
+    # -- last-writer-wins merge (anti-entropy resync) ---------------------------
+
+    def hlc_accepts(self, key: bytes, hlc: Optional[tuple]) -> bool:
+        """Would an incoming copy stamped ``hlc`` win the merge here?
+
+        A ``None`` stamp (preload-era data) only fills a hole — it loses
+        to any stamped item or tombstone, and to an unstamped item
+        already present (the local copy is kept). A stamped copy must
+        outrank both the local tombstone and the local item's stamp.
+        """
+        if hlc is None:
+            return key not in self.table and key not in self.tombstones
+        tomb = self.tombstones.get(key)
+        if tomb is not None and tomb >= hlc:
+            return False
+        item = self.table.get(key)
+        return not (item is not None and item.hlc is not None
+                    and item.hlc >= hlc)
+
+    def merge_item(self, key: bytes, value_length: int,
+                   expiration: float = 0.0,
+                   numeric: Optional[int] = None,
+                   hlc: Optional[tuple] = None) -> bool:
+        """Anti-entropy apply of one donated copy (zero simulated time,
+        like :meth:`preload`): install it iff it wins the LWW merge.
+        Returns True when the local state changed."""
+        if not self.hlc_accepts(key, hlc):
+            return False
+        self.preload(key, value_length, expiration=expiration,
+                     numeric=numeric, hlc=hlc)
+        if hlc is not None:
+            self.tombstones.pop(key, None)
+        return True
+
+    def apply_tombstone(self, key: bytes, hlc: tuple) -> bool:
+        """Anti-entropy apply of one donated delete marker. Returns
+        True when it removed a live item or advanced the local marker."""
+        changed = False
+        item = self.table.get(key)
+        if item is not None and (item.hlc is None or item.hlc < hlc):
+            self._remove_item(item)
+            changed = True
+        tomb = self.tombstones.get(key)
+        if tomb is None or hlc > tomb:
+            self.tombstones[key] = hlc
+            changed = True
+        return changed
 
     # -- occupancy diagnostics --------------------------------------------------
 

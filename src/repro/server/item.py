@@ -27,7 +27,7 @@ class Item:
         "key", "value_length", "flags", "expiration", "cas",
         "clsid", "location", "page", "chunk_index",
         "disk_slot", "disk_offset", "last_access",
-        "lru_prev", "lru_next", "created", "numeric",
+        "lru_prev", "lru_next", "created", "numeric", "hlc",
     )
 
     def __init__(self, key: bytes, value_length: int, flags: int = 0,
@@ -42,6 +42,10 @@ class Item:
         #: Counter value for items created/updated by incr/decr; None for
         #: ordinary opaque values (incr on those answers NOT_NUMERIC).
         self.numeric: Optional[int] = None
+        #: Hybrid-logical-clock stamp of the write that produced this
+        #: item (last-writer-wins replica merge); None when the cluster
+        #: runs without HLC stamping or the item came from preload.
+        self.hlc: Optional[tuple] = None
         self.cas = 0
         self.clsid: int = -1
         self.location: str = RAM

@@ -66,6 +66,9 @@ class SetRequest(Request):
     #: SETs always inline their value so the apply path never competes
     #: for the receive-buffer credits user traffic flows through.
     replica: bool = False
+    #: Hybrid-logical-clock stamp (``(physical, logical, origin)``)
+    #: when the cluster runs with HLC convergence; None otherwise.
+    hlc: Optional[tuple] = None
 
     def __post_init__(self):
         self.op = "set"
@@ -82,6 +85,8 @@ class DeleteRequest(Request):
     #: True for replica-propagation copies of a client delete (the
     #: removal counterpart of ``SetRequest.replica``).
     replica: bool = False
+    #: HLC stamp of the delete (tombstone order); None without HLC.
+    hlc: Optional[tuple] = None
 
     def __post_init__(self):
         self.op = "delete"

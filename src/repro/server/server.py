@@ -523,7 +523,7 @@ class MemcachedServer:
         item, info = yield from self.manager.store(
             request.key, request.value_length, request.flags,
             request.expiration, mode=request.mode,
-            cas_token=request.cas_token)
+            cas_token=request.cas_token, hlc=request.hlc)
         stages["slab_alloc"] = sim._now - t0
         if ptid is not None:
             # Store time beyond the alloc CPU is flush/eviction I/O wait.
@@ -660,7 +660,7 @@ class MemcachedServer:
             px = "replica." if request.replica else ""
             self.obs.profiler.record(request.trace_id, px + "index",
                                      t0, self.sim.now)
-        found = self.manager.delete(request.key)
+        found = self.manager.delete(request.key, hlc=request.hlc)
         if request.replica:
             self.stats.replica_applies += 1
             self._m_replica_applies.inc()

@@ -3,6 +3,7 @@
 import pytest
 
 from repro import build_cluster, profiles
+from repro.core.cluster import ReplicationConfig
 from repro.units import KB, MB
 
 pytestmark = pytest.mark.protocol
@@ -80,8 +81,8 @@ def test_gets_returns_cas_token_for_cas():
 
 def test_counter_replicates_to_all_replicas():
     cluster = build_cluster(profiles.RDMA_MEM, server_mem=16 * MB,
-                            num_servers=2, replication_factor=2,
-                            write_mode="sync")
+                            num_servers=2,
+                            replication=ReplicationConfig(factor=2))
     client = cluster.clients[0]
 
     def app(sim):

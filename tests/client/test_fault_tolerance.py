@@ -5,6 +5,7 @@ the test()/wait miss-path + blocked-time accounting."""
 import pytest
 
 from repro import build_cluster, profiles
+from repro.core.cluster import ReplicationConfig
 from repro.client.hashing import make_router
 from repro.server.protocol import HIT, MISS
 from repro.units import KB, MB, MS, US
@@ -29,8 +30,9 @@ class TestKetamaEndToEnd:
     def test_preload_follows_ketama_router(self):
         """Regression: preload used to hardcode ModuloRouter, landing
         every key on the wrong server under router='ketama'."""
-        cluster = small_cluster(profiles.RDMA_MEM, num_servers=4,
-                                router="ketama")
+        cluster = small_cluster(
+            profiles.RDMA_MEM, num_servers=4,
+            replication=ReplicationConfig(router="ketama"))
         cluster.preload([(k, 4 * KB) for k in KEYS])
         client = cluster.clients[0]
 
@@ -42,9 +44,10 @@ class TestKetamaEndToEnd:
         run_app(cluster, app)
 
     def test_surviving_servers_keys_still_hit_after_ejection(self):
-        cluster = small_cluster(profiles.RDMA_MEM, num_servers=4,
-                                router="ketama", request_timeout=1 * MS,
-                                failure_threshold=1)
+        cluster = small_cluster(
+            profiles.RDMA_MEM, num_servers=4,
+            replication=ReplicationConfig(router="ketama"),
+            request_timeout=1 * MS, failure_threshold=1)
         cluster.backend.default_value_length = 4 * KB
         cluster.preload([(k, 4 * KB) for k in KEYS])
         client = cluster.clients[0]

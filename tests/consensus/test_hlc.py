@@ -1,0 +1,71 @@
+"""Hybrid logical clock: monotonicity, remote observation, merge order."""
+
+from repro.consensus import HybridLogicalClock, later
+
+
+class FakeSim:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+class TestStamp:
+    def test_strictly_increasing_at_frozen_time(self):
+        clock = HybridLogicalClock(FakeSim(), origin=0)
+        stamps = [clock.stamp() for _ in range(10)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+        # Physical component frozen, so the logical counter does the work.
+        assert {s[0] for s in stamps} == {0.0}
+        assert [s[1] for s in stamps] == list(range(10))
+
+    def test_physical_advance_resets_logical(self):
+        sim = FakeSim()
+        clock = HybridLogicalClock(sim, origin=0)
+        clock.stamp()
+        clock.stamp()
+        sim.now = 1.5
+        assert clock.stamp() == (1.5, 0, 0)
+
+    def test_origin_rides_every_stamp(self):
+        clock = HybridLogicalClock(FakeSim(), origin=7)
+        assert clock.stamp()[2] == 7
+
+
+class TestObserve:
+    def test_local_stamps_sort_after_observed_remote(self):
+        clock = HybridLogicalClock(FakeSim(), origin=0)
+        remote = (2.0, 5, 1)
+        clock.observe(remote)
+        assert clock.stamp() > remote
+
+    def test_observe_none_is_noop(self):
+        clock = HybridLogicalClock(FakeSim(), origin=0)
+        clock.observe(None)
+        assert clock.stamp() == (0.0, 0, 0)
+
+    def test_stale_remote_does_not_rewind(self):
+        sim = FakeSim(now=3.0)
+        clock = HybridLogicalClock(sim, origin=0)
+        first = clock.stamp()
+        clock.observe((1.0, 99, 1))
+        assert clock.stamp() > first
+
+
+class TestMergeOrder:
+    def test_tuple_comparison_is_the_merge_order(self):
+        # physical first, then logical, then origin.
+        assert (2.0, 0, 0) > (1.0, 9, 9)
+        assert (1.0, 1, 0) > (1.0, 0, 9)
+        assert (1.0, 0, 1) > (1.0, 0, 0)
+
+    def test_origin_breaks_exact_ties_deterministically(self):
+        a = HybridLogicalClock(FakeSim(), origin=0).stamp()
+        b = HybridLogicalClock(FakeSim(), origin=1).stamp()
+        assert a != b
+        assert later(a, b) == b
+
+    def test_later_treats_none_as_smallest(self):
+        stamp = (1.0, 0, 0)
+        assert later(None, stamp) == stamp
+        assert later(stamp, None) == stamp
+        assert later(None, None) is None

@@ -1,6 +1,7 @@
 """CLI surface (``check --seed`` / ``fuzz``) and RunConfig wiring."""
 
 from repro.cli import main
+from repro.core.cluster import ReplicationConfig
 from repro.core.profiles import H_RDMA_OPT_NONB_I
 from repro.harness.runner import RunConfig
 from repro.workloads.generator import WorkloadSpec
@@ -80,9 +81,9 @@ class TestRunConfigWiring:
                         workload=WorkloadSpec(num_ops=80, num_keys=40,
                                               value_length=4096),
                         check_consistency=True,
-                        spec_overrides={"num_servers": 3,
-                                        "num_clients": 2,
-                                        "replication_factor": 2})
+                        spec_overrides={
+                            "num_servers": 3, "num_clients": 2,
+                            "replication": ReplicationConfig(factor=2)})
         result = cfg.run()
         assert result.consistency is not None
         assert result.consistency.ok

@@ -38,7 +38,8 @@ class TestReproLine:
             request_timeout=args.request_timeout,
             eject_duration=args.eject_duration,
             server_mem_mb=args.server_mem_mb,
-            ssd_limit_mb=args.ssd_limit_mb)
+            ssd_limit_mb=args.ssd_limit_mb,
+            consensus=args.consensus, hlc=args.hlc)
         assert rebuilt == scn
 
     def test_line_is_one_command(self):
@@ -53,11 +54,9 @@ class TestShrink:
         # else; shrink must strip the partition, the ops, the clients.
         def fake_run(scn, *, full=True):
             failing = any("crash" in s for s in scn.fault_specs)
-            report = ConsistencyReport()
-            if failing:
-                report.violations.append(
-                    Violation("stale-read", "k", 0, "stub"))
-            return report, [], None
+            violations = ((Violation("stale-read", "k", 0, "stub"),)
+                          if failing else ())
+            return ConsistencyReport(violations=violations), [], None
 
         monkeypatch.setattr(fuzz_mod, "run_scenario", fake_run)
         scn = Scenario(seed=1, num_clients=2, ops_per_client=120,
@@ -74,9 +73,8 @@ class TestShrink:
 
         def fake_run(scn, *, full=True):
             calls.append(scn)
-            report = ConsistencyReport()
-            report.violations.append(
-                Violation("stale-read", "k", 0, "stub"))
+            report = ConsistencyReport(
+                violations=(Violation("stale-read", "k", 0, "stub"),))
             return report, [], None
 
         monkeypatch.setattr(fuzz_mod, "run_scenario", fake_run)
@@ -98,9 +96,8 @@ class TestFuzzSeeds:
 
     def test_failure_gets_shrunk_repro(self, monkeypatch):
         def fake_run(scn, *, full=True):
-            report = ConsistencyReport()
-            report.violations.append(
-                Violation("stale-read", "k", 0, "stub"))
+            report = ConsistencyReport(
+                violations=(Violation("stale-read", "k", 0, "stub"),))
             return report, [], None
 
         monkeypatch.setattr(fuzz_mod, "run_scenario", fake_run)

@@ -23,7 +23,8 @@ import pytest
 
 from repro.client.client import MemcachedClient
 from repro.consistency import HistoryRecorder, check_history
-from repro.core.cluster import ClusterSpec, build_cluster
+from repro.core.cluster import (ClusterSpec, ReplicationConfig,
+                                build_cluster)
 from repro.core.profiles import H_RDMA_OPT_NONB_I
 from repro.faults import FaultPlan
 from repro.server.server import ServerCosts
@@ -46,11 +47,12 @@ def keys_by_primary(client, want, count):
 def run_scenario_once():
     sim = Simulator()
     spec = ClusterSpec(num_servers=3, num_clients=3,
-                       server_mem=256 * MB, router="modulo",
+                       server_mem=256 * MB,
+                       replication=ReplicationConfig(
+                           factor=2, write_mode="sync", router="modulo"),
                        worker_threads=1, get_priority=True,
                        costs=ServerCosts(memcpy_bandwidth=5e8),
-                       request_timeout=1.5e-3, retry_backoff=5e-6,
-                       replication_factor=2, write_mode="sync")
+                       request_timeout=1.5e-3, retry_backoff=5e-6)
     cluster = build_cluster(H_RDMA_OPT_NONB_I, spec=spec, sim=sim,
                             value_length_for=lambda _k: VAL)
     writer, bomber, reader = cluster.clients

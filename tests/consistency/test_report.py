@@ -1,0 +1,73 @@
+"""ConsistencyReport: the frozen result type behind check/fuzz output.
+
+The report is an immutable value object with a stable ``to_dict()``
+shape — CI artifacts diff these across runs, so the key set is part of
+the contract.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.consistency import ConsistencyReport, Violation
+from repro.consistency.checker import _Builder
+
+EXPECTED_KEYS = {"mode", "ok", "verdict", "ops_checked", "keys_checked",
+                 "pairs_searched", "unattributed_reads",
+                 "possibly_applied", "undecided", "violations"}
+
+
+class TestFrozen:
+    def test_immutable(self):
+        report = ConsistencyReport()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            report.ops_checked = 5
+
+    def test_defaults_are_a_clean_linearizable_verdict(self):
+        report = ConsistencyReport()
+        assert report.mode == "linearizable"
+        assert report.ok
+        assert report.verdict == "OK"
+
+    def test_verdict_counts_violations(self):
+        report = ConsistencyReport(violations=(
+            Violation("stale-read", "k", 0, "x"),
+            Violation("diverged", "k2", -1, "y")))
+        assert not report.ok
+        assert report.verdict == "2 VIOLATION(S)"
+        assert "2 VIOLATION(S)" in report.summary()
+
+
+class TestToDict:
+    def test_stable_key_set_and_json_round_trip(self):
+        report = ConsistencyReport(
+            mode="eventual", ops_checked=10, keys_checked=3,
+            undecided=(("k", -1),),
+            violations=(Violation("diverged", "k2", -1, "states differ"),))
+        d = report.to_dict()
+        assert set(d) == EXPECTED_KEYS
+        assert d["mode"] == "eventual"
+        assert d["ok"] is False
+        assert d["undecided"] == [["k", -1]]
+        assert d["violations"] == [{"kind": "diverged", "key": "k2",
+                                    "server": -1,
+                                    "detail": "states differ"}]
+        assert json.loads(json.dumps(d)) == d
+
+
+class TestBuilder:
+    def test_freeze_copies_every_field(self):
+        builder = _Builder(mode="eventual", ops_checked=7)
+        builder.keys_checked = 2
+        builder.pairs_searched = 4
+        builder.undecided.append(("k", -1))
+        builder.violations.append(Violation("lost-write", "k", -1, "z"))
+        builder.unattributed_reads = 1
+        builder.possibly_applied = 3
+        report = builder.freeze()
+        assert report == ConsistencyReport(
+            mode="eventual", ops_checked=7, keys_checked=2,
+            pairs_searched=4, undecided=(("k", -1),),
+            violations=(Violation("lost-write", "k", -1, "z"),),
+            unattributed_reads=1, possibly_applied=3)

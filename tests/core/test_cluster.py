@@ -3,7 +3,7 @@
 import pytest
 
 from repro import build_cluster, profiles
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterSpec, ReplicationConfig
 from repro.units import KB, MB
 
 
@@ -135,9 +135,9 @@ def test_reset_metrics_registry_flag():
 
 
 def test_preload_replicates():
-    cluster = build_cluster(profiles.RDMA_MEM, num_servers=3,
-                            server_mem=8 * MB, router="ketama",
-                            replication_factor=2)
+    cluster = build_cluster(
+        profiles.RDMA_MEM, num_servers=3, server_mem=8 * MB,
+        replication=ReplicationConfig(factor=2, router="ketama"))
     pairs = [(f"key{i}".encode(), 1 * KB) for i in range(50)]
     assert cluster.preload(pairs) == 50
     assert cluster.total_items == 100  # two copies of every key

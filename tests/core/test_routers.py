@@ -1,0 +1,42 @@
+"""Router invariants under degraded membership views.
+
+The replication design leans on one property: for any alive set the
+membership machinery can produce (ejection, committed views, epoch
+bumps on partition-heal), the first entry of ``replicas_for`` IS the
+``server_for`` primary. Reads that fail over walk the same preference
+order writes fanned out on, on both distribution strategies.
+"""
+
+import itertools
+
+import pytest
+
+from repro.client.hashing import make_router
+
+KEYS = [b"key:%010d" % i for i in range(128)]
+
+
+@pytest.mark.parametrize("name", ["modulo", "ketama"])
+class TestPrimaryReplicaAgreement:
+    def test_full_membership(self, name):
+        router = make_router(name, 4)
+        for key in KEYS:
+            assert router.replicas_for(key, 2)[0] == router.server_for(key)
+
+    def test_every_alive_subset(self, name):
+        router = make_router(name, 4)
+        for size in (1, 2, 3):
+            for alive in itertools.combinations(range(4), size):
+                alive = set(alive)
+                n = min(2, len(alive))
+                for key in KEYS[:32]:
+                    assert (router.replicas_for(key, n, alive)[0]
+                            == router.server_for(key, alive))
+
+    def test_replicas_are_distinct_and_alive(self, name):
+        router = make_router(name, 5)
+        alive = {0, 2, 4}
+        for key in KEYS[:32]:
+            replicas = router.replicas_for(key, 3, alive)
+            assert len(set(replicas)) == len(replicas) == 3
+            assert set(replicas) <= alive

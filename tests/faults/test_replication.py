@@ -11,7 +11,7 @@ byte-identical for the same seed + plan, across both simulator paths.
 import pytest
 
 from repro import build_cluster, profiles
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterSpec, ReplicationConfig
 from repro.core.profiles import H_RDMA_OPT_NONB_I
 from repro.faults import FaultPlan
 from repro.harness.runner import RunConfig
@@ -32,10 +32,12 @@ def repl_config(replication=2, write_mode="sync", faults=PLAN_SPECS,
                         read_fraction=0.5, distribution="uniform", seed=seed)
     cluster_spec = ClusterSpec(
         num_servers=4, num_clients=2, server_mem=16 * MB,
-        ssd_limit=64 * MB, router="ketama",
+        ssd_limit=64 * MB,
+        replication=ReplicationConfig(factor=replication,
+                                      write_mode=write_mode,
+                                      router="ketama"),
         request_timeout=2 * MS, retry_backoff=200 * US,
-        failure_threshold=2, replication_factor=replication,
-        write_mode=write_mode, observe=observe)
+        failure_threshold=2, observe=observe)
     plan = FaultPlan.parse(faults) if faults else None
     return RunConfig(profile=H_RDMA_OPT_NONB_I, workload=spec,
                      cluster=cluster_spec, sim=sim, fault_plan=plan)
@@ -132,9 +134,10 @@ class TestResync:
     def small_replicated(self, observe=False):
         cluster = build_cluster(
             profiles.H_RDMA_OPT_NONB_I, num_servers=4, num_clients=1,
-            server_mem=16 * MB, ssd_limit=64 * MB, router="ketama",
+            server_mem=16 * MB, ssd_limit=64 * MB,
+            replication=ReplicationConfig(factor=2, router="ketama"),
             request_timeout=2 * MS, failure_threshold=2,
-            replication_factor=2, observe=observe)
+            observe=observe)
         pairs = [(f"key{i}".encode(), 4 * KB) for i in range(64)]
         cluster.preload(pairs)
         return cluster, pairs
@@ -159,8 +162,9 @@ class TestResync:
             assert (key in table) == (1 in router.replicas_for(key, 2))
 
     def test_resync_noop_at_r1(self):
-        cluster = build_cluster(profiles.RDMA_MEM, num_servers=2,
-                                server_mem=8 * MB, router="ketama")
+        cluster = build_cluster(
+            profiles.RDMA_MEM, num_servers=2, server_mem=8 * MB,
+            replication=ReplicationConfig(router="ketama"))
         cluster.preload([(b"a", 1 * KB), (b"b", 1 * KB)])
         assert cluster.resync_server(0) == 0
 
@@ -190,9 +194,9 @@ class TestMgetAcrossCrash:
     def test_mget_spanning_crashed_server_still_hits(self):
         cluster = build_cluster(
             profiles.H_RDMA_OPT_NONB_I, num_servers=4, num_clients=1,
-            server_mem=16 * MB, ssd_limit=64 * MB, router="ketama",
-            request_timeout=1 * MS, failure_threshold=1,
-            replication_factor=2)
+            server_mem=16 * MB, ssd_limit=64 * MB,
+            replication=ReplicationConfig(factor=2, router="ketama"),
+            request_timeout=1 * MS, failure_threshold=1)
         client = cluster.clients[0]
         sim = cluster.sim
         keys = [f"key{i}".encode() for i in range(32)]
@@ -220,12 +224,10 @@ class TestSpecValidation:
     def test_replication_factor_bounds(self):
         with pytest.raises(ValueError):
             build_cluster(profiles.RDMA_MEM, num_servers=2,
-                          replication_factor=3)
+                          replication=ReplicationConfig(factor=3))
         with pytest.raises(ValueError):
-            build_cluster(profiles.RDMA_MEM, num_servers=2,
-                          replication_factor=0)
+            ReplicationConfig(factor=0)
 
     def test_write_mode_validated(self):
         with pytest.raises(ValueError):
-            build_cluster(profiles.RDMA_MEM, num_servers=2,
-                          replication_factor=2, write_mode="eventual")
+            ReplicationConfig(factor=2, write_mode="eventual")

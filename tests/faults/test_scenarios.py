@@ -6,7 +6,7 @@ than a deadlock, and the same seed + FaultPlan must replay a
 byte-identical timeline.
 """
 
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterSpec, ReplicationConfig
 from repro.core.profiles import H_RDMA_OPT_NONB_I, RDMA_MEM
 from repro.faults import FaultPlan
 from repro.harness.runner import run_workload, setup_cluster
@@ -21,7 +21,8 @@ def crash_run(profile, seed=5, observe=False, faults=PLAN_SPECS):
                         read_fraction=0.5, distribution="zipf", seed=seed)
     cluster_spec = ClusterSpec(
         num_servers=4, num_clients=2, server_mem=16 * MB,
-        ssd_limit=64 * MB, router="ketama",
+        ssd_limit=64 * MB,
+        replication=ReplicationConfig(router="ketama"),
         request_timeout=2 * MS, retry_backoff=200 * US,
         failure_threshold=2, observe=observe)
     cluster = setup_cluster(profile, spec, cluster_spec=cluster_spec)
@@ -94,7 +95,8 @@ class TestCrashOneOfFour:
                                 seed=9)
             cluster_spec = ClusterSpec(
                 num_servers=4, num_clients=1, server_mem=16 * MB,
-                ssd_limit=64 * MB, router="ketama",
+                ssd_limit=64 * MB,
+                replication=ReplicationConfig(router="ketama"),
                 request_timeout=2 * MS, trace=True)
             cluster = setup_cluster(H_RDMA_OPT_NONB_I, spec,
                                     cluster_spec=cluster_spec)
@@ -114,8 +116,8 @@ class TestCrashOneOfFour:
         def run():
             cluster_spec = ClusterSpec(
                 num_servers=4, num_clients=2, server_mem=16 * MB,
-                router="ketama", request_timeout=2 * MS,
-                eject_duration=5 * MS)
+                replication=ReplicationConfig(router="ketama"),
+                request_timeout=2 * MS, eject_duration=5 * MS)
             cluster = setup_cluster(RDMA_MEM, spec,
                                     cluster_spec=cluster_spec)
             return run_workload(cluster, spec, fault_plan=plan)
@@ -132,10 +134,10 @@ class TestFailFast:
         from repro import build_cluster, profiles
         from repro.server.protocol import SERVER_DOWN
 
-        cluster = build_cluster(profiles.RDMA_MEM, num_servers=2,
-                                server_mem=16 * MB, router="ketama",
-                                request_timeout=1 * MS,
-                                failure_threshold=1)
+        cluster = build_cluster(
+            profiles.RDMA_MEM, num_servers=2, server_mem=16 * MB,
+            replication=ReplicationConfig(router="ketama"),
+            request_timeout=1 * MS, failure_threshold=1)
         cluster.backend.default_value_length = 4 * KB
         client = cluster.clients[0]
         for server in cluster.servers:

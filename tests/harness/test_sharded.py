@@ -13,7 +13,7 @@ import dataclasses
 
 import pytest
 
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterSpec, ReplicationConfig
 from repro.core.profiles import ALL_PROFILES, FATCACHE, IPOIB_MEM
 from repro.faults import FaultPlan
 from repro.harness.runner import RunConfig
@@ -163,8 +163,15 @@ class TestRefusals:
     def test_replication_refuses(self):
         spec = ClusterSpec(num_servers=3, num_clients=2,
                            server_mem=1 * MB, ssd_limit=4 * MB,
-                           replication_factor=2)
+                           replication=ReplicationConfig(factor=2))
         with pytest.raises(ShardingUnsupported, match="replication"):
+            _cfg(cluster=spec, shards=2).run()
+
+    def test_consensus_refuses(self):
+        spec = ClusterSpec(num_servers=3, num_clients=2,
+                           server_mem=1 * MB, ssd_limit=4 * MB,
+                           replication=ReplicationConfig(consensus=True))
+        with pytest.raises(ShardingUnsupported, match="consensus"):
             _cfg(cluster=spec, shards=2).run()
 
     def test_profiling_refuses(self):

@@ -15,7 +15,7 @@ import json
 
 import pytest
 
-from repro.core.cluster import ClusterSpec
+from repro.core.cluster import ClusterSpec, ReplicationConfig
 from repro.core.profiles import H_RDMA_OPT_NONB_I
 from repro.faults import FaultPlan
 from repro.harness.runner import RunConfig
@@ -31,7 +31,8 @@ def _run(fast_lane: bool):
     cluster_spec = ClusterSpec(
         num_servers=3, num_clients=2,
         server_mem=4 * MB, ssd_limit=16 * MB,
-        router="ketama", replication_factor=2, write_mode="sync",
+        replication=ReplicationConfig(factor=2, write_mode="sync",
+                                      router="ketama"),
         request_timeout=2e-3, eject_duration=5e-3,
         profile=True, profile_keep_traces=True)
     cfg = RunConfig(

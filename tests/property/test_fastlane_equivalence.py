@@ -117,7 +117,7 @@ def test_fast_lane_flag_is_respected():
 def test_crash_scenario_chrome_trace_is_byte_identical_across_paths():
     """The PR 2 crash-1-of-4 fault scenario replays byte-identically
     whether events flow through the fast lane or the legacy heap."""
-    from repro.core.cluster import ClusterSpec
+    from repro.core.cluster import ClusterSpec, ReplicationConfig
     from repro.core.profiles import H_RDMA_OPT_NONB_I
     from repro.faults import FaultPlan
     from repro.harness.runner import run_workload, setup_cluster
@@ -130,7 +130,8 @@ def test_crash_scenario_chrome_trace_is_byte_identical_across_paths():
                             read_fraction=0.5, seed=9)
         cluster_spec = ClusterSpec(
             num_servers=4, num_clients=1, server_mem=16 * MB,
-            ssd_limit=64 * MB, router="ketama",
+            ssd_limit=64 * MB,
+            replication=ReplicationConfig(router="ketama"),
             request_timeout=2 * MS, trace=True)
         cluster = setup_cluster(H_RDMA_OPT_NONB_I, spec,
                                 cluster_spec=cluster_spec,
