@@ -20,7 +20,7 @@ Quickstart::
 
     from repro import build_cluster, profiles
 
-    cluster = build_cluster(profiles.H_RDMA_OPT_NONB_I, num_servers=1)
+    cluster = build_cluster(profiles.H_RDMA_OPT_NONB_I)
     client = cluster.clients[0]
 
     def app(sim):

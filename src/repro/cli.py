@@ -12,6 +12,8 @@ Usage::
     python -m repro profile --ycsb A --servers 4 --clients 4 --ops 2000
     python -m repro fuzz --seeds 0:24 --out fuzz-artifacts
     python -m repro check --seed 7 --replication 2 --fault crash:server=1,at=4ms
+    python -m repro scale --from 4 --to 8 --at 2ms --traffic diurnal
+    python -m repro topology --servers 4 --router ketama
 """
 
 from __future__ import annotations
@@ -22,13 +24,15 @@ from typing import List, Optional
 
 from repro.core.cluster import ClusterSpec, ReplicationConfig
 from repro.core.profiles import ALL_PROFILES
+from repro.core.topology import TopologyConfig
 from repro.faults import FaultPlan, parse_time
 from repro.harness import figures
 from repro.harness.report import ascii_table, fmt_pct, fmt_us, obs_report
-from repro.harness.runner import RunConfig
+from repro.harness.runner import RunConfig, ScaleEvent
 from repro.storage.params import NVME_SSD, SATA_SSD
 from repro.units import KB, MB, MS
 from repro.workloads.generator import WorkloadSpec
+from repro.workloads.traffic import TRAFFIC_SHAPES, make_traffic
 from repro.workloads.ycsb import CORE_WORKLOADS, generate_ycsb_ops
 
 DEVICES = {"sata": SATA_SSD, "nvme": NVME_SSD}
@@ -173,7 +177,10 @@ def _build(args, spec: WorkloadSpec, observe: bool = False,
     profile_key = ALL_PROFILES[args.profile]
     eject = getattr(args, "eject_duration", None)
     cluster_spec = ClusterSpec(
-        num_servers=args.servers,
+        topology=TopologyConfig(
+            initial_servers=args.servers,
+            handoff=getattr(args, "handoff", "forward"),
+        ),
         num_clients=args.clients,
         server_mem=args.server_mem_mb * MB,
         ssd_limit=args.ssd_limit_mb * MB,
@@ -359,6 +366,54 @@ def cmd_ycsb(args) -> int:
     return 0
 
 
+def cmd_scale(args) -> int:
+    """Run a workload while the cluster scales between two sizes and
+    report steady-state vs migration-window behaviour."""
+    import dataclasses
+
+    args.servers = args.from_servers
+    spec = _workload_spec(args)
+    cfg = _build(args, spec, observe=True)
+    cfg = dataclasses.replace(
+        cfg,
+        scale_events=(ScaleEvent(at=parse_time(args.at),
+                                 servers=args.to_servers),),
+        traffic=(make_traffic(args.traffic)
+                 if args.traffic != "steady" else None),
+    )
+    cluster = cfg.build()
+    result = cfg.run(cluster=cluster)
+    _print_summary(
+        f"{ALL_PROFILES[args.profile].label} — scale "
+        f"{args.from_servers}->{args.to_servers} at {args.at} "
+        f"({args.traffic} traffic, {args.handoff} handoff)", result)
+    reg = cluster.obs.registry
+
+    def _total(name: str) -> int:
+        return int(sum(c.value for c in reg.counters(
+            lambda m: m.name == name)))
+
+    print()
+    print(ascii_table([{
+        "migrated items": _total("migration_items"),
+        "forwards": _total("migration_forwards"),
+        "double reads": _total("double_reads"),
+        "final epoch": cluster.view_epoch,
+    }], title="Migration"))
+    print()
+    print(cluster.admin.topology().describe())
+    return 0
+
+
+def cmd_topology(args) -> int:
+    """Build the cluster (no workload) and print ring ownership."""
+    spec = _workload_spec(args)
+    cfg = _build(args, spec)
+    cluster = cfg.build()
+    print(cluster.admin.topology().describe())
+    return 0
+
+
 def cmd_reproduce(args) -> int:
     targets = {
         "table1": lambda: _show_rows(figures.table1(), "Table I"),
@@ -469,6 +524,38 @@ def build_parser() -> argparse.ArgumentParser:
     ycsb_p.add_argument("--seed", type=int, default=1)
     ycsb_p.set_defaults(func=cmd_ycsb)
 
+    scale_p = sub.add_parser(
+        "scale", help="run a workload while elastically resizing the "
+                      "cluster (online shard migration under live "
+                      "traffic) and report migration counters")
+    _add_cluster_args(scale_p)
+    _add_workload_args(scale_p)
+    scale_p.add_argument("--from", dest="from_servers", type=int,
+                         default=4, metavar="N",
+                         help="initial server count (default 4)")
+    scale_p.add_argument("--to", dest="to_servers", type=int, default=8,
+                         metavar="N",
+                         help="target server count (default 8)")
+    scale_p.add_argument("--at", default="2ms", metavar="TIME",
+                         help="sim time of the resize (default 2ms)")
+    scale_p.add_argument("--traffic", default="steady",
+                         choices=sorted(TRAFFIC_SHAPES),
+                         help="traffic shape pacing the clients: steady, "
+                              "diurnal (sinusoidal), or spike (flash "
+                              "crowd)")
+    scale_p.add_argument("--handoff", default="forward",
+                         choices=("forward", "double-read"),
+                         help="migration-window correctness mode "
+                              "(default forward)")
+    scale_p.set_defaults(func=cmd_scale)
+
+    topo_p = sub.add_parser(
+        "topology", help="print ring ownership per server at the "
+                         "current view epoch")
+    _add_cluster_args(topo_p)
+    _add_workload_args(topo_p)
+    topo_p.set_defaults(func=cmd_topology)
+
     rep_p = sub.add_parser("reproduce",
                            help="regenerate a paper table/figure")
     rep_p.add_argument("--figure", default="all",
@@ -508,6 +595,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fuzz the eventual-consistency band instead: "
                              "partition-heavy async/HLC scenarios checked "
                              "for post-quiesce convergence")
+    fuzz_p.add_argument("--elastic", action="store_true",
+                        help="fuzz the elasticity band instead: scale "
+                             "add/remove events (racing optional faults) "
+                             "during the run, both handoff modes")
     fuzz_p.set_defaults(func=cmd_fuzz)
 
     exp_p = sub.add_parser("export",
@@ -559,6 +650,13 @@ def _add_consistency_args(p: argparse.ArgumentParser) -> None:
                    help="HLC-stamped writes with last-writer-wins merge; "
                         "with --write-mode async the history is checked "
                         "for eventual convergence instead")
+    p.add_argument("--scale-op", action="append", metavar="SPEC",
+                   help="elastic event during the replay (repeatable): "
+                        "add@TIME, remove@TIME, or remove:IDX@TIME "
+                        "(times in seconds, e.g. add@0.004)")
+    p.add_argument("--handoff", default="forward",
+                   choices=("forward", "double-read"),
+                   help="migration-window correctness mode")
     p.add_argument("--history-out", default=None, metavar="FILE",
                    help="also write the recorded history as JSONL")
 
@@ -586,6 +684,8 @@ def cmd_check_consistency(args) -> int:
         counter_ops=args.counter_ops,
         consensus=args.consensus,
         hlc=args.hlc,
+        scale_specs=tuple(args.scale_op or ()),
+        handoff=args.handoff,
     )
     print(repro_line(scn))
     report, events, _recorder = run_scenario(scn)
@@ -603,8 +703,8 @@ def cmd_check_consistency(args) -> int:
 
 
 def cmd_fuzz(args) -> int:
-    from repro.consistency import (derive, derive_eventual, fuzz_seeds,
-                                   to_jsonl)
+    from repro.consistency import (derive, derive_elastic, derive_eventual,
+                                   fuzz_seeds, to_jsonl)
 
     if ":" in args.seeds:
         lo, hi = args.seeds.split(":", 1)
@@ -612,6 +712,11 @@ def cmd_fuzz(args) -> int:
     else:
         seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
     eventual = getattr(args, "eventual", False)
+    elastic = getattr(args, "elastic", False)
+    if eventual and elastic:
+        print("--eventual and --elastic are mutually exclusive",
+              file=sys.stderr)
+        return 2
 
     def progress(result) -> None:
         mark = "ok  " if result.ok else "FAIL"
@@ -622,17 +727,26 @@ def cmd_fuzz(args) -> int:
             extras += "/raft"
         if scn.hlc:
             extras += "/hlc"
+        scaling = ""
+        if scn.scale_specs:
+            scaling = (f" scale={';'.join(scn.scale_specs)}"
+                       f"/{scn.handoff}")
         print(f"  seed {result.seed:>4} {mark} R={scn.replication} "
               f"{scn.write_mode}/{scn.router}{extras}"
-              f"{'' if scn.fast_lane else '/legacy'} faults={faults} "
+              f"{'' if scn.fast_lane else '/legacy'} faults={faults}"
+              f"{scaling} "
               f"({result.report.mode}: {result.report.verdict}, "
               f"{result.report.ops_checked} ops)")
 
-    band = "eventual-convergence" if eventual else "linearizability"
+    if eventual:
+        band, derive_fn = "eventual-convergence", derive_eventual
+    elif elastic:
+        band, derive_fn = "elasticity", derive_elastic
+    else:
+        band, derive_fn = "linearizability", derive
     print(f"fuzzing {len(seeds)} seed(s) [{band} band]...")
     results = fuzz_seeds(seeds, shrink_failures=not args.no_shrink,
-                         progress=progress,
-                         derive_fn=derive_eventual if eventual else derive)
+                         progress=progress, derive_fn=derive_fn)
     failures = [r for r in results if not r.ok]
     if args.out:
         import json as _json

@@ -184,6 +184,11 @@ class MemcachedClient:
         self._profiler = self.obs.profiler
         self._conns: List[ServerConn] = []
         self._router = None
+        #: Hash-ring size the router is built for. Decoupled from the
+        #: connection count: an elastically added server is wired (conn
+        #: appended) before the epoch-bumped view announces the larger
+        #: ring, so routing must not grow early. 0 = follow the conns.
+        self._ring_size = 0
         self._engine_queue: Mailbox = Mailbox(sim)
         self._outstanding: Dict[int, MemcachedReq] = {}
         self._job_meta: Dict[int, tuple] = {}
@@ -254,6 +259,11 @@ class MemcachedClient:
                                      and server.config.early_ack))
         self._conns.append(conn)
         self._router = None  # rebuilt on next use
+        if self._started:
+            # Elastically added mid-run: the communication engine is
+            # already up, so this connection needs its response pump now.
+            self.sim.spawn(self._pump(conn),
+                           name=f"{self.name}-pump{conn.index}")
         self.obs.registry.gauge(
             "client_server_health",
             fn=lambda c=conn: 1.0 if self._conn_alive(c) else 0.0,
@@ -282,18 +292,25 @@ class MemcachedClient:
                 conn.consecutive_timeouts = 0
                 conn.ejected_until = None
 
-    def apply_view(self, epoch: int, alive) -> None:
-        """Observe a consensus-committed membership view.
+    def apply_view(self, epoch: int, alive, ring_size: int = 0) -> None:
+        """Observe a committed membership/topology view.
 
         Called by the :class:`~repro.consensus.RaftGroup` publication
-        bus (after its notify delay). Monotonic on ``epoch``: stale
-        republications — e.g. from a just-elected leader re-announcing —
-        are ignored. A view that excludes servers overrides the static
-        ring the way ejection does, but from *committed* knowledge
-        rather than per-client timeout guessing."""
+        bus (after its notify delay) or by the cluster's direct epoch
+        publish on an elastic topology change. Monotonic on ``epoch``:
+        stale republications — e.g. from a just-elected leader
+        re-announcing — are ignored. A view that excludes servers
+        overrides the static ring the way ejection does, but from
+        *committed* knowledge rather than per-client timeout guessing.
+        A ``ring_size`` larger than the current ring is the atomic
+        cutover of an elastic scale-up: the router is rebuilt over the
+        grown ring, flipping ownership in one step."""
         if epoch <= self._view_epoch:
             return
         self._view_epoch = epoch
+        if ring_size and ring_size != (self._ring_size or len(self._conns)):
+            self._ring_size = ring_size
+            self._router = None
         excluded = frozenset(range(len(self._conns))) - frozenset(alive)
         self._view_excludes = excluded or None
         self._route_cache.clear()
@@ -312,8 +329,8 @@ class MemcachedClient:
             raise RuntimeError(f"{self.name}: no servers configured")
         router = self._router
         if router is None:
-            router = self._router = make_router(self.config.router,
-                                                len(conns))
+            router = self._router = make_router(
+                self.config.router, self._ring_size or len(conns))
         if not self._had_ejections and self._view_excludes is None:
             # Healthy-cluster fast path: no ejection has ever happened,
             # so the per-op health scans cannot change anything — and the
@@ -343,7 +360,8 @@ class MemcachedClient:
         first), skipping ejected and view-excluded servers. Empty when
         none are routable."""
         if self._router is None:
-            self._router = make_router(self.config.router, len(self._conns))
+            self._router = make_router(self.config.router,
+                                       self._ring_size or len(self._conns))
         self._restore_expired_ejections()
         alive = None
         if not all(c.healthy for c in self._conns):
@@ -372,6 +390,8 @@ class MemcachedClient:
         if self._started:
             return
         self._started = True
+        if self._ring_size == 0:
+            self._ring_size = len(self._conns)
         self.sim.spawn(self._engine(), name=f"{self.name}-engine")
         for conn in self._conns:
             self.sim.spawn(self._pump(conn), name=f"{self.name}-pump{conn.index}")
@@ -1476,11 +1496,14 @@ class MemcachedClient:
                 continue
             req.response = response
             req.status = response.status
-            # Attribute the completion to the connection that answered:
+            # Attribute the completion to the server that answered:
             # after a failover reissue, the response of the *first*
             # attempt can still arrive, and history/consistency checks
-            # need the server that actually served the op.
-            req.server_index = conn_index
+            # need the server that actually served the op. A response
+            # relayed through a migration-window forward carries the
+            # true origin (the new owner), not this connection's server.
+            origin = response.origin
+            req.server_index = origin if origin >= 0 else conn_index
             stages = response.stages
             req.stages.update(stages)
             # Network + delivery share of the server's response stage.

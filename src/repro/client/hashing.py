@@ -60,6 +60,31 @@ class ModuloRouter:
                 return candidate
         raise ValueError("no live servers")  # pragma: no cover
 
+    def ownership(self, alive: Optional[AbstractSet[int]] = None
+                  ) -> List[float]:
+        """Fraction of the keyspace owned by each server index.
+
+        Exact for the router's placement rule: each of the ``n`` hash
+        residues carries ``1/n`` of a uniform keyspace, and a residue
+        whose primary is dead probes to the next live index — so the
+        shares reflect the same rehash the request path uses.
+        """
+        shares = [0.0] * self.num_servers
+        frac = 1.0 / self.num_servers
+        for idx in range(self.num_servers):
+            owner = idx
+            if alive is not None and idx not in alive:
+                owner = -1
+                for step in range(1, self.num_servers):
+                    candidate = (idx + step) % self.num_servers
+                    if candidate in alive:
+                        owner = candidate
+                        break
+                if owner < 0:
+                    raise ValueError("no live servers")
+            shares[owner] += frac
+        return shares
+
     def replicas_for(self, key: bytes, n: int,
                      alive: Optional[AbstractSet[int]] = None
                      ) -> Sequence[int]:
@@ -126,6 +151,37 @@ class KetamaRouter:
             if owner in alive:
                 return owner
         raise ValueError("no live servers")  # pragma: no cover
+
+    def ownership(self, alive: Optional[AbstractSet[int]] = None
+                  ) -> List[float]:
+        """Fraction of the keyspace owned by each server index.
+
+        Exact for the ring: each arc ``(points[i-1], points[i]]`` maps
+        to ``owners[i]`` (walking clockwise past dead owners), and md5
+        spreads keys uniformly over the 2**32 point space, so arc width
+        over the circle is the owned share.
+        """
+        shares = [0.0] * self.num_servers
+        pts, owners = self._points, self._owners
+        n = len(pts)
+        circle = float(1 << 32)
+        for i in range(n):
+            if i == 0:
+                width = pts[0] + ((1 << 32) - pts[n - 1])
+            else:
+                width = pts[i] - pts[i - 1]
+            if not width:
+                continue
+            owner = -1
+            for step in range(n):
+                candidate = owners[(i + step) % n]
+                if alive is None or candidate in alive:
+                    owner = candidate
+                    break
+            if owner < 0:
+                raise ValueError("no live servers")
+            shares[owner] += width / circle
+        return shares
 
     def replicas_for(self, key: bytes, n: int,
                      alive: Optional[AbstractSet[int]] = None

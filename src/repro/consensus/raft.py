@@ -55,10 +55,16 @@ _ENTRY_BYTES = 24
 
 @dataclass(frozen=True)
 class View:
-    """One committed membership view: the ring epoch and who is in."""
+    """One committed membership view: the ring epoch and who is in.
+
+    ``ring_size`` is the hash-ring slot count the view routes over —
+    it grows when elastic scaling appends servers (0 in pre-elastic
+    views: clients treat that as "ring unchanged").
+    """
 
     epoch: int
     alive: FrozenSet[int]
+    ring_size: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -115,7 +121,8 @@ class RaftNode:
         # Persistent state (modeled as fsynced; survives crash+wipe).
         self.term = 0
         self.voted_for: Optional[int] = None
-        self.log: List[_Entry] = [_Entry(0, View(0, group.everyone))]
+        self.log: List[_Entry] = [
+            _Entry(0, View(0, group.everyone, len(group.everyone)))]
         # Volatile state.
         self.role = FOLLOWER
         self.commit_index = 0
@@ -209,7 +216,7 @@ class RaftNode:
         self._last_ack = {p: now for p in self.endpoints}
         # Current-term entry: bump the epoch with our liveness view (all
         # peers start presumed alive; the ack watchdog prunes them).
-        self._append_view(self.group.everyone)
+        self._append_view(self._compute_alive(self.group.everyone))
         self._broadcast_append()
 
     def _step_down(self, term: int) -> None:
@@ -222,16 +229,27 @@ class RaftNode:
 
     def _append_view(self, alive: FrozenSet[int]) -> None:
         epoch = self.log[-1].view.epoch + 1
-        self.log.append(_Entry(self.term, View(epoch, alive)))
+        self.log.append(_Entry(
+            self.term, View(epoch, alive, self.group.ring_size)))
         self._maybe_commit()  # a single-node group commits instantly
+
+    def _compute_alive(self, acked: FrozenSet[int]) -> FrozenSet[int]:
+        """The full serving set: consensus members that acked, plus
+        elastically added data-plane servers (not quorum members —
+        their liveness is probed directly), minus admin exclusions."""
+        group = self.group
+        extra = frozenset(s.index for s in group.extra_servers
+                          if s.alive and s.reachable)
+        return (acked | extra) - group.admin_excluded
 
     def _check_peer_liveness(self) -> None:
         dead_after = 4.0 * self.group.heartbeat_interval
         now = self.sim.now
-        alive = frozenset(
+        alive = self._compute_alive(frozenset(
             {self.index} | {p for p, at in self._last_ack.items()
-                            if now - at <= dead_after})
-        if alive != self.log[-1].view.alive:
+                            if now - at <= dead_after}))
+        last = self.log[-1].view
+        if alive != last.alive or self.group.ring_size != last.ring_size:
             self._append_view(alive)
 
     def _broadcast_append(self) -> None:
@@ -352,6 +370,15 @@ class RaftGroup:
         n = len(servers)
         self.everyone: FrozenSet[int] = frozenset(range(n))
         self.majority = n // 2 + 1
+        #: Current hash-ring slot count (grows under elastic scaling).
+        self.ring_size = n
+        #: Servers added after construction: data-plane members only.
+        #: Quorum stays fixed at the founding membership; the leader
+        #: probes these directly for liveness instead of via acks.
+        self.extra_servers: list = []
+        #: Indices an admin removed from the serving set (they may
+        #: still vote — exclusion is a routing fact, not a Raft one).
+        self.admin_excluded: FrozenSet[int] = frozenset()
         self._subscribers: list = []
         self._published_epoch = 0
         #: Leader elections won across the group (obs-independent).
@@ -394,10 +421,33 @@ class RaftGroup:
         """Total leader elections won across the group."""
         return self.elections_total
 
+    # -- elastic topology ---------------------------------------------------
+
+    def add_data_server(self, server) -> None:
+        """Register an elastically added server as a data-plane-only
+        member: it appears in committed views (when live and not
+        excluded) but never votes or holds log state."""
+        self.extra_servers.append(server)
+
+    def propose_topology(self, ring_size: int, excluded) -> None:
+        """Admin intent: route over ``ring_size`` slots with
+        ``excluded`` out of the serving set. Takes effect through the
+        normal commit path — the current leader appends a view now; if
+        an election is in flight, the next leader's liveness tick picks
+        the change up."""
+        self.ring_size = ring_size
+        self.admin_excluded = frozenset(excluded)
+        idx = self.leader_index
+        if idx is not None:
+            node = self.nodes[idx]
+            node._check_peer_liveness()
+            node._broadcast_append()
+
     # -- publication -------------------------------------------------------
 
     def subscribe(self, callback) -> None:
-        """Register ``callback(epoch, alive)`` for committed views."""
+        """Register ``callback(epoch, alive, ring_size)`` for committed
+        views."""
         self._subscribers.append(callback)
 
     def publish(self, view: View) -> None:
@@ -410,4 +460,4 @@ class RaftGroup:
 
     def _notify(self, callback, view: View):
         yield self.sim.timeout(self.view_notify_delay)
-        callback(view.epoch, view.alive)
+        callback(view.epoch, view.alive, view.ring_size)

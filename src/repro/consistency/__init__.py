@@ -18,6 +18,7 @@ from repro.consistency.checker import (ConsistencyReport, Violation,
                                        check_history, check_run)
 from repro.consistency.eventual import check_convergence
 from repro.consistency.fuzz import (FuzzResult, Scenario, derive,
+                                    derive_elastic,
                                     derive_eventual, fuzz_seeds, repro_line,
                                     run_scenario, shrink)
 from repro.consistency.history import (HistoryEvent, HistoryRecorder,
@@ -26,7 +27,8 @@ from repro.consistency.history import (HistoryEvent, HistoryRecorder,
 __all__ = [
     "ConsistencyReport", "Violation", "check_history", "check_run",
     "check_convergence",
-    "FuzzResult", "Scenario", "derive", "derive_eventual", "fuzz_seeds",
+    "FuzzResult", "Scenario", "derive", "derive_elastic",
+    "derive_eventual", "fuzz_seeds",
     "repro_line", "run_scenario", "shrink",
     "HistoryEvent", "HistoryRecorder", "from_jsonl", "record_run",
     "to_jsonl",

@@ -30,13 +30,15 @@ from repro.consistency.eventual import check_convergence
 from repro.consistency.history import HistoryEvent, HistoryRecorder
 from repro.core.cluster import ClusterSpec, ReplicationConfig, build_cluster
 from repro.core.profiles import H_RDMA_OPT_NONB_I
+from repro.core.topology import TopologyConfig
 from repro.faults import FaultPlan
 from repro.sim import Simulator
 from repro.units import MB
 from repro.workloads.keyspace import Keyspace
 
 __all__ = ["Scenario", "FuzzResult", "derive", "derive_eventual",
-           "run_scenario", "fuzz_seeds", "shrink", "repro_line"]
+           "derive_elastic", "run_scenario", "fuzz_seeds", "shrink",
+           "repro_line"]
 
 
 @dataclass(frozen=True)
@@ -69,6 +71,13 @@ class Scenario:
     #: ``write_mode="async"`` this switches the run to the
     #: eventual-convergence checker.
     hlc: bool = False
+    #: Elastic resize actions randomized into the run: ``"add@T"``
+    #: grows the fleet by one at ``T`` seconds, ``"remove:I@T"`` drains
+    #: server ``I`` out. Actions that collide with an in-flight
+    #: migration (or an invalid target) are skipped deterministically.
+    scale_specs: Tuple[str, ...] = ()
+    #: Migration-window correctness mode ("forward" / "double-read").
+    handoff: str = "forward"
 
     def to_cli_args(self) -> List[str]:
         """The exact ``repro check`` flags reproducing this scenario."""
@@ -97,6 +106,10 @@ class Scenario:
             args.append("--hlc")
         for spec in self.fault_specs:
             args += ["--fault", spec]
+        if self.handoff != "forward":
+            args += ["--handoff", self.handoff]
+        for spec in self.scale_specs:
+            args += ["--scale-op", spec]
         return args
 
 
@@ -176,6 +189,67 @@ def derive_eventual(seed: int) -> Scenario:
         consensus=bool(rng.getrandbits(1)),
         hlc=True,
     )
+
+
+def derive_elastic(seed: int) -> Scenario:
+    """Expand one fuzz seed into an **elastic-scaling** scenario: R=1
+    sync runs with 1-2 randomized add/remove actions (both handoff
+    modes, both routers, consensus and HLC coins) and at most one
+    fault riding along — migrations racing crashes/partitions is
+    exactly the grid hand-written tests cannot cover.
+
+    A separate derivation keeps :func:`derive` and
+    :func:`derive_eventual` byte-stable (appending draws there would
+    reshuffle every recorded seed)."""
+    rng = random.Random(seed ^ 0x0E1A_57EC)
+    num_servers = rng.choice((2, 3))
+    specs = []
+    t = 0.002 + rng.random() * 0.003
+    for _ in range(rng.choice((1, 1, 2))):
+        if rng.getrandbits(1):
+            specs.append(f"add@{t:.6f}")
+        else:
+            specs.append(f"remove:{rng.randrange(num_servers)}@{t:.6f}")
+        t += 0.004 + rng.random() * 0.004
+    fault_specs: Tuple[str, ...] = ()
+    if rng.random() < 0.4:
+        plan = FaultPlan.random(seed ^ 0x000F_A017, num_servers,
+                                horizon=0.02, num_faults=1)
+        fault_specs = tuple(plan.to_specs())
+    return Scenario(
+        seed=seed,
+        num_servers=num_servers,
+        num_clients=rng.choice((1, 2)),
+        ops_per_client=rng.choice((80, 120)),
+        value_length=rng.choice((1024, 4096)),
+        replication=1,
+        write_mode="sync",
+        router=rng.choice(("modulo", "ketama")),
+        fast_lane=bool(rng.getrandbits(1)),
+        fault_specs=fault_specs,
+        ttl_ops=False,
+        counter_ops=rng.random() < 0.3,
+        consensus=bool(rng.getrandbits(1)),
+        hlc=bool(rng.getrandbits(1)),
+        scale_specs=tuple(specs),
+        handoff=rng.choice(("forward", "double-read")),
+    )
+
+
+def _parse_scale_spec(spec: str) -> Tuple[str, Optional[int], float]:
+    """``"add@T"`` / ``"remove:I@T"`` / ``"remove@T"`` (highest serving
+    index) -> (action, index, at)."""
+    action, sep, at_text = spec.partition("@")
+    if not sep:
+        raise ValueError(f"scale spec {spec!r} needs '@<time>'")
+    at = float(at_text)
+    if action == "add":
+        return "add", None, at
+    if action == "remove" or action.startswith("remove:"):
+        _, _, idx = action.partition(":")
+        return "remove", (int(idx) if idx else None), at
+    raise ValueError(
+        f"scale spec {spec!r}: action must be 'add' or 'remove[:idx]'")
 
 
 # -- workload driver --------------------------------------------------------
@@ -267,7 +341,8 @@ def run_scenario(scn: Scenario, *, full: bool = True
     """
     sim = Simulator(fast_lane=scn.fast_lane)
     spec = ClusterSpec(
-        num_servers=scn.num_servers,
+        topology=TopologyConfig(initial_servers=scn.num_servers,
+                                handoff=scn.handoff),
         num_clients=scn.num_clients,
         server_mem=scn.server_mem_mb * MB,
         ssd_limit=scn.ssd_limit_mb * MB,
@@ -291,6 +366,25 @@ def run_scenario(scn: Scenario, *, full: bool = True
     plan = FaultPlan.parse(scn.fault_specs) if scn.fault_specs else None
     if plan is not None:
         plan.inject(cluster)
+
+    def _scale_proc(spec_text: str):
+        action, index, at = _parse_scale_spec(spec_text)
+        yield sim.timeout(at)
+        try:
+            if action == "add":
+                yield cluster.admin.add_server()
+            else:
+                serving = cluster.serving_indices()
+                target = index if index is not None else serving[-1]
+                yield cluster.admin.remove_server(target)
+        except (ValueError, RuntimeError):
+            # Deterministically skip actions that collide with an
+            # in-flight migration or name an invalid target (e.g. the
+            # last serving server) — the schedule is random.
+            return
+
+    for i, spec_text in enumerate(scn.scale_specs):
+        sim.spawn(_scale_proc(spec_text), name=f"fuzz-scale-{i}")
     drivers = [
         sim.spawn(_drive(client, scn,
                          random.Random((scn.seed << 8) ^ (index * 0x9E37)),
@@ -298,6 +392,14 @@ def run_scenario(scn: Scenario, *, full: bool = True
                   name=f"fuzz-{client.name}")
         for index, client in enumerate(cluster.clients)]
     sim.run(until=sim.all_of(drivers))
+    if scn.scale_specs:
+        # Bounded settle: let an in-flight handoff finish so the run
+        # ends on a stable topology (a wedged migration — e.g. Raft
+        # quorum lost to a crash — must not hang the fuzzer).
+        for _ in range(100):
+            if cluster.migration is None:
+                break
+            sim.run(until=sim.timeout(1e-3))
     eventual = scn.hlc and scn.write_mode == "async"
     if eventual:
         horizon = max((ev.at + (ev.duration or 0.0)
@@ -312,7 +414,8 @@ def run_scenario(scn: Scenario, *, full: bool = True
     else:
         report = check_history(events, recorder.initial_tokens,
                                write_mode=cluster.spec.write_mode,
-                               faults=bool(scn.fault_specs), full=full)
+                               faults=bool(scn.fault_specs)
+                               or bool(scn.scale_specs), full=full)
     return report, events, recorder
 
 
@@ -341,6 +444,16 @@ def shrink(scn: Scenario, *, max_runs: int = 24) -> Scenario:
             candidate = dataclasses.replace(
                 current, fault_specs=(current.fault_specs[:i]
                                       + current.fault_specs[i + 1:]))
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+                break
+        if progressed:
+            continue
+        for i in range(len(current.scale_specs)):
+            candidate = dataclasses.replace(
+                current, scale_specs=(current.scale_specs[:i]
+                                      + current.scale_specs[i + 1:]))
             if still_fails(candidate):
                 current = candidate
                 progressed = True

@@ -18,6 +18,7 @@ from repro.client.backend import BackendDatabase
 from repro.client.client import ClientConfig, MemcachedClient
 from repro.client.hashing import make_router
 from repro.core.profiles import DesignProfile
+from repro.core.topology import ClusterAdmin, TopologyConfig
 from repro.net.fabric import Fabric
 from repro.net.params import FDR_IPOIB, FDR_RDMA, LinkParams
 from repro.net.transport import connect_ipoib, connect_rdma
@@ -92,7 +93,8 @@ class ReplicationConfig:
 class ClusterSpec:
     """Sizing and substrate knobs for :func:`build_cluster`."""
 
-    num_servers: int = 1
+    #: Deprecated: use ``topology=TopologyConfig(initial_servers=...)``.
+    num_servers: Optional[int] = None
     num_clients: int = 1
     #: Physical client nodes; clients share NICs when fewer than clients.
     client_nodes: Optional[int] = None
@@ -144,6 +146,10 @@ class ClusterSpec:
     #: consensus membership, HLC convergence). ``None`` builds one from
     #: the deprecated flat kwargs above (or all defaults).
     replication: Optional[ReplicationConfig] = None
+    #: The elastic-topology configuration (initial fleet size, handoff
+    #: mode, migration budget, autoscaler policy). ``None`` builds one
+    #: from the deprecated ``num_servers`` kwarg (or the default of 1).
+    topology: Optional[TopologyConfig] = None
     #: Live metrics registry + gauge sampler (see :mod:`repro.obs`).
     observe: bool = False
     #: Sim-time span tracing (Chrome ``trace_event`` export).
@@ -159,6 +165,27 @@ class ClusterSpec:
     sample_interval: Optional[float] = None
 
     def __post_init__(self):
+        # Resolve the deprecated num_servers kwarg against the typed
+        # TopologyConfig (same pattern as the replication shim below),
+        # then backfill it so every existing reader of
+        # ``spec.num_servers`` keeps working unchanged.
+        if self.topology is None:
+            if self.num_servers is not None:
+                warnings.warn(
+                    "ClusterSpec(num_servers=) is deprecated; use "
+                    "ClusterSpec(topology=TopologyConfig("
+                    "initial_servers=...))",
+                    DeprecationWarning, stacklevel=3)
+            self.topology = TopologyConfig(
+                initial_servers=(self.num_servers
+                                 if self.num_servers is not None else 1))
+        elif self.num_servers is not None \
+                and self.num_servers != self.topology.initial_servers:
+            raise TypeError(
+                f"ClusterSpec: legacy num_servers={self.num_servers!r} "
+                f"conflicts with topology={self.topology!r}; "
+                f"drop the legacy kwarg")
+        self.num_servers = self.topology.initial_servers
         # Resolve the deprecated flat replication kwargs against the
         # typed ReplicationConfig, then backfill them so every existing
         # reader (spec.router / spec.replication_factor /
@@ -215,6 +242,25 @@ class Cluster:
         #: :class:`repro.consensus.RaftGroup` when the spec enables
         #: consensus-owned membership; None otherwise.
         self.raft = None
+        #: Typed elastic-topology knobs (handoff mode, migration budget,
+        #: autoscaler policy) — see :class:`TopologyConfig`.
+        self.topology: TopologyConfig = spec.topology
+        #: Online admin facade: ``add_server`` / ``remove_server`` /
+        #: ``rebalance`` / ``topology()``.
+        self.admin = ClusterAdmin(self)
+        # -- published topology view state --------------------------------
+        # The ring only ever grows (removals become exclusions so ketama
+        # points and modulo residues of the survivors never move);
+        # ``_excluded`` is an insertion-ordered dict used as a set.
+        self._view_ring = len(servers)
+        self._excluded: dict = {}
+        self._view_epoch = 0
+        self._migration = None
+        self._ownership: List[float] = []
+        # Stashed by build_cluster so _spawn_server can wire new servers
+        # exactly like the originals.
+        self._server_cfg = None
+        self._client_nodes = 0
 
     def run(self, until=None):
         return self.sim.run(until=until)
@@ -226,6 +272,115 @@ class Cluster:
     def server_node(self, index: int):
         """The fabric node hosting server ``index``."""
         return self.fabric.node(f"snode{index}")
+
+    # -- elastic topology ----------------------------------------------------
+
+    @property
+    def migration(self):
+        """The in-flight :class:`~repro.core.migration.Migration`, or
+        None outside a handoff window."""
+        return self._migration
+
+    @property
+    def hlc_enabled(self) -> bool:
+        return self.spec.replication.hlc
+
+    @property
+    def view_epoch(self) -> int:
+        """The committed topology epoch (Raft's when consensus owns
+        membership, the direct-publish counter otherwise)."""
+        if self.raft is not None and self.raft.view is not None:
+            return self.raft.view.epoch
+        return self._view_epoch
+
+    def serving_indices(self) -> List[int]:
+        """Server indices in the current admin view (ring minus
+        exclusions) — crashed-but-serving servers are included."""
+        return [i for i in range(len(self.servers))
+                if i not in self._excluded]
+
+    def topology_alive(self):
+        """Admin-topology liveness set for routing decisions, or None
+        when no server is excluded (the pre-elastic fast path: passing
+        None keeps every router call byte-identical to a cluster that
+        never scaled)."""
+        if not self._excluded:
+            return None
+        return frozenset(i for i in range(len(self.servers))
+                         if i not in self._excluded)
+
+    def ownership_share(self, index: int) -> float:
+        """Keyspace share of server ``index`` under the current view
+        (recomputed at each publish — gauge-sampling hot path)."""
+        shares = self._ownership
+        if not shares:
+            shares = self._ownership = \
+                self._client_router().ownership(self.topology_alive())
+        return shares[index] if index < len(shares) else 0.0
+
+    def _spawn_server(self, index: int):
+        """Append one fresh server on its own fabric node, wired to
+        every client exactly like the originals (RDMA or IPoIB per the
+        design profile). The new server owns nothing until a migration
+        publishes a view that includes it."""
+        if self._server_cfg is None:
+            raise RuntimeError(
+                "cluster was not assembled by build_cluster(); "
+                "cannot spawn servers at runtime")
+        server = MemcachedServer(self.sim, self._server_cfg,
+                                 name=f"server{index}", obs=self.obs)
+        server.index = index
+        server.start()
+        self.servers.append(server)
+        server_node = self.fabric.node(f"snode{index}")
+        n_nodes = self._client_nodes or max(1, len(self.clients))
+        for i, client in enumerate(self.clients):
+            client_node = self.fabric.node(f"cnode{i % n_nodes}")
+            if self.profile.rdma:
+                cli_ep, srv_ep = connect_rdma(self.sim, client_node,
+                                              server_node,
+                                              self.spec.rdma_params)
+            else:
+                cli_ep, srv_ep = connect_ipoib(self.sim, client_node,
+                                               server_node,
+                                               self.spec.ipoib_params)
+            server.attach(srv_ep)
+            client.add_server(cli_ep, server)
+        if self.raft is not None:
+            self.raft.add_data_server(server)
+        if self.spec.observe:
+            self.obs.registry.gauge(
+                "ownership_share",
+                fn=(lambda c=self, i=index: c.ownership_share(i)),
+                server=server.name)
+        return server
+
+    def _apply_topology(self, ring_size: int, excluded) -> None:
+        """Publish a new topology view: record it, recompute ownership,
+        and notify every client — through the Raft group when consensus
+        owns membership (the view commits and fans out like any other
+        membership change), by direct delayed per-client epoch publish
+        otherwise."""
+        self._view_ring = ring_size
+        self._excluded = {i: True for i in sorted(excluded)}
+        alive = self.topology_alive()
+        self._ownership = self._client_router().ownership(alive)
+        if self.raft is not None:
+            self.raft.propose_topology(ring_size, self._excluded)
+            return
+        self._view_epoch += 1
+        epoch = self._view_epoch
+        alive_set = (alive if alive is not None
+                     else frozenset(range(ring_size)))
+        delay = self.spec.replication.view_notify_delay
+
+        def _notify():
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            for client in self.clients:
+                client.apply_view(epoch, alive_set, ring_size)
+
+        self.sim.spawn(_notify(), name=f"view-publish-{epoch}")
 
     # -- experiment setup ----------------------------------------------------
 
@@ -244,19 +399,23 @@ class Cluster:
 
     def preload(self, pairs: Sequence[Tuple[bytes, int]]) -> int:
         """Load key-value pairs into the servers, routed exactly as the
-        clients will route their requests (zero simulated time). With
-        replication, every replica of a key is preloaded."""
+        clients will route their requests **under the current view
+        epoch** (zero simulated time) — a server that was removed from
+        the topology owns nothing, and preloading it would both waste
+        its memory and hide routing bugs. With replication, every
+        replica of a key is preloaded."""
         router = self._client_router()
+        alive = self.topology_alive()
         r = min(self.replication_factor, len(self.servers))
         n = 0
         if r > 1:
             for key, value_length in pairs:
-                for idx in router.replicas_for(key, r):
+                for idx in router.replicas_for(key, r, alive):
                     self.servers[idx].manager.preload(key, value_length)
                 n += 1
         else:
             for key, value_length in pairs:
-                self.servers[router.server_for(key)].manager.preload(
+                self.servers[router.server_for(key, alive)].manager.preload(
                     key, value_length)
                 n += 1
         return n
@@ -285,23 +444,27 @@ class Cluster:
         r = min(self.replication_factor, len(self.servers))
         if r <= 1:
             return 0
+        if index in self._excluded:
+            return 0  # not in the current view: owns nothing to resync
         target = self.servers[index]
         if not (target.alive and target.reachable):
             return 0
         router = self._client_router()
+        alive = self.topology_alive()
         if self.spec.replication.hlc:
-            copied = self._resync_hlc(index, target, router, r)
+            copied = self._resync_hlc(index, target, router, r, alive)
         else:
             table = target.manager.table
             copied = 0
-            for donor in self.servers:
-                if donor is target or not (donor.alive and donor.reachable):
+            for donor_index, donor in enumerate(self.servers):
+                if donor is target or donor_index in self._excluded \
+                        or not (donor.alive and donor.reachable):
                     continue
                 for key, value_length, expiration, numeric in \
                         donor.manager.live_items():
                     if key in table:
                         continue
-                    if index not in router.replicas_for(key, r):
+                    if index not in router.replicas_for(key, r, alive):
                         continue
                     target.manager.preload(key, value_length,
                                            expiration=expiration,
@@ -312,7 +475,8 @@ class Cluster:
                 "resync_items", server=str(index)).inc(copied)
         return copied
 
-    def _resync_hlc(self, index: int, target, router, r: int) -> int:
+    def _resync_hlc(self, index: int, target, router, r: int,
+                    alive=None) -> int:
         """Bidirectional last-writer-wins merge between the rejoined
         server and every live peer.
 
@@ -324,27 +488,30 @@ class Cluster:
         acked just before the fault cut it off."""
         copied = 0
         for donor_index, donor in enumerate(self.servers):
-            if donor is target or not (donor.alive and donor.reachable):
+            if donor is target or donor_index in self._excluded \
+                    or not (donor.alive and donor.reachable):
                 continue
-            copied += self._merge_lww(donor, target, index, router, r)
+            copied += self._merge_lww(donor, target, index, router, r,
+                                      alive)
             copied += self._merge_lww(target, donor, donor_index,
-                                      router, r)
+                                      router, r, alive)
         return copied
 
     @staticmethod
-    def _merge_lww(src, dst, dst_index: int, router, r: int) -> int:
+    def _merge_lww(src, dst, dst_index: int, router, r: int,
+                   alive=None) -> int:
         moved = 0
         dst_manager = dst.manager
         for key, value_length, expiration, numeric, hlc in \
                 src.manager.live_items_with_hlc():
-            if dst_index not in router.replicas_for(key, r):
+            if dst_index not in router.replicas_for(key, r, alive):
                 continue
             if dst_manager.merge_item(key, value_length,
                                       expiration=expiration,
                                       numeric=numeric, hlc=hlc):
                 moved += 1
         for key, stamp in src.manager.tombstones.items():
-            if dst_index not in router.replicas_for(key, r):
+            if dst_index not in router.replicas_for(key, r, alive):
                 continue
             if dst_manager.apply_tombstone(key, stamp):
                 moved += 1
@@ -364,14 +531,16 @@ class Cluster:
         if r <= 1 or not self.spec.replication.hlc:
             return 0
         router = self._client_router()
+        alive = self.topology_alive()
         live = [(i, s) for i, s in enumerate(self.servers)
-                if s.alive and s.reachable]
+                if s.alive and s.reachable and i not in self._excluded]
         moved = 0
         for _, src in live:
             for dst_index, dst in live:
                 if dst is src:
                     continue
-                moved += self._merge_lww(src, dst, dst_index, router, r)
+                moved += self._merge_lww(src, dst, dst_index, router, r,
+                                         alive)
         if moved:
             self.obs.registry.counter("anti_entropy_items").inc(moved)
         return moved
@@ -468,6 +637,7 @@ def build_cluster(profile: DesignProfile,
     for i in range(spec.num_servers):
         server = MemcachedServer(sim, server_cfg, name=f"server{i}",
                                  obs=obs)
+        server.index = i
         server.start()
         servers.append(server)
 
@@ -502,6 +672,21 @@ def build_cluster(profile: DesignProfile,
 
     cluster = Cluster(sim, profile, spec, servers, clients, backend,
                       fabric, obs=obs)
+    cluster._server_cfg = server_cfg
+    cluster._client_nodes = n_nodes
+    if spec.observe:
+        obs.registry.gauge(
+            "topology_epoch", fn=lambda c=cluster: float(c.view_epoch))
+        for i, server in enumerate(servers):
+            obs.registry.gauge(
+                "ownership_share",
+                fn=(lambda c=cluster, idx=i: c.ownership_share(idx)),
+                server=server.name)
+    topo = spec.topology
+    if topo.autoscale is not None and topo.autoscale.enabled:
+        from repro.core.migration import autoscaler_loop
+        sim.spawn(autoscaler_loop(cluster, topo.autoscale),
+                  name="autoscaler")
     rep = spec.replication
     if rep.consensus:
         # Consensus is control-plane machinery between the server

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core import metrics
 from repro.core.cluster import ClusterSpec
+from repro.core.topology import TopologyConfig
 from repro.core.profiles import (
     ALL_SIX,
     BASELINES,
@@ -93,7 +94,7 @@ def latency_experiment(profile: DesignProfile, fit: bool, *, scale: int = 16,
     cfg = RunConfig(
         profile=profile, workload=spec, api=api,
         spec_overrides=dict(
-            num_servers=1, num_clients=1,
+            topology=TopologyConfig(initial_servers=1), num_clients=1,
             server_mem=BASE_SERVER_MEM // scale,
             ssd_limit=BASE_SSD_LIMIT // scale,
             device=device,
@@ -211,7 +212,8 @@ def fig7a(scale: int = 16, ops: int = 1200) -> List[Dict[str, object]]:
             cfg = RunConfig(
                 profile=profile, workload=spec, api=api,
                 spec_overrides=dict(
-                    num_servers=1, num_clients=1,
+                    topology=TopologyConfig(initial_servers=1),
+                    num_clients=1,
                     server_mem=BASE_SERVER_MEM // scale,
                     ssd_limit=BASE_SSD_LIMIT // scale,
                     pagecache=_scaled_pagecache(scale),
@@ -292,7 +294,7 @@ def fig7c(scale: int = 16, num_clients: int = 24, client_nodes: int = 8,
         cfg = RunConfig(
             profile=profile, workload=spec, api=api,
             cluster=ClusterSpec(
-                num_servers=num_servers,
+                topology=TopologyConfig(initial_servers=num_servers),
                 num_clients=num_clients,
                 client_nodes=client_nodes,
                 server_mem=server_mem,
@@ -365,7 +367,9 @@ def fig8b(scale: int = 16,
                 cluster = RunConfig(
                     profile=profile, workload=spec, preload=False,
                     cluster=ClusterSpec(
-                        num_servers=num_servers, num_clients=1,
+                        topology=TopologyConfig(
+                            initial_servers=num_servers),
+                        num_clients=1,
                         server_mem=agg_mem // num_servers,
                         ssd_limit=2 * total_bytes // num_servers,
                         device=device,

@@ -19,14 +19,35 @@ from repro.core import metrics
 from repro.core.cluster import (Cluster, ClusterSpec, ReplicationConfig,
                                 build_cluster)
 from repro.core.profiles import BLOCKING, NONB_B, NONB_I, DesignProfile
+from repro.core.topology import TopologyConfig
 from repro.client.request import OpRecord
 from repro.workloads.generator import Op, WorkloadSpec, generate_ops, make_dataset
+from repro.workloads.traffic import TrafficShape
 from repro.workloads.ycsb import CORE_WORKLOADS, generate_ycsb_ops
 
 #: Outstanding-request cap for non-blocking drivers. Bounds client-side
 #: queue growth the way a real application naturally would (it has a
 #: finite number of buffers); large enough to keep the pipeline full.
 DEFAULT_WINDOW = 64
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One scheduled elastic resize during the measured run.
+
+    At ``at`` seconds after the measured drivers start, the fleet is
+    driven to ``servers`` serving servers — one online migration at a
+    time (add the next server / drain the highest-index one, waiting
+    for each handoff to finish before the next step)."""
+
+    at: float
+    servers: int
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.servers < 1:
+            raise ValueError(f"servers must be >= 1, got {self.servers}")
 
 
 @dataclass
@@ -69,7 +90,9 @@ class RunConfig:
 
         cfg = RunConfig(profile=H_RDMA_OPT_NONB_I,
                         workload=WorkloadSpec(num_ops=500),
-                        cluster=ClusterSpec(num_servers=4, num_clients=2),
+                        cluster=ClusterSpec(
+                            topology=TopologyConfig(initial_servers=4),
+                            num_clients=2),
                         warmup_ops=100)
         result = cfg.run()
 
@@ -115,6 +138,21 @@ class RunConfig:
     #: knob experiments flip between sync/async/consensus variants
     #: without rebuilding the whole ClusterSpec.
     replication: Optional[ReplicationConfig] = None
+    #: Topology configuration override (initial fleet size, handoff
+    #: mode, migration budget, autoscaler). When set it wins over both
+    #: ``cluster.topology`` and the legacy ``num_servers`` kwarg —
+    #: mirrors the ``replication`` override above.
+    topology: Optional[TopologyConfig] = None
+    #: Elastic resizes scheduled into the measured run (never the
+    #: warmup). Each event drives the serving fleet to its target size
+    #: through online migrations; the run settles until the last
+    #: handoff finishes. Consistency checks automatically relax to the
+    #: fault ruleset (migration installs are invisible re-stores).
+    scale_events: Sequence[ScaleEvent] = ()
+    #: Traffic shape pacing the measured drivers (steady / diurnal /
+    #: spike — :class:`~repro.workloads.traffic.TrafficShape`). None
+    #: keeps the classic back-to-back issue loop byte-identical.
+    traffic: Optional[TrafficShape] = None
     #: Keyword overrides applied to a default :class:`ClusterSpec`
     #: (e.g. ``{"num_servers": 4}``) when ``cluster`` is not given.
     spec_overrides: Dict[str, object] = field(default_factory=dict)
@@ -159,6 +197,15 @@ class RunConfig:
             else:
                 overrides = dict(overrides)
                 overrides["replication"] = self.replication
+        if self.topology is not None:
+            if spec is not None:
+                # num_servers=None: don't let the backfilled legacy
+                # field conflict with the overriding config.
+                spec = dataclasses.replace(
+                    spec, topology=self.topology, num_servers=None)
+            else:
+                overrides = dict(overrides)
+                overrides["topology"] = self.topology
         cluster = build_cluster(self.profile, spec=spec,
                                 sim=self.sim,
                                 value_length_for=value_length_for,
@@ -253,6 +300,13 @@ class RunConfig:
         if fault_plan is not None:
             fault_injected_at = sim.now
             cluster.inject_faults(fault_plan)
+        scale_procs = []
+        if measured:
+            for i, ev in enumerate(self.scale_events):
+                scale_procs.append(
+                    sim.spawn(_scale_driver(cluster, ev.at, ev.servers),
+                              name=f"scale-{i}-to{ev.servers}"))
+        pacer = self.traffic if measured else None
         drivers = []
         stagger = self.client_stagger
         for index, (client, ops) in enumerate(
@@ -260,13 +314,27 @@ class RunConfig:
             if api == BLOCKING:
                 gen = _drive_blocking(client, ops,
                                       mget_batch=self.mget_batch,
-                                      delay=index * stagger)
+                                      delay=index * stagger,
+                                      pacer=pacer)
             else:
                 gen = _drive_nonblocking(client, ops, api, self.window,
-                                         delay=index * stagger)
+                                         delay=index * stagger,
+                                         pacer=pacer)
             drivers.append(sim.spawn(gen, name=f"driver-{client.name}"))
         done = sim.all_of(drivers)
         sim.run(until=done)
+        if measured and self.scale_events:
+            # Scheduled resizes are part of the run contract even when
+            # the traffic drains first: run on until every scale driver
+            # has finished and the last handoff (drain included) is
+            # done, so the run ends on the target topology; bounded so
+            # a wedged migration (e.g. quorum lost to a fault plan)
+            # cannot hang the harness.
+            for _ in range(200):
+                if cluster.migration is None \
+                        and all(p.triggered for p in scale_procs):
+                    break
+                sim.run(until=sim.timeout(1e-3))
         rep = cluster.spec.replication
         if (recorder is not None and fault_plan is not None
                 and rep.hlc and rep.write_mode == "async"):
@@ -293,8 +361,13 @@ class RunConfig:
             result.profile = cluster.obs.profiler.report()
         if recorder is not None:
             from repro.consistency import check_run
+            topo = cluster.topology
+            elastic = (bool(self.scale_events)
+                       or (topo.autoscale is not None
+                           and topo.autoscale.enabled))
             result.consistency = check_run(
-                cluster, recorder, faults=fault_plan is not None)
+                cluster, recorder,
+                faults=fault_plan is not None or elastic)
             result.history = recorder.events
             recorder.detach()
         return result
@@ -317,11 +390,29 @@ def setup_cluster(profile: DesignProfile, spec: WorkloadSpec,
                      spec_overrides=dict(spec_overrides)).build()
 
 
+def _scale_driver(cluster, at: float, target: int):
+    """Drive the serving fleet to ``target`` servers, one online
+    migration at a time, starting ``at`` seconds from spawn."""
+    if at > 0:
+        yield cluster.sim.timeout(at)
+    while True:
+        serving = cluster.serving_indices()
+        if len(serving) < target:
+            yield cluster.admin.add_server()
+        elif len(serving) > target:
+            yield cluster.admin.remove_server(serving[-1])
+        else:
+            return
+
+
 def _drive_blocking(client, ops: Sequence[Op], mget_batch: int = 0,
-                    delay: float = 0.0):
+                    delay: float = 0.0, pacer=None):
     """Blocking driver; with ``mget_batch`` > 1, consecutive reads are
     coalesced into memcached_mget batches (how production web tiers
-    fetch the many keys of one page render)."""
+    fetch the many keys of one page render). ``pacer`` (a
+    :class:`~repro.workloads.traffic.TrafficShape`) inserts a
+    deterministic inter-op sleep; None keeps the classic back-to-back
+    loop byte-identical."""
     if delay > 0:
         yield client.sim.timeout(delay)
     pending_reads: list = []
@@ -334,6 +425,8 @@ def _drive_blocking(client, ops: Sequence[Op], mget_batch: int = 0,
         pending_reads.clear()
 
     for op in ops:
+        if pacer is not None:
+            yield client.sim.timeout(pacer.interval_at(client.sim.now))
         if op.kind == "get" and mget_batch > 1:
             pending_reads.append(op.key)
             if len(pending_reads) >= mget_batch:
@@ -368,7 +461,7 @@ def _drive_blocking(client, ops: Sequence[Op], mget_batch: int = 0,
 
 
 def _drive_nonblocking(client, ops: Sequence[Op], api: str, window: int,
-                       delay: float = 0.0):
+                       delay: float = 0.0, pacer=None):
     if delay > 0:
         yield client.sim.timeout(delay)
     issue_set = client.iset if api == NONB_I else client.bset
@@ -381,6 +474,8 @@ def _drive_nonblocking(client, ops: Sequence[Op], api: str, window: int,
     append = inflight.append
     sim = client.sim
     for op in ops:
+        if pacer is not None:
+            yield sim.timeout(pacer.interval_at(sim.now))
         if len(inflight) >= window:
             yield from wait(popleft())
         kind = op.kind

@@ -152,6 +152,14 @@ def _validate(cfg) -> Tuple[ClusterSpec, int]:
         raise ShardingUnsupported(
             "per-request causal profiling stitches spans across client "
             "and server domains; run it single-simulator")
+    topo = cfg.topology if cfg.topology is not None else spec.topology
+    if cfg.scale_events or (topo.autoscale is not None
+                            and topo.autoscale.enabled):
+        raise ShardingUnsupported(
+            "elastic scaling migrates items and forwards requests "
+            "between servers out-of-band, which sharding places in "
+            "separate event domains; run elastic topologies "
+            "single-simulator")
     if not spec.ipoib_params.latency > 0.0:
         raise ShardingUnsupported(
             "conservative lookahead needs a positive wire latency")

@@ -967,6 +967,30 @@ class HybridSlabManager:
             yield (key, item.value_length, item.expiration, item.numeric,
                    item.hlc)
 
+    def peek(self, key: bytes):
+        """``(value_length, expiration, numeric, hlc)`` of the live,
+        unexpired item under ``key``, or None.
+
+        Read-only like :meth:`live_items` (no LRU touch, no stat bump,
+        no passive-expiry reclaim): the migration transfer engine peeks
+        items between cursor batches without perturbing the donor.
+        """
+        item = self.table.get(key)
+        if item is None or item.location == DEAD or self._expired(item):
+            return None
+        return item.value_length, item.expiration, item.numeric, item.hlc
+
+    def discard(self, key: bytes) -> bool:
+        """Drop ``key`` without leaving a tombstone (zero simulated
+        time). Used when data *moves* rather than dies: a migration
+        donor dropping items the new view owns elsewhere, or undoing a
+        copy that lost a race. Returns True when an entry was removed."""
+        item = self.table.get(key)
+        if item is None:
+            return False
+        self._remove_item(item)
+        return True
+
     # -- last-writer-wins merge (anti-entropy resync) ---------------------------
 
     def hlc_accepts(self, key: bytes, hlc: Optional[tuple]) -> bool:

@@ -64,6 +64,18 @@ _POISON = object()
 _DROPPED = object()
 
 
+class _Forwarded:
+    """Delivery shim for a request relayed server-to-server during a
+    migration handoff window: enters the receiving worker queue exactly
+    like an rx frame (``payload`` + ``recv_cpu``)."""
+
+    __slots__ = ("payload", "recv_cpu")
+
+    def __init__(self, payload, recv_cpu: float = 0.0):
+        self.payload = payload
+        self.recv_cpu = recv_cpu
+
+
 @dataclass(frozen=True)
 class ServerCosts:
     """CPU service times of the server's fast-path operations."""
@@ -191,6 +203,14 @@ class MemcachedServer:
             owner=name,
         )
         self.stats = ServerStats()
+        #: Ring index of this server in its cluster (set by the cluster
+        #: wiring); -1 when the server runs standalone.
+        self.index = -1
+        #: Migration-window state (:class:`repro.core.migration
+        #: .HandoffState`) while this server donates or receives a shard
+        #: handoff; None outside any window — the request hot path pays
+        #: exactly one attribute test for elasticity.
+        self.handoff = None
         self._queue = PriorityStore(sim) if config.get_priority else Store(sim)
         self.credits = Resource(sim, capacity=config.recv_credits)
         self._value_events: Dict[int, object] = {}
@@ -244,6 +264,99 @@ class MemcachedServer:
         for i in range(self.config.worker_threads):
             self.sim.spawn(self._worker(i, gen),
                            name=f"{self.name}-worker{i}.g{gen}")
+
+    def queue_depth(self) -> int:
+        """Requests waiting for a worker (the autoscaler's load signal,
+        same series the ``server_queue_depth`` gauge samples)."""
+        return len(self._queue)
+
+    # -- migration handoff (elastic scaling) ----------------------------------
+
+    def enqueue_forwarded(self, request, endpoint: Endpoint) -> None:
+        """Accept a request another server relayed during a migration
+        handoff window. It enters the worker queue exactly like an rx
+        frame and is answered over the *original* client endpoint, with
+        :attr:`Response.origin` naming this server."""
+        if not (self.alive and self.reachable):
+            # Dropped like any frame at a dead server; the client's
+            # completion timeout and retry path take over.
+            self._m_dropped_rx.inc()
+            return
+        entry = (_Forwarded(request), endpoint)
+        if self.config.get_priority:
+            rank = 0 if request.op in ("get", "mget", "gat") else 1
+            self._queue.put(entry, priority=rank)
+        else:
+            self._queue.put(entry)
+
+    def _forward(self, request, endpoint: Endpoint, owner: int) -> None:
+        """Relay ``request`` to the key's new owner (one modeled hop);
+        the owner responds over the original client endpoint."""
+        migration = self.handoff.migration
+        target = migration.cluster.servers[owner]
+        request.forwarded = True
+        migration.count_forward(self)
+        hop = migration.cfg.forward_hop
+        if hop <= 0:
+            target.enqueue_forwarded(request, endpoint)
+            return
+        sim = self.sim
+
+        def _relay():
+            yield sim.timeout(hop)
+            target.enqueue_forwarded(request, endpoint)
+
+        sim.spawn(_relay(), name=f"{self.name}-forward")
+
+    def _handoff_route(self, request, endpoint: Endpoint) -> bool:
+        """Migration-window routing for a single-key request: relay it
+        to its new owner (forward mode, sealed donor) or pull the item
+        in from the old owner before serving (double-read window).
+        Returns True when the request was relayed and needs no local
+        handling. SETs are never relayed here — their value may still
+        be in flight; :meth:`_handle_set` forwards once it has it."""
+        state = self.handoff
+        if getattr(request, "replica", False):
+            return False
+        if isinstance(request, MultiGetRequest):
+            return False  # split per entry inside _handle_mget
+        key = request.key
+        if not key:
+            return False  # flush/stats broadcasts stay local
+        migration = state.migration
+        if state.forwarding and not request.forwarded:
+            owner = migration.owner_of(key)
+            if owner != self.index:
+                if isinstance(request, SetRequest):
+                    return False
+                self._forward(request, endpoint, owner)
+                return True
+        if state.pulling and key not in state.written:
+            migration.maybe_pull(self, key)
+        return False
+
+    def _handoff_mget_entry(self, req_id: int, key: bytes, ptid,
+                            endpoint: Endpoint) -> bool:
+        """Per-entry handoff routing for a batched mget: misrouted
+        entries are split out and relayed individually."""
+        state = self.handoff
+        migration = state.migration
+        if state.forwarding:
+            owner = migration.owner_of(key)
+            if owner != self.index:
+                sub = GetRequest(req_id=req_id, op="get", key=key,
+                                 trace_id=ptid)
+                self._forward(sub, endpoint, owner)
+                return True
+        if state.pulling and key not in state.written:
+            migration.maybe_pull(self, key)
+        return False
+
+    def _note_write(self, key: bytes) -> None:
+        """Hook run after every local mutation applies: keeps a
+        migration window coherent (dirty tracking before the seal,
+        immediate re-push after it). Callers guard on ``handoff``."""
+        self.handoff.note_write(self, key)
 
     # -- fault injection (fail-stop crash / network partition) ----------------
 
@@ -449,7 +562,12 @@ class MemcachedServer:
                 prof.record(ptid, px + "server_cpu", start, sim._now)
             # Dispatch ordered by hot-path frequency: SETs (including
             # replica applies) and GETs dominate every workload mix.
-            if isinstance(request, SetRequest):
+            if self.handoff is not None \
+                    and self._handoff_route(request, endpoint):
+                # Relayed to the key's new owner during a migration
+                # window; that server answers the client directly.
+                pass
+            elif isinstance(request, SetRequest):
                 yield from self._handle_set(request, endpoint)
             elif isinstance(request, GetRequest):
                 yield from self._handle_get(request, endpoint)
@@ -515,6 +633,21 @@ class MemcachedServer:
                 ack = BufferAck(req_id=request.req_id)
                 endpoint.send(ack, ack.header_bytes, one_sided=True)
 
+        if self.handoff is not None and self.handoff.forwarding \
+                and not request.replica and not request.forwarded \
+                and self.handoff.migration.owner_of(request.key) != self.index:
+            # Misrouted SET from a client that has not observed the new
+            # view yet: the value is fully staged here now, so relay the
+            # whole operation inline to the key's new owner.
+            if credit is not None:
+                if credit.granted_at is not None and self._metrics_on:
+                    self._m_credit_hold.observe(sim._now - credit.granted_at)
+                self._release_credit(credit)
+            request.inline_value = True
+            self._forward(request, endpoint,
+                          self.handoff.migration.owner_of(request.key))
+            return
+
         t0 = sim._now
         yield timeout(costs.slab_alloc_cpu)
         if ptid is not None:
@@ -528,6 +661,8 @@ class MemcachedServer:
         if ptid is not None:
             # Store time beyond the alloc CPU is flush/eviction I/O wait.
             prof.record(ptid, px + "ssd", t_store, sim._now)
+        if self.handoff is not None and info.status == STORED:
+            self._note_write(request.key)
 
         t0 = sim._now
         yield timeout(costs.lru_update)
@@ -615,6 +750,10 @@ class MemcachedServer:
         for i, (req_id, key) in enumerate(request.entries):
             stages: Dict[str, float] = {}
             ptid = traces[i] if i < len(traces) else None
+            if self.handoff is not None and not request.forwarded \
+                    and self._handoff_mget_entry(req_id, key, ptid,
+                                                 endpoint):
+                continue  # relayed to the key's new owner
             t0 = sim._now
             yield timeout(costs.hash_lookup)
             if ptid is not None:
@@ -661,6 +800,8 @@ class MemcachedServer:
             self.obs.profiler.record(request.trace_id, px + "index",
                                      t0, self.sim.now)
         found = self.manager.delete(request.key, hlc=request.hlc)
+        if found and self.handoff is not None:
+            self._note_write(request.key)
         if request.replica:
             self.stats.replica_applies += 1
             self._m_replica_applies.inc()
@@ -686,6 +827,10 @@ class MemcachedServer:
         if self.manager.set_expiration(item, request.expiration):
             yield self.sim.timeout(costs.lru_update)
             self.manager.touch(item)
+        if self.handoff is not None:
+            # Deadline changed (or a past deadline removed the item):
+            # either way the migrated copy must reflect it.
+            self._note_write(request.key)
         yield from self._respond(endpoint, request, TOUCHED, 0, {})
 
     # -- INCR / DECR ---------------------------------------------------------
@@ -700,6 +845,8 @@ class MemcachedServer:
             request.key, request.delta, request.direction,
             initial=request.initial, expiration=request.expiration)
         stages["slab_alloc"] = self.sim.now - t0
+        if self.handoff is not None and status == STORED:
+            self._note_write(request.key)
         cas_token = 0
         value_length = 0
         if status == STORED and item is not None:
@@ -745,6 +892,8 @@ class MemcachedServer:
             yield self.sim.timeout(costs.lru_update)
             self.manager.touch(item)
             stages["cache_update"] = self.sim.now - t0
+        if self.handoff is not None:
+            self._note_write(request.key)
         for k, v in stages.items():
             self.stats.add_stage(k, v)
         yield from self._respond(endpoint, request, HIT, value_length,
@@ -840,7 +989,8 @@ class MemcachedServer:
                             status=status, value_length=value_length,
                             stages=stages, sent_at=sim._now,
                             server_name=self.name, cas_token=cas_token,
-                            counter_value=counter_value)
+                            counter_value=counter_value,
+                            origin=self.index if request.forwarded else -1)
         nbytes = RESPONSE_HEADER_BYTES + value_length
         # GET responses carry the value via an RDMA write into the
         # client's buffer (one-sided); on IPoIB this degrades to a stream

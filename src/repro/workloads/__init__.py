@@ -11,6 +11,7 @@ from repro.workloads.bursty import BurstyWorkload
 from repro.workloads.distributions import UniformSampler, ZipfSampler
 from repro.workloads.generator import Op, WorkloadSpec, generate_ops, make_dataset
 from repro.workloads.keyspace import Keyspace
+from repro.workloads.traffic import TRAFFIC_SHAPES, TrafficShape, make_traffic
 from repro.workloads.ycsb import CORE_WORKLOADS, YCSBWorkload, generate_ycsb_ops
 
 __all__ = [
@@ -25,4 +26,7 @@ __all__ = [
     "YCSBWorkload",
     "CORE_WORKLOADS",
     "generate_ycsb_ops",
+    "TrafficShape",
+    "make_traffic",
+    "TRAFFIC_SHAPES",
 ]

@@ -1,0 +1,86 @@
+"""Traffic shapes: deterministic request pacing over simulated time.
+
+Elastic-scaling experiments need load that *changes* — a fleet sized
+for the midnight trough must grow for the morning peak, and a flash
+crowd must outrun a threshold autoscaler's cooldown. A
+:class:`TrafficShape` turns the drivers' back-to-back op streams into
+paced streams: before each operation the driver sleeps
+``interval_at(now)`` simulated seconds, where the interval is a pure
+function of simulated time (no RNG, no wall clock — replay stays
+byte-identical for a given shape).
+
+Shapes
+------
+
+* ``steady`` — constant ``base_interval`` between ops (a rate floor
+  for comparing against the varying shapes).
+* ``diurnal`` — a sinusoidal day: the op rate swings by
+  ``±amplitude`` around the base over each ``period`` (compressed to
+  simulated milliseconds; the autoscaler should track the curve).
+* ``spike`` — steady background with a flash crowd: for
+  ``spike_duration`` starting at ``spike_at`` the rate multiplies by
+  ``spike_factor`` (the autoscaler sees a step, not a slope).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["TrafficShape", "make_traffic", "TRAFFIC_SHAPES"]
+
+TRAFFIC_SHAPES = ("steady", "diurnal", "spike")
+
+
+@dataclass(frozen=True)
+class TrafficShape:
+    """Deterministic pacing profile: op rate as a function of sim time."""
+
+    kind: str = "steady"
+    #: Seconds between ops at the base rate (rate = 1/base_interval).
+    base_interval: float = 20e-6
+    #: diurnal: one full day-cycle in simulated seconds.
+    period: float = 10e-3
+    #: diurnal: fractional rate swing (0.8 => rate varies ±80%).
+    amplitude: float = 0.8
+    #: spike: flash-crowd start (simulated seconds from driver start).
+    spike_at: float = 2e-3
+    #: spike: how long the crowd stays.
+    spike_duration: float = 2e-3
+    #: spike: rate multiplier while the crowd is present.
+    spike_factor: float = 8.0
+
+    def __post_init__(self):
+        if self.kind not in TRAFFIC_SHAPES:
+            raise ValueError(
+                f"kind must be one of {TRAFFIC_SHAPES}, got {self.kind!r}")
+        if self.base_interval <= 0:
+            raise ValueError(
+                f"base_interval must be > 0, got {self.base_interval}")
+        if not 0 <= self.amplitude < 1:
+            raise ValueError(
+                f"amplitude must be in [0, 1), got {self.amplitude}")
+        if self.kind == "spike" and self.spike_factor <= 0:
+            raise ValueError(
+                f"spike_factor must be > 0, got {self.spike_factor}")
+
+    def rate_multiplier(self, now: float) -> float:
+        """Instantaneous rate relative to the base (>= some floor)."""
+        if self.kind == "diurnal":
+            return 1.0 + self.amplitude * math.sin(
+                2.0 * math.pi * now / self.period)
+        if self.kind == "spike":
+            if self.spike_at <= now < self.spike_at + self.spike_duration:
+                return self.spike_factor
+            return 1.0
+        return 1.0
+
+    def interval_at(self, now: float) -> float:
+        """Seconds to sleep before the next op, given the current sim
+        time. Pure function of ``now`` — pacing is replayable."""
+        return self.base_interval / self.rate_multiplier(now)
+
+
+def make_traffic(name: str, **overrides) -> TrafficShape:
+    """Build a shape by name (``steady`` / ``diurnal`` / ``spike``)."""
+    return TrafficShape(kind=name, **overrides)

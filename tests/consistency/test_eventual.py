@@ -73,12 +73,13 @@ class TestDivergenceMutant:
     tombstones) leaves replicas disagreeing; the checker must say so."""
 
     @staticmethod
-    def legacy_merge(src, dst, dst_index, router, r):
+    def legacy_merge(src, dst, dst_index, router, r, alive=None):
         moved = 0
         table = dst.manager.table
         for key, value_length, expiration, numeric, _hlc in \
                 src.manager.live_items_with_hlc():
-            if key in table or dst_index not in router.replicas_for(key, r):
+            if key in table \
+                    or dst_index not in router.replicas_for(key, r, alive):
                 continue
             dst.manager.preload(key, value_length, expiration=expiration,
                                 numeric=numeric)

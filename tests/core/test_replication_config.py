@@ -43,11 +43,14 @@ class TestShim:
 
     def test_typed_config_does_not_warn(self):
         import warnings
+        from repro.core.topology import TopologyConfig
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            spec = ClusterSpec(num_servers=3, replication=ReplicationConfig(
-                factor=2, router="ketama"))
+            spec = ClusterSpec(
+                topology=TopologyConfig(initial_servers=3),
+                replication=ReplicationConfig(factor=2, router="ketama"))
         assert spec.replication.factor == 2
+        assert spec.num_servers == 3
 
     def test_conflicting_spellings_raise(self):
         with pytest.raises(TypeError):

@@ -1,0 +1,153 @@
+"""TopologyConfig: the typed topology surface and its legacy shim.
+
+The old spelling — ``ClusterSpec(num_servers=4)`` — must keep working
+for one release of grace: it warns, builds the equivalent
+:class:`TopologyConfig`, and produces byte-identical runs. Mixing the
+two spellings inconsistently is a hard error, not a guess. This mirrors
+the :class:`ReplicationConfig` shim contract next door.
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.core.cluster import ClusterSpec, build_cluster
+from repro.core.profiles import H_RDMA_OPT_NONB_I
+from repro.core.topology import (AutoscalePolicy, TopologyConfig,
+                                 TopologySnapshot)
+from repro.harness.runner import RunConfig
+from repro.units import KB, MB
+from repro.workloads.generator import WorkloadSpec
+
+
+def fingerprint(result):
+    return [(r.op, r.key_length, r.status, r.t_issue, r.t_complete,
+             r.blocked_time, tuple(sorted(r.stages.items())))
+            for r in result.records]
+
+
+def small_workload():
+    return WorkloadSpec(num_ops=80, num_keys=64, value_length=4 * KB,
+                        read_fraction=0.5, seed=3)
+
+
+class TestValidation:
+    def test_initial_servers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(initial_servers=0)
+
+    def test_handoff_mode_checked(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(handoff="yolo")
+        TopologyConfig(handoff="double-read")  # both modes accepted
+        TopologyConfig(handoff="forward")
+
+    def test_migration_batch_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(migration_batch=0)
+
+    def test_negative_timings_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(migration_interval=-1e-6)
+        with pytest.raises(ValueError):
+            TopologyConfig(drain_delay=-1.0)
+
+    def test_autoscale_watermarks_ordered(self):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(low_watermark=9.0, high_watermark=1.0)
+
+    def test_autoscale_bounds_ordered(self):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_servers=4, max_servers=2)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_servers=0)
+
+
+class TestShim:
+    def test_legacy_num_servers_warns_and_backfills(self):
+        with pytest.deprecated_call():
+            spec = ClusterSpec(num_servers=4)
+        assert spec.topology == TopologyConfig(initial_servers=4)
+        # Legacy attribute access still answers, from the config.
+        assert spec.num_servers == 4
+
+    def test_typed_config_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            spec = ClusterSpec(topology=TopologyConfig(initial_servers=4))
+        assert spec.num_servers == 4
+
+    def test_default_spec_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            spec = ClusterSpec()
+        assert spec.topology.initial_servers == 1
+
+    def test_conflicting_spellings_raise(self):
+        with pytest.raises(TypeError):
+            ClusterSpec(num_servers=3,
+                        topology=TopologyConfig(initial_servers=4))
+
+    def test_consistent_legacy_echo_is_accepted(self):
+        # dataclasses.replace() passes the backfilled legacy field back
+        # in; a value that agrees with the config must not be an error.
+        spec = ClusterSpec(topology=TopologyConfig(initial_servers=3))
+        again = dataclasses.replace(spec, num_clients=2)
+        assert again.topology == spec.topology
+        assert again.num_servers == 3
+
+    def test_legacy_and_typed_runs_are_byte_identical(self):
+        def run(spec):
+            return RunConfig(profile=H_RDMA_OPT_NONB_I,
+                             workload=small_workload(), cluster=spec).run()
+
+        with pytest.deprecated_call():
+            legacy_spec = ClusterSpec(num_servers=3, server_mem=16 * MB,
+                                      ssd_limit=64 * MB)
+        typed_spec = ClusterSpec(
+            topology=TopologyConfig(initial_servers=3),
+            server_mem=16 * MB, ssd_limit=64 * MB)
+        assert fingerprint(run(legacy_spec)) == fingerprint(run(typed_spec))
+
+
+class TestRunConfigOverride:
+    def test_topology_wins_over_cluster_spec(self):
+        spec = ClusterSpec(topology=TopologyConfig(initial_servers=2),
+                           server_mem=16 * MB, ssd_limit=64 * MB)
+        cfg = RunConfig(profile=H_RDMA_OPT_NONB_I,
+                        workload=small_workload(), cluster=spec,
+                        topology=TopologyConfig(initial_servers=3))
+        cluster = cfg.build()
+        assert len(cluster.servers) == 3
+        assert cluster.topology.initial_servers == 3
+
+    def test_topology_with_spec_overrides(self):
+        cfg = RunConfig(profile=H_RDMA_OPT_NONB_I,
+                        workload=small_workload(),
+                        spec_overrides=dict(server_mem=16 * MB,
+                                            ssd_limit=64 * MB),
+                        topology=TopologyConfig(initial_servers=3,
+                                                handoff="double-read"))
+        cluster = cfg.build()
+        assert len(cluster.servers) == 3
+        assert cluster.topology.handoff == "double-read"
+
+
+class TestAdminQueries:
+    def test_snapshot_shape_and_describe(self):
+        cluster = build_cluster(
+            H_RDMA_OPT_NONB_I,
+            topology=TopologyConfig(initial_servers=3),
+            server_mem=16 * MB, ssd_limit=64 * MB)
+        snap = cluster.admin.topology()
+        assert isinstance(snap, TopologySnapshot)
+        assert snap.epoch == 0
+        assert snap.ring_size == 3
+        assert snap.serving == (0, 1, 2)
+        assert snap.excluded == ()
+        assert not snap.migrating
+        assert sum(snap.ownership) == pytest.approx(1.0)
+        text = snap.describe()
+        assert "server0" in text and "server2" in text
+        assert "serving" in text

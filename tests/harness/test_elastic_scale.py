@@ -1,0 +1,125 @@
+"""Acceptance: scale 4 -> 8 under live YCSB-A traffic.
+
+The elasticity contract, end to end through the harness: the fleet
+doubles mid-run through online migrations, the hit rate never craters
+below 80% of its steady state in any time bucket, the recorded history
+stays consistency-clean, and the whole paced/scaled run replays
+byte-identically on the legacy-heap simulator. Unshardable by design —
+the guard must refuse loudly.
+"""
+
+import pytest
+
+from repro.core.cluster import ClusterSpec, ReplicationConfig
+from repro.core.profiles import H_RDMA_OPT_NONB_I, IPOIB_MEM
+from repro.core.topology import TopologyConfig
+from repro.harness.runner import RunConfig, ScaleEvent
+from repro.harness.sharded import ShardingUnsupported
+from repro.sim import Simulator
+from repro.units import KB, MB
+from repro.workloads.generator import WorkloadSpec
+from repro.workloads.traffic import make_traffic
+
+
+def fingerprint(result):
+    return [(r.op, r.key_length, r.status, r.t_issue, r.t_complete,
+             r.blocked_time, tuple(sorted(r.stages.items())))
+            for r in result.records]
+
+
+def scale_config(*, fast_lane=True, traffic=None, handoff="forward",
+                 to_servers=8, check=True):
+    spec = ClusterSpec(
+        topology=TopologyConfig(initial_servers=4, handoff=handoff),
+        num_clients=2, server_mem=8 * MB, ssd_limit=64 * MB,
+        replication=ReplicationConfig(factor=1, router="ketama"))
+    workload = WorkloadSpec(num_ops=400, num_keys=256,
+                            value_length=4 * KB, seed=11)
+    return RunConfig(profile=H_RDMA_OPT_NONB_I, workload=workload,
+                     cluster=spec, ycsb="A", check_consistency=check,
+                     scale_events=(ScaleEvent(at=2e-3, servers=to_servers),),
+                     traffic=traffic, sim=Simulator(fast_lane=fast_lane))
+
+
+def bucket_hit_rates(records, buckets=6):
+    gets = [r for r in records if r.op == "get"]
+    assert gets
+    t0 = min(r.t_complete for r in gets)
+    t1 = max(r.t_complete for r in gets)
+    width = (t1 - t0) / buckets or 1.0
+    rates = []
+    for b in range(buckets):
+        lo, hi = t0 + b * width, t0 + (b + 1) * width
+        chunk = [r for r in gets if lo <= r.t_complete < hi] \
+            if b < buckets - 1 else [r for r in gets if r.t_complete >= lo]
+        if chunk:
+            hits = sum(1 for r in chunk if r.status != "MISS")
+            rates.append(hits / len(chunk))
+    return rates
+
+
+class TestScaleUnderYCSB:
+    @pytest.mark.parametrize("handoff", ["forward", "double-read"])
+    def test_four_to_eight_stays_green(self, handoff):
+        cfg = scale_config(handoff=handoff)
+        cluster = cfg.build()
+        result = cfg.run(cluster=cluster)
+        # The fleet actually doubled and the view flipped.
+        assert len(cluster.serving_indices()) == 8
+        assert cluster.view_epoch >= 1
+        assert cluster.migration is None  # the run settled
+        # Zero consistency violations across the migration window.
+        assert result.consistency is not None
+        assert result.consistency.ok, result.consistency.violations
+        # Hit rate never craters: every time bucket holds at least 80%
+        # of the steady-state (first-bucket, pre-scale) rate.
+        rates = bucket_hit_rates(result.records)
+        steady = rates[0]
+        assert steady > 0.5
+        assert all(rate >= 0.8 * steady for rate in rates), rates
+
+    def test_scale_down_eight_to_four(self):
+        cfg = scale_config(to_servers=2)
+        cluster = cfg.build()
+        result = cfg.run(cluster=cluster)
+        assert len(cluster.serving_indices()) == 2
+        assert result.consistency.ok, result.consistency.violations
+
+    def test_fast_lane_and_legacy_sim_replay_byte_identically(self):
+        fast = scale_config(fast_lane=True, check=False).run()
+        legacy = scale_config(fast_lane=False, check=False).run()
+        assert fingerprint(fast) == fingerprint(legacy)
+
+
+class TestTrafficShapedRuns:
+    @pytest.mark.parametrize("shape", ["diurnal", "spike"])
+    def test_paced_scale_run_is_deterministic(self, shape):
+        def once():
+            return scale_config(traffic=make_traffic(shape),
+                                check=False).run()
+
+        first, second = once(), once()
+        assert fingerprint(first) == fingerprint(second)
+        assert len(first.records) == 800  # 400 ops x 2 clients
+
+    def test_pacing_stretches_the_run(self):
+        # Diurnal pacing adds inter-op sleeps the classic loop lacks.
+        paced = scale_config(traffic=make_traffic(
+            "diurnal", base_interval=30e-6), check=False).run()
+        unpaced = scale_config(check=False).run()
+        assert paced.span > unpaced.span
+
+
+class TestShardingGuard:
+    def test_elastic_runs_refuse_to_shard(self):
+        spec = ClusterSpec(
+            topology=TopologyConfig(initial_servers=3), num_clients=2,
+            server_mem=4 * MB, ssd_limit=16 * MB)
+        cfg = RunConfig(
+            profile=IPOIB_MEM,
+            workload=WorkloadSpec(num_ops=40, num_keys=32,
+                                  value_length=256, seed=5),
+            cluster=spec, shard_domains=2,
+            scale_events=(ScaleEvent(at=1e-3, servers=4),))
+        with pytest.raises(ShardingUnsupported, match="elastic"):
+            cfg.run()

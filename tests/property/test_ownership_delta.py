@@ -1,0 +1,78 @@
+"""Ownership-delta property: why elastic clusters want ketama.
+
+When the ring grows N -> N+1, consistent hashing (ketama) relocates
+roughly 1/(N+1) of the keyspace — only the share the new server takes —
+while modulo placement reshuffles almost everything. The migration
+engine works for both, but the moved-item volume (and so the handoff
+window) differs by an order of magnitude; these properties pin that
+contrast and the router ownership() accounting it is computed from.
+"""
+
+import pytest
+
+from repro.client.hashing import KetamaRouter, ModuloRouter, make_router
+
+SAMPLE = [b"key:%05d" % i for i in range(4000)]
+
+
+def moved_fraction(router_name, n):
+    old = make_router(router_name, n)
+    new = make_router(router_name, n + 1)
+    moved = sum(1 for k in SAMPLE
+                if old.server_for(k) != new.server_for(k))
+    return moved / len(SAMPLE)
+
+
+class TestOwnershipAccounting:
+    @pytest.mark.parametrize("router_name", ["ketama", "modulo"])
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_ownership_sums_to_one(self, router_name, n):
+        shares = make_router(router_name, n).ownership()
+        assert sum(shares) == pytest.approx(1.0)
+        assert all(s > 0 for s in shares)
+
+    @pytest.mark.parametrize("router_name", ["ketama", "modulo"])
+    def test_excluded_server_owns_nothing(self, router_name):
+        router = make_router(router_name, 4)
+        alive = frozenset({0, 1, 3})
+        shares = router.ownership(alive)
+        assert shares[2] == 0.0
+        assert sum(shares) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("router_name", ["ketama", "modulo"])
+    def test_ownership_matches_sampled_placement(self, router_name):
+        router = make_router(router_name, 4)
+        shares = router.ownership()
+        counts = [0] * 4
+        for key in SAMPLE:
+            counts[router.server_for(key)] += 1
+        for idx in range(4):
+            assert counts[idx] / len(SAMPLE) == \
+                pytest.approx(shares[idx], abs=0.05)
+
+
+class TestGrowthDelta:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_ketama_moves_about_one_share(self, n):
+        frac = moved_fraction("ketama", n)
+        # Ideal is 1/(n+1); allow generous ring-imbalance slack.
+        assert frac < 2.5 / (n + 1)
+        assert frac > 0.0
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_modulo_reshuffles_most_of_the_keyspace(self, n):
+        # n residues map to n+1: all but ~1/(n+1) of keys change slot.
+        assert moved_fraction("modulo", n) > 0.5
+
+    def test_ketama_beats_modulo(self):
+        # Ideal fractions are 1/(n+1) vs n/(n+1): the gap widens with n.
+        assert moved_fraction("ketama", 2) < moved_fraction("modulo", 2)
+        for n in (4, 8):
+            assert moved_fraction("ketama", n) \
+                < moved_fraction("modulo", n) / 2
+
+
+class TestRouterClasses:
+    def test_make_router_dispatch(self):
+        assert isinstance(make_router("ketama", 3), KetamaRouter)
+        assert isinstance(make_router("modulo", 3), ModuloRouter)

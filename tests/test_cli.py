@@ -96,3 +96,36 @@ def test_unknown_profile_rejected():
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])
+
+
+def test_topology_command(capsys):
+    rc, out = run_cli(capsys, "topology", "--servers", "3",
+                      "--router", "ketama", "--ops", "1",
+                      "--server-mem-mb", "16", "--ssd-limit-mb", "64")
+    assert rc == 0
+    assert "epoch 0" in out
+    assert "server0" in out and "server2" in out
+
+
+def test_scale_command(capsys):
+    rc, out = run_cli(capsys, "scale", "--from", "2", "--to", "3",
+                      "--at", "1ms", "--ops", "150", "--value-kb", "4",
+                      "--server-mem-mb", "16", "--ssd-limit-mb", "64",
+                      "--router", "ketama", "--traffic", "spike")
+    assert rc == 0
+    assert "scale 2->3" in out
+    assert "migrated items" in out
+    assert "epoch 1" in out
+
+
+def test_fuzz_elastic_band(capsys):
+    rc, out = run_cli(capsys, "fuzz", "--seeds", "0:2", "--elastic",
+                      "--no-shrink")
+    assert rc == 0
+    assert "elasticity band" in out
+    assert "2/2 seeds clean" in out
+
+
+def test_fuzz_bands_mutually_exclusive(capsys):
+    rc = main(["fuzz", "--seeds", "0:1", "--elastic", "--eventual"])
+    assert rc == 2

@@ -1,0 +1,92 @@
+"""TrafficShape: deterministic time-varying request pacing.
+
+The shapes are pure functions of simulated time — no RNG, no state —
+so paced runs replay byte-identically and the shape can be sampled
+anywhere without ordering effects.
+"""
+
+import math
+
+import pytest
+
+from repro.workloads.traffic import TRAFFIC_SHAPES, TrafficShape, make_traffic
+
+
+class TestValidation:
+    def test_kind_checked(self):
+        with pytest.raises(ValueError):
+            TrafficShape(kind="tsunami")
+
+    def test_base_interval_positive(self):
+        with pytest.raises(ValueError):
+            TrafficShape(base_interval=0.0)
+
+    def test_amplitude_bounded(self):
+        with pytest.raises(ValueError):
+            TrafficShape(kind="diurnal", amplitude=1.0)
+        with pytest.raises(ValueError):
+            TrafficShape(kind="diurnal", amplitude=-0.1)
+
+    def test_spike_factor_positive(self):
+        with pytest.raises(ValueError):
+            TrafficShape(kind="spike", spike_factor=0.0)
+
+    def test_make_traffic_names(self):
+        for name in TRAFFIC_SHAPES:
+            assert make_traffic(name).kind == name
+        with pytest.raises(ValueError):
+            make_traffic("nope")
+
+
+class TestSteady:
+    def test_constant_rate(self):
+        shape = make_traffic("steady", base_interval=10e-6)
+        for t in (0.0, 1e-3, 7.3):
+            assert shape.rate_multiplier(t) == 1.0
+            assert shape.interval_at(t) == 10e-6
+
+
+class TestDiurnal:
+    def test_sinusoid_peaks_and_troughs(self):
+        shape = make_traffic("diurnal", base_interval=10e-6,
+                             period=8e-3, amplitude=0.5)
+        quarter = shape.period / 4
+        assert shape.rate_multiplier(0.0) == pytest.approx(1.0)
+        assert shape.rate_multiplier(quarter) == pytest.approx(1.5)
+        assert shape.rate_multiplier(3 * quarter) == pytest.approx(0.5)
+        # Faster arrival at the peak => shorter interval.
+        assert shape.interval_at(quarter) < shape.interval_at(3 * quarter)
+
+    def test_multiplier_stays_positive(self):
+        shape = make_traffic("diurnal", amplitude=0.9)
+        lo = min(shape.rate_multiplier(i * shape.period / 100)
+                 for i in range(200))
+        assert lo > 0.0
+
+    def test_periodic(self):
+        shape = make_traffic("diurnal")
+        t = 1.234e-3
+        assert shape.rate_multiplier(t) == \
+            pytest.approx(shape.rate_multiplier(t + shape.period))
+
+
+class TestSpike:
+    def test_flash_crowd_window(self):
+        shape = make_traffic("spike", base_interval=20e-6, spike_at=2e-3,
+                             spike_duration=1e-3, spike_factor=8.0)
+        assert shape.rate_multiplier(1e-3) == 1.0
+        assert shape.rate_multiplier(2.5e-3) == 8.0
+        assert shape.rate_multiplier(3.5e-3) == 1.0
+        assert shape.interval_at(2.5e-3) == pytest.approx(20e-6 / 8.0)
+
+
+class TestPurity:
+    def test_same_time_same_answer(self):
+        # No hidden state: re-querying any instant is idempotent, and
+        # ordering of queries does not matter.
+        shape = make_traffic("diurnal", amplitude=0.7)
+        times = [i * 1e-4 for i in range(50)]
+        forward = [shape.interval_at(t) for t in times]
+        backward = [shape.interval_at(t) for t in reversed(times)]
+        assert forward == list(reversed(backward))
+        assert math.isfinite(sum(forward))
